@@ -1,0 +1,301 @@
+// Package rskip's top-level benchmarks regenerate the paper's
+// evaluation through `go test -bench`. Each Benchmark* corresponds to
+// a table or figure (see DESIGN.md's per-experiment index); the custom
+// metrics (skip%, x-slowdown, prot%) carry the paper-comparable
+// numbers, while ns/op measures the harness itself. cmd/rskipbench
+// prints the full tables.
+package rskip_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/experiments"
+	"rskip/internal/fault"
+	"rskip/internal/lower"
+	"rskip/internal/machine"
+	"rskip/internal/predict"
+	"rskip/internal/train"
+)
+
+// built caches trained programs across benchmark functions.
+var (
+	builtMu sync.Mutex
+	builtM  = map[string]*core.Program{}
+)
+
+func trained(b *testing.B, name string, mut func(*core.Config)) *core.Program {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	key := name + "|" + cfg.Key()
+	builtMu.Lock()
+	defer builtMu.Unlock()
+	if p, ok := builtM[key]; ok {
+		return p
+	}
+	bm, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Build(bm, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Train([]int64{bench.TrainSeed(0), bench.TrainSeed(1)}, bench.ScaleFI); err != nil {
+		b.Fatal(err)
+	}
+	builtM[key] = p
+	return p
+}
+
+func runScheme(b *testing.B, p *core.Program, s core.Scheme) (core.Outcome, core.Outcome) {
+	b.Helper()
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleFI)
+	golden := p.Run(core.Unsafe, inst, core.RunOpts{})
+	if golden.Err != nil {
+		b.Fatal(golden.Err)
+	}
+	o := p.Run(s, inst, core.RunOpts{})
+	if o.Err != nil {
+		b.Fatal(o.Err)
+	}
+	return golden, o
+}
+
+// BenchmarkFig7SkipRate exercises one full RSkip AR20 run per
+// iteration and reports the skip rate (Fig. 7a).
+func BenchmarkFig7SkipRate(b *testing.B) {
+	p := trained(b, "sgemm", nil)
+	var skip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, o := runScheme(b, p, core.RSkip)
+		skip = o.SkipRate()
+	}
+	b.ReportMetric(100*skip, "skip%")
+}
+
+// BenchmarkFig7Time reports RSkip's normalized execution time
+// (Fig. 7b) on the simulated core.
+func BenchmarkFig7Time(b *testing.B) {
+	p := trained(b, "sgemm", nil)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, o := runScheme(b, p, core.RSkip)
+		ratio = float64(o.Result.Cycles) / float64(g.Result.Cycles)
+	}
+	b.ReportMetric(ratio, "x-slowdown")
+}
+
+// BenchmarkFig7SwiftR reports the baseline's slowdown and instruction
+// growth (Fig. 7b/7c).
+func BenchmarkFig7SwiftR(b *testing.B) {
+	p := trained(b, "sgemm", nil)
+	var tRatio, iRatio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, o := runScheme(b, p, core.SWIFTR)
+		tRatio = float64(o.Result.Cycles) / float64(g.Result.Cycles)
+		iRatio = float64(o.Result.Instrs) / float64(g.Result.Instrs)
+	}
+	b.ReportMetric(tRatio, "x-slowdown")
+	b.ReportMetric(iRatio, "x-instrs")
+}
+
+// BenchmarkFig8aBlackscholes measures the two-level predictor
+// (Fig. 8a): skip rate with AM enabled.
+func BenchmarkFig8aBlackscholes(b *testing.B) {
+	p := trained(b, "blackscholes", nil)
+	var skip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, o := runScheme(b, p, core.RSkip)
+		skip = o.SkipRate()
+	}
+	b.ReportMetric(100*skip, "skip%")
+}
+
+// BenchmarkFig8bLud measures lud at AR20 across rotating inputs
+// (Fig. 8b's diversity study).
+func BenchmarkFig8bLud(b *testing.B) {
+	p := trained(b, "lud", nil)
+	var skip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := p.Bench.Gen(bench.TestSeed(i%20), bench.ScaleFI)
+		o := p.Run(core.RSkip, inst, core.RunOpts{})
+		if o.Err != nil {
+			b.Fatal(o.Err)
+		}
+		skip = o.SkipRate()
+	}
+	b.ReportMetric(100*skip, "skip%")
+}
+
+// BenchmarkFig9aInjection runs a burst of fault injections per
+// iteration and reports the protection rate (Fig. 9a).
+func BenchmarkFig9aInjection(b *testing.B) {
+	p := trained(b, "conv1d", nil)
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleFI)
+	var prot float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := fault.Campaign(p, core.RSkip, inst,
+			fault.Config{N: 32, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prot = r.ProtectionRate()
+	}
+	b.ReportMetric(prot, "prot%")
+}
+
+// BenchmarkFig2Coverage runs the predictability analysis (Fig. 2).
+func BenchmarkFig2Coverage(b *testing.B) {
+	p := trained(b, "conv1d", nil)
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleFI)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := train.Collect(p.RSkipMod, p.Kernel, inst.Setup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostRatio measures the §2 DI:AM:recompute per-element cost
+// measurement path.
+func BenchmarkCostRatio(b *testing.B) {
+	c := experiments.New()
+	c.Quick = true
+	c.TrainSeeds = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CostRatio(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPhase compares dynamic phase slicing against a
+// fixed stride (the DESIGN.md ablation).
+func BenchmarkAblationPhase(b *testing.B) {
+	dynamic := trained(b, "kde", nil)
+	fixed := trained(b, "kde", func(cfg *core.Config) { cfg.FixedStride = 16 })
+	var dSkip, fSkip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, od := runScheme(b, dynamic, core.RSkip)
+		_, of := runScheme(b, fixed, core.RSkip)
+		dSkip, fSkip = od.SkipRate(), of.SkipRate()
+	}
+	b.ReportMetric(100*dSkip, "dyn-skip%")
+	b.ReportMetric(100*fSkip, "fixed-skip%")
+}
+
+// BenchmarkAblationTP compares the trained QoS model against an
+// untrained default tuning parameter.
+func BenchmarkAblationTP(b *testing.B) {
+	p := trained(b, "conv2d", nil)
+	untrainedCfg := core.DefaultConfig()
+	bm, _ := bench.ByName("conv2d")
+	untrained, err := core.Build(bm, untrainedCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tSkip, uSkip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ot := runScheme(b, p, core.RSkip)
+		inst := bm.Gen(bench.TestSeed(0), bench.ScaleFI)
+		ou := untrained.Run(core.RSkip, inst, core.RunOpts{})
+		if ou.Err != nil {
+			b.Fatal(ou.Err)
+		}
+		tSkip, uSkip = ot.SkipRate(), ou.SkipRate()
+	}
+	b.ReportMetric(100*tSkip, "trained-skip%")
+	b.ReportMetric(100*uSkip, "untrained-skip%")
+}
+
+// BenchmarkMachineThroughput measures raw interpreter speed
+// (simulated instructions per second drive every experiment's cost).
+func BenchmarkMachineThroughput(b *testing.B) {
+	mod, err := lower.Compile("tput", `
+int kernel(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i * 3 - (s / 7); }
+	return s;
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(mod, machine.Config{TraceFn: -1})
+		res, err := m.Run(0, []uint64{10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instrs
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs/op")
+}
+
+// BenchmarkCompile measures the whole compilation pipeline: parse,
+// check, lower, candidate detection, rskip transform, SWIFT-R.
+func BenchmarkCompile(b *testing.B) {
+	bm, _ := bench.ByName("lud")
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(bm, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpObserve measures the dynamic-interpolation hot path.
+func BenchmarkInterpObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	points := make([]predict.Point, 4096)
+	v := 0.0
+	for i := range points {
+		v += rng.Float64()
+		points[i] = predict.Point{Iter: int64(i), V: v}
+	}
+	it := predict.NewInterp(0.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := points[i%len(points)]
+		if i%len(points) == 0 {
+			it.Reset()
+		}
+		it.Observe(p)
+	}
+}
+
+// BenchmarkMemoLookup measures the quantized table probe.
+func BenchmarkMemoLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 4096
+	in := make([][]float64, n)
+	out := make([]float64, n)
+	for i := range in {
+		in[i] = []float64{float64(rng.Intn(8)), float64(rng.Intn(8)) * 10}
+		out[i] = in[i][0] * in[i][1]
+	}
+	table, err := predict.BuildMemo(in, out, predict.MemoConfig{AddressBits: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Lookup(in[i%n])
+	}
+}

@@ -1,0 +1,111 @@
+// Command rskipbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rskipbench [-exp all|table1|fig2|fig7|fig8a|fig8b|fig9|costs|memo|frontier|ablation]
+//	           [-n 1000] [-train 3] [-quick] [-seed N]
+//
+// Each experiment prints a text rendering of the corresponding table
+// or figure with the paper's reference numbers in the caption, so
+// paper-vs-measured comparison is immediate. EXPERIMENTS.md records a
+// full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rskip/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, table1, fig2, fig6, fig7, fig8a, fig8b, fig9, costs, memo, frontier, ablation")
+		n      = flag.Int("n", 1000, "fault injections per campaign (fig9)")
+		train  = flag.Int("train", 3, "training inputs per benchmark")
+		quick  = flag.Bool("quick", false, "small inputs and campaigns (smoke run)")
+		seed   = flag.Int64("seed", 20200222, "fault sampling seed")
+		silent = flag.Bool("silent", false, "suppress progress notes")
+	)
+	flag.Parse()
+
+	c := experiments.New()
+	c.FaultN = *n
+	c.TrainSeeds = *train
+	c.Quick = *quick
+	c.Seed = *seed
+	if !*silent {
+		c.Out = os.Stderr
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+	emit := func(title, body string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rskipbench: %s: %v\n", title, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(body)
+	}
+
+	if want("table1") {
+		body, err := c.Table1()
+		emit("table1", body, err)
+	}
+	if want("fig2") {
+		body, err := c.Fig2()
+		emit("fig2", body, err)
+	}
+	var perf []experiments.PerfRow
+	if want("fig7") || want("frontier") {
+		rows, body, err := c.Fig7()
+		perf = rows
+		if want("fig7") {
+			emit("fig7", body, err)
+		} else if err != nil {
+			emit("fig7", "", err)
+		}
+	}
+	if want("fig6") {
+		body, err := c.Fig6()
+		emit("fig6", body, err)
+	}
+	if want("fig8a") {
+		body, err := c.Fig8a()
+		emit("fig8a", body, err)
+	}
+	if want("fig8b") {
+		body, err := c.Fig8b()
+		emit("fig8b", body, err)
+	}
+	var rel []experiments.ReliabilityRow
+	if want("fig9") || want("frontier") {
+		rows, body, err := c.Fig9()
+		rel = rows
+		if want("fig9") {
+			emit("fig9", body, err)
+		} else if err != nil {
+			emit("fig9", "", err)
+		}
+	}
+	if want("costs") {
+		body, err := c.CostRatio()
+		emit("costs", body, err)
+	}
+	if want("memo") {
+		body, err := c.Memo()
+		emit("memo", body, err)
+	}
+	if want("frontier") {
+		emit("frontier", c.Frontier(perf, rel), nil)
+	}
+	if want("ablation") {
+		body, err := c.Ablation()
+		emit("ablation", body, err)
+	}
+	fmt.Fprintf(os.Stderr, "rskipbench: done in %.1fs\n", time.Since(start).Seconds())
+}

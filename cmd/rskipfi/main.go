@@ -1,0 +1,93 @@
+// Command rskipfi runs a statistical fault-injection campaign (§7.2)
+// for one benchmark across protection schemes and prints the outcome
+// distribution.
+//
+// Usage:
+//
+//	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/stats"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name")
+		n         = flag.Int("n", 1000, "number of injected faults per scheme")
+		ar        = flag.Float64("ar", 0.2, "acceptable range for the rskip scheme")
+		schemes   = flag.String("schemes", "unsafe,swiftr,rskip", "comma-separated schemes")
+		seed      = flag.Int64("seed", 20200222, "fault sampling seed")
+		trainN    = flag.Int("train", 3, "number of training inputs")
+	)
+	flag.Parse()
+
+	b, err := bench.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.AR = *ar
+	p, err := core.Build(b, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	seeds := make([]int64, *trainN)
+	for i := range seeds {
+		seeds[i] = bench.TrainSeed(i)
+	}
+	if err := p.Train(seeds, bench.ScaleFI); err != nil {
+		fatal(err)
+	}
+	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
+
+	t := stats.NewTable(
+		fmt.Sprintf("fault injection — %s, %d faults per scheme (single bit flips inside the detected loops)", b.Name, *n),
+		"scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "false neg", "recovered")
+	for _, name := range strings.Split(*schemes, ",") {
+		var s core.Scheme
+		switch strings.TrimSpace(name) {
+		case "unsafe":
+			s = core.Unsafe
+		case "swift":
+			s = core.SWIFT
+		case "swiftr":
+			s = core.SWIFTR
+		case "rskip":
+			s = core.RSkip
+		default:
+			fatal(fmt.Errorf("unknown scheme %q", name))
+		}
+		r, err := fault.Campaign(p, s, inst, fault.Config{N: *n, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		label := s.String()
+		if s == core.RSkip {
+			label = fmt.Sprintf("RSkip AR%.0f", *ar*100)
+		}
+		t.Row(label,
+			fmt.Sprintf("%.1f%%", r.Rate(fault.Correct)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.SDC)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.Segfault)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.CoreDump)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.Hang)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.Detected)),
+			fmt.Sprintf("%.1f%%", r.FalseNegRate()),
+			fmt.Sprintf("%d", r.Recovered))
+	}
+	fmt.Print(t.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rskipfi:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Two-level prediction walkthrough on blackscholes (§4.2, Fig. 8a).
+//
+// Option prices computed from independent market quotes carry no
+// iteration-to-iteration trend, so dynamic interpolation alone skips
+// little. The pure pricing call, however, is ideal for approximate
+// memoization: a profile-quantized lookup table answers nearly every
+// validation. This example trains both predictors and compares
+// DI-only against DI+AM across acceptable ranges, then peeks inside
+// the trained lookup table.
+//
+//	go run ./examples/blackscholes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+)
+
+func main() {
+	b, err := bench.ByName("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	seeds := []int64{bench.TrainSeed(0), bench.TrainSeed(1), bench.TrainSeed(2)}
+
+	fmt.Println("config          norm.time   skip     DI-part")
+	fmt.Println("--------------  ---------   ------   -------")
+	for _, ar := range []float64{0.2, 0.5, 0.8, 1.0} {
+		for _, memoOff := range []bool{true, false} {
+			cfg := core.DefaultConfig()
+			cfg.AR = ar
+			cfg.DisableMemo = memoOff
+			p, err := core.Build(b, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Train(seeds, bench.ScalePerf); err != nil {
+				log.Fatal(err)
+			}
+			inst := b.Gen(bench.TestSeed(0), bench.ScalePerf)
+			golden := p.Run(core.Unsafe, inst, core.RunOpts{})
+			o := p.Run(core.RSkip, inst, core.RunOpts{})
+			if golden.Err != nil || o.Err != nil {
+				log.Fatal(golden.Err, o.Err)
+			}
+			label := fmt.Sprintf("AR%-3.0f DI+AM", ar*100)
+			if memoOff {
+				label = fmt.Sprintf("AR%-3.0f DI only", ar*100)
+			}
+			fmt.Printf("%-14s  %.2fx       %5.1f%%   %5.1f%%\n", label,
+				float64(o.Result.Cycles)/float64(golden.Result.Cycles),
+				100*o.SkipRate(), 100*o.DISkipRate())
+		}
+	}
+
+	// Inspect the trained lookup table.
+	cfg := core.DefaultConfig()
+	p, err := core.Build(b, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Train(seeds, bench.ScalePerf); err != nil {
+		log.Fatal(err)
+	}
+	for id, table := range p.Trained.Memo {
+		li := p.RSkipMod.LoopByID(id)
+		callee := p.RSkipMod.Funcs[li.MemoFn]
+		fmt.Printf("\nlookup table for %s (validation accuracy %.2f%%):\n",
+			callee.Name, 100*p.Trained.MemoAccuracy[id])
+		fmt.Printf("  address bits per input: %v (%d of %d inputs encoded)\n",
+			table.Bits, table.EncodedInputs(), len(table.Bits))
+		filled := 0
+		for _, f := range table.Filled {
+			if f {
+				filled++
+			}
+		}
+		fmt.Printf("  table cells: %d total, %d populated by training\n",
+			len(table.Values), filled)
+	}
+}

@@ -1,0 +1,149 @@
+// Quickstart: protect a MiniC program with RSkip end to end.
+//
+// The program below is an ordinary unprotected kernel — a smoothing
+// filter over a sensor trace. This example compiles it, lets the
+// compiler detect the prediction-protection candidate loop, trains the
+// run-time management system on a couple of inputs, and then runs the
+// unprotected and protected executables side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+)
+
+const source = `
+// A weighted smoothing filter: each output is a short reduction over a
+// window of the input — exactly the loop shape RSkip targets.
+void kernel(float trace[], float weights[], float out[], int n, int w) {
+	for (int i = 0; i < n - w + 1; i = i + 1) {
+		float acc = 0.0;
+		for (int j = 0; j < w; j = j + 1) {
+			acc = acc + trace[i + j] * weights[j];
+		}
+		out[i] = acc;
+	}
+}
+`
+
+func main() {
+	// Wrap the source as a benchmark so the core pipeline can generate
+	// inputs for training and testing.
+	n, w := 2048, 10
+	gen := func(seed int64, _ bench.Scale) bench.Instance {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]float64, n)
+		v, slope := 20.0, 0.02
+		for i := range trace {
+			if rng.Float64() < 0.01 {
+				slope = (rng.Float64() - 0.5) * 0.1 // trend break
+			}
+			v += slope
+			trace[i] = v + 0.05*(rng.Float64()-0.5)
+		}
+		weights := make([]float64, w)
+		for j := range weights {
+			weights[j] = 1.0 / float64(w)
+		}
+		outLen := n - w + 1
+		return bench.Instance{
+			Elements: outLen,
+			Setup: func(mem *machine.Memory) []uint64 {
+				tb := mem.Alloc(int64(n))
+				mem.CopyFloats(tb, trace)
+				wb := mem.Alloc(int64(w))
+				mem.CopyFloats(wb, weights)
+				ob := mem.Alloc(int64(outLen))
+				return []uint64{uint64(tb), uint64(wb), uint64(ob),
+					uint64(int64(n)), uint64(int64(w))}
+			},
+			Output: func(mem *machine.Memory) []uint64 {
+				out := make([]uint64, outLen)
+				for i := range out {
+					f := mem.GetFloat(int64(n + w + i))
+					out[i] = math.Float64bits(f)
+				}
+				return out
+			},
+		}
+	}
+	b := bench.Benchmark{
+		Name: "smoother", Kernel: "kernel", Source: source,
+		Domain: "example", Gen: gen,
+	}
+
+	// 1. Compile. The pipeline builds UNSAFE, SWIFT, SWIFT-R and RSkip
+	//    variants and reports the candidate loops it found.
+	prog, err := core.Build(b, core.DefaultConfig()) // AR20
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected %d candidate loop(s):\n", len(prog.Candidates))
+	for _, c := range prog.Candidates {
+		fmt.Printf("  %s (static cost %d, %d invariant live-ins)\n",
+			c.Name(prog.UnsafeMod), c.Cost, len(c.Invariants))
+	}
+
+	// 2. Offline training: sample loop outputs, sweep the tuning
+	//    parameter, build the QoS model.
+	if err := prog.Train([]int64{1, 2, 3}, bench.ScalePerf); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run a fresh test input under each scheme.
+	inst := b.Gen(99, bench.ScalePerf)
+	golden := prog.Run(core.Unsafe, inst, core.RunOpts{})
+	if golden.Err != nil {
+		log.Fatal(golden.Err)
+	}
+	for _, s := range []core.Scheme{core.SWIFTR, core.RSkip} {
+		o := prog.Run(s, inst, core.RunOpts{})
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		match := "outputs match bit for bit"
+		for i := range golden.Output {
+			if o.Output[i] != golden.Output[i] {
+				match = "OUTPUT MISMATCH"
+				break
+			}
+		}
+		fmt.Printf("\n%s:\n", s)
+		fmt.Printf("  slowdown      %.2fx (instructions %.2fx)\n",
+			float64(o.Result.Cycles)/float64(golden.Result.Cycles),
+			float64(o.Result.Instrs)/float64(golden.Result.Instrs))
+		if s == core.RSkip {
+			fmt.Printf("  skip rate     %.1f%% of re-computation bypassed\n", 100*o.SkipRate())
+		}
+		fmt.Printf("  correctness   %s\n", match)
+	}
+
+	// 4. Inject a fault into the protected run and watch recovery.
+	fmt.Println("\ninjecting one bit flip into the detected loop of the protected run:")
+	plan := &machine.FaultPlan{Kind: machine.FaultResultBit, Target: golden.Result.Region / 2, Bit: 13}
+	o := prog.Run(core.RSkip, inst, core.RunOpts{Fault: plan})
+	if o.Err != nil {
+		log.Fatalf("protected run crashed: %v", o.Err)
+	}
+	clean := true
+	for i := range golden.Output {
+		if o.Output[i] != golden.Output[i] {
+			clean = false
+			break
+		}
+	}
+	recovered := 0
+	for _, st := range o.Stats {
+		recovered += st.Recovered
+	}
+	fmt.Printf("  fault fired: %v, elements repaired: %d, output correct: %v\n",
+		o.FaultFired, recovered, clean)
+}

@@ -1,0 +1,3 @@
+module rskip
+
+go 1.22

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"testing"
+
+	"rskip/internal/ir"
+	"rskip/internal/lower"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := lower.Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return mod
+}
+
+const simpleLoop = `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int s = 0;
+		for (int j = 0; j < 8; j = j + 1) {
+			s = s + a[i + j];
+		}
+		out[i] = s;
+	}
+}
+`
+
+func TestCFGAndDominators(t *testing.T) {
+	mod := compile(t, simpleLoop)
+	f := mod.Funcs[0]
+	cfg := BuildCFG(f)
+	if len(cfg.Succs) != len(f.Blocks) {
+		t.Fatalf("CFG size mismatch")
+	}
+	// Entry has no predecessors; every reachable block has idom.
+	if len(cfg.Preds[0]) != 0 {
+		t.Errorf("entry block has predecessors: %v", cfg.Preds[0])
+	}
+	idom := Dominators(cfg)
+	rpo := cfg.ReversePostorder()
+	if rpo[0] != 0 {
+		t.Errorf("reverse postorder must start at entry, got %v", rpo)
+	}
+	for _, b := range rpo {
+		if idom[b] == -1 {
+			t.Errorf("reachable block %d has no idom", b)
+		}
+		if !Dominates(idom, 0, b) {
+			t.Errorf("entry must dominate block %d", b)
+		}
+	}
+}
+
+func TestFindLoopsNesting(t *testing.T) {
+	mod := compile(t, simpleLoop)
+	f := mod.Funcs[0]
+	cfg := BuildCFG(f)
+	idom := Dominators(cfg)
+	loops := FindLoops(cfg, idom)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	var outer, inner *Loop
+	for i := range loops {
+		if loops[i].Depth == 0 {
+			outer = &loops[i]
+		} else {
+			inner = &loops[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("nesting depths wrong: %+v", loops)
+	}
+	if inner.Parent == -1 {
+		t.Error("inner loop has no parent")
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Error("outer loop must contain inner header")
+	}
+	if len(outer.Exits) == 0 || len(inner.Exits) == 0 {
+		t.Error("loops must have exits")
+	}
+	im := InnermostLoop(len(f.Blocks), loops)
+	if im[inner.Header] == im[outer.Header] {
+		t.Error("innermost mapping does not distinguish loops")
+	}
+}
+
+func TestUpwardExposed(t *testing.T) {
+	mod := compile(t, simpleLoop)
+	f := mod.Funcs[0]
+	cfg := BuildCFG(f)
+	idom := Dominators(cfg)
+	loops := FindLoops(cfg, idom)
+	// Outer loop region.
+	var outer *Loop
+	for i := range loops {
+		if loops[i].Depth == 0 {
+			outer = &loops[i]
+		}
+	}
+	region := map[int]bool{}
+	for b := range outer.Blocks {
+		if b != outer.Header && b != outer.Latch {
+			region[b] = true
+		}
+	}
+	entry := -1
+	ht := f.Blocks[outer.Header].Terminator()
+	for _, s := range ht.Blocks {
+		if region[s] {
+			entry = s
+		}
+	}
+	ue := UpwardExposed(f, cfg, region, entry)
+	// The region reads a (r0), out (r1), and the IV; it must NOT
+	// report s or j as upward-exposed (both are defined before use).
+	if !ue.Has(0) || !ue.Has(1) {
+		t.Errorf("array params not upward-exposed: %v", ue)
+	}
+	defs := DefsIn(f, region)
+	for r := range ue {
+		if defs.Has(r) && f.TypeOf(r) != ir.Int {
+			t.Errorf("register %v both upward-exposed and defined (loop-carried?)", r)
+		}
+	}
+}
+
+func TestFindCandidatesSimple(t *testing.T) {
+	mod := compile(t, simpleLoop)
+	cands := FindCandidates(mod, Options{})
+	if len(cands) != 1 {
+		t.Fatalf("found %d candidates, want 1", len(cands))
+	}
+	c := cands[0]
+	if !c.HasInnerLoop || c.HasCall {
+		t.Errorf("pattern flags wrong: %+v", c)
+	}
+	if c.ValueFloat {
+		t.Error("value should be int")
+	}
+	if c.Step != 1 {
+		t.Errorf("step = %d, want 1", c.Step)
+	}
+	if len(c.Invariants) == 0 {
+		t.Error("expected invariants (array bases, bound)")
+	}
+	if c.Cost < DefaultCostThreshold {
+		t.Errorf("cost %d below threshold", c.Cost)
+	}
+}
+
+func TestCandidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"initialization loop (too cheap)", `
+void kernel(int a[], int n) {
+	for (int i = 0; i < n; i = i + 1) { a[i] = 0; }
+}`},
+		{"no store", `
+int kernel(int a[], int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		for (int j = 0; j < n; j = j + 1) { s = s + a[j]; }
+	}
+	return s;
+}`},
+		{"two stores per iteration", `
+void kernel(int a[], int b[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int s = 0;
+		for (int j = 0; j < 8; j = j + 1) { s = s + a[i + j]; }
+		a[i] = s;
+		b[i] = s;
+	}
+}`},
+		{"loop-carried accumulator", `
+void kernel(int a[], int out[], int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i = i + 1) {
+		int s = acc;
+		for (int j = 0; j < 8; j = j + 1) { s = s + a[i + j]; }
+		acc = s;
+		out[i] = s;
+	}
+}`},
+		{"conditional store", `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int s = 0;
+		for (int j = 0; j < 8; j = j + 1) { s = s + a[i + j]; }
+		if (s > 0) { out[i] = s; }
+	}
+}`},
+		{"cheap body without inner loop or call", `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) { out[i] = a[i] * 2 + 1; }
+}`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			mod := compile(t, tt.src)
+			if cands := FindCandidates(mod, Options{}); len(cands) != 0 {
+				t.Errorf("expected no candidates, got %d: %+v", len(cands), cands[0])
+			}
+		})
+	}
+}
+
+func TestCandidateCallPattern(t *testing.T) {
+	mod := compile(t, `
+float price(float x, float y) {
+	float a = sqrt(x) + exp(y);
+	float b = log(x + 1.0) * y;
+	return a * b + a / (b + 1.0);
+}
+void kernel(float in1[], float in2[], float out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		out[i] = price(in1[i], in2[i]);
+	}
+}`)
+	cands := FindCandidates(mod, Options{})
+	if len(cands) != 1 {
+		t.Fatalf("found %d candidates, want 1", len(cands))
+	}
+	if !cands[0].HasCall {
+		t.Error("should detect the user-call pattern (Figure 4a)")
+	}
+	if !cands[0].ValueFloat {
+		t.Error("value should be float")
+	}
+}
+
+func TestFuncCostOrdering(t *testing.T) {
+	mod := compile(t, `
+int cheap(int x) { return x + 1; }
+int expensive(int x) {
+	int s = 0;
+	for (int i = 0; i < x; i = i + 1) {
+		for (int j = 0; j < x; j = j + 1) { s = s + i * j; }
+	}
+	return s;
+}`)
+	cheap := FuncCost(mod, mod.FuncByName("cheap"))
+	exp := FuncCost(mod, mod.FuncByName("expensive"))
+	if cheap >= exp {
+		t.Errorf("cost(cheap)=%d should be < cost(expensive)=%d", cheap, exp)
+	}
+}
+
+func TestDominatesBasics(t *testing.T) {
+	// Diamond: 0 -> 1,2 -> 3.
+	b := ir.NewBuilder("d", nil, ir.Void)
+	one := b.NewBlock("a")
+	two := b.NewBlock("b")
+	three := b.NewBlock("join")
+	c := b.ConstInt(1)
+	b.CondBr(c, one, two)
+	b.SetBlock(one)
+	b.Br(three)
+	b.SetBlock(two)
+	b.Br(three)
+	b.SetBlock(three)
+	b.Ret(ir.NoReg)
+	cfg := BuildCFG(b.F)
+	idom := Dominators(cfg)
+	if !Dominates(idom, 0, 3) {
+		t.Error("entry must dominate join")
+	}
+	if Dominates(idom, 1, 3) || Dominates(idom, 2, 3) {
+		t.Error("diamond arms must not dominate join")
+	}
+	if idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0", idom[3])
+	}
+}

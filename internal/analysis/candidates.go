@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"rskip/internal/ir"
+)
+
+// Candidate describes one loop eligible for prediction-based
+// protection: a counted loop whose body performs an expensive value
+// computation (an inner loop or a user call) and stores exactly one
+// value per iteration. This is the pattern of Figure 4 in the paper.
+type Candidate struct {
+	Func      int
+	LoopIdx   int
+	Preheader int
+	Header    int
+	Latch     int
+	BodyEntry int
+	Region    map[int]bool // loop blocks minus header and latch
+
+	IV   ir.Reg // canonical induction variable (Int)
+	Step int64  // IV increment per iteration
+
+	StoreBlock int
+	StoreIdx   int
+	AddrReg    ir.Reg
+	ValueReg   ir.Reg
+	ValueFloat bool
+
+	// Invariants are the region's upward-exposed registers other than
+	// the IV, in ascending register order; they become the recompute
+	// slice's extra parameters and are captured at loop entry.
+	Invariants []ir.Reg
+
+	HasCall      bool
+	HasInnerLoop bool
+	Cost         int // static cost of one iteration's value computation
+}
+
+// Name returns a diagnostic label.
+func (c *Candidate) Name(m *ir.Module) string {
+	return fmt.Sprintf("%s.loop@b%d", m.Funcs[c.Func].Name, c.Header)
+}
+
+// Options configures candidate detection.
+type Options struct {
+	// CostThreshold is the minimum static per-iteration cost of the
+	// loop body; cheaper loops (initialization and the like) are left
+	// to conventional protection.
+	CostThreshold int
+}
+
+// DefaultCostThreshold matches "the number of instructions above
+// threshold" filter in §4.
+const DefaultCostThreshold = 24
+
+// FindCandidates scans every non-internal function for candidate
+// loops.
+func FindCandidates(m *ir.Module, opt Options) []Candidate {
+	if opt.CostThreshold == 0 {
+		opt.CostThreshold = DefaultCostThreshold
+	}
+	var out []Candidate
+	for fi, f := range m.Funcs {
+		if f.Internal {
+			continue
+		}
+		out = append(out, findInFunc(m, fi, f, opt)...)
+	}
+	return out
+}
+
+func findInFunc(m *ir.Module, fi int, f *ir.Func, opt Options) []Candidate {
+	cfg := BuildCFG(f)
+	idom := Dominators(cfg)
+	loops := FindLoops(cfg, idom)
+	inner := InnermostLoop(len(f.Blocks), loops)
+
+	var out []Candidate
+	for li := range loops {
+		if c, ok := examineLoop(m, fi, f, cfg, idom, loops, inner, li, opt); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func examineLoop(m *ir.Module, fi int, f *ir.Func, cfg *CFG, idom []int,
+	loops []Loop, inner []int, li int, opt Options) (Candidate, bool) {
+
+	l := &loops[li]
+	// A unique preheader: exactly one predecessor of the header outside
+	// the loop.
+	pre := -1
+	for _, p := range cfg.Preds[l.Header] {
+		if l.Blocks[p] {
+			continue
+		}
+		if pre != -1 {
+			return Candidate{}, false
+		}
+		pre = p
+	}
+	if pre == -1 {
+		return Candidate{}, false
+	}
+	// Header must end in a conditional branch with one in-loop and one
+	// out-of-loop successor (the canonical counted-loop shape MiniC
+	// lowering produces).
+	ht := f.Blocks[l.Header].Terminator()
+	if ht.Op != ir.OpCondBr {
+		return Candidate{}, false
+	}
+	bodyEntry, exit := -1, -1
+	for _, s := range ht.Blocks {
+		if l.Blocks[s] {
+			bodyEntry = s
+		} else {
+			exit = s
+		}
+	}
+	if bodyEntry == -1 || exit == -1 || bodyEntry == l.Header || bodyEntry == l.Latch {
+		return Candidate{}, false
+	}
+	iv, step, ok := findIV(f, l, ht)
+	if !ok {
+		return Candidate{}, false
+	}
+	// Region: loop blocks minus header and latch.
+	region := map[int]bool{}
+	for b := range l.Blocks {
+		if b != l.Header && b != l.Latch {
+			region[b] = true
+		}
+	}
+	if len(region) == 0 {
+		return Candidate{}, false
+	}
+	// Exactly one store in the region, located at this loop's level
+	// (not inside a nested loop), executed every iteration (its block
+	// dominates the latch), with a non-pointer value.
+	storeBlock, storeIdx := -1, -1
+	hasCall, hasInner := false, false
+	for b := range region {
+		if inner[b] != li {
+			hasInner = hasInner || inner[b] != -1
+		}
+		for ii := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[ii]
+			switch in.Op {
+			case ir.OpStore:
+				if storeBlock != -1 {
+					return Candidate{}, false // multiple stores
+				}
+				storeBlock, storeIdx = b, ii
+			case ir.OpCall:
+				if !m.Funcs[in.Callee].Internal {
+					hasCall = true
+				}
+			case ir.OpRTLoopEnter, ir.OpRTObserve, ir.OpRTLoopExit:
+				return Candidate{}, false // already transformed
+			}
+		}
+	}
+	if storeBlock == -1 || inner[storeBlock] != li || !Dominates(idom, storeBlock, l.Latch) {
+		return Candidate{}, false
+	}
+	st := &f.Blocks[storeBlock].Instrs[storeIdx]
+	valueReg := st.Args[1]
+	vt := f.TypeOf(valueReg)
+	if vt != ir.Float && vt != ir.Int {
+		return Candidate{}, false // pointer values are never approximated
+	}
+	// The value computation must contain an inner loop or a user call
+	// (Figure 4's two patterns) and exceed the cost threshold.
+	if !hasCall && !hasInner {
+		return Candidate{}, false
+	}
+	cost := RegionCost(m, f, region, loops, inner, loops[li].Depth+1)
+	if cost < opt.CostThreshold {
+		return Candidate{}, false
+	}
+	// Upward-exposed live-ins of the region: the IV plus invariants.
+	// Any other register that is both live into the body and defined
+	// inside it is a loop-carried dependence prediction cannot handle.
+	ue := UpwardExposed(f, cfg, region, bodyEntry)
+	defs := DefsIn(f, region)
+	if defs.Has(iv) {
+		return Candidate{}, false // body rewrites the IV; recompute cannot rebuild it
+	}
+	var invs []ir.Reg
+	for r := range ue {
+		if r == iv {
+			continue
+		}
+		if defs.Has(r) {
+			return Candidate{}, false // loop-carried
+		}
+		invs = append(invs, r)
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i] < invs[j] })
+
+	return Candidate{
+		Func: fi, LoopIdx: li, Preheader: pre, Header: l.Header, Latch: l.Latch,
+		BodyEntry: bodyEntry, Region: region,
+		IV: iv, Step: step,
+		StoreBlock: storeBlock, StoreIdx: storeIdx,
+		AddrReg: st.Args[0], ValueReg: valueReg, ValueFloat: vt == ir.Float,
+		Invariants: invs, HasCall: hasCall, HasInnerLoop: hasInner, Cost: cost,
+	}, true
+}
+
+// findIV recognizes the canonical induction variable: an Int register
+// read by the header condition and updated in the latch by the pattern
+// `t = add/sub iv, k; mov iv, t` with k a constant defined in the
+// latch.
+func findIV(f *ir.Func, l *Loop, ht *ir.Instr) (ir.Reg, int64, bool) {
+	// Registers feeding the header condition.
+	condRegs := RegSet{}
+	cond := ht.Args[0]
+	hdr := &f.Blocks[l.Header]
+	for ii := len(hdr.Instrs) - 1; ii >= 0; ii-- {
+		in := &hdr.Instrs[ii]
+		if d := instrDefs(in); d == cond {
+			for _, a := range in.Args {
+				condRegs.Add(a)
+			}
+			break
+		}
+	}
+	latch := &f.Blocks[l.Latch]
+	constVal := map[ir.Reg]int64{}
+	addOf := map[ir.Reg]*ir.Instr{}
+	for ii := range latch.Instrs {
+		in := &latch.Instrs[ii]
+		switch in.Op {
+		case ir.OpConstInt:
+			constVal[in.Dst] = in.Imm
+		case ir.OpAdd, ir.OpSub:
+			addOf[in.Dst] = in
+		case ir.OpMov:
+			iv := in.Dst
+			if !condRegs.Has(iv) || f.TypeOf(iv) != ir.Int {
+				continue
+			}
+			add, ok := addOf[in.Args[0]]
+			if !ok || add.Args[0] != iv {
+				continue
+			}
+			k, isConst := constVal[add.Args[1]]
+			if !isConst {
+				continue
+			}
+			if add.Op == ir.OpSub {
+				k = -k
+			}
+			if k == 0 {
+				continue
+			}
+			return iv, k, true
+		}
+	}
+	return ir.NoReg, 0, false
+}

@@ -1,0 +1,128 @@
+// Package analysis provides the static analyses RSkip's compiler
+// needs: control-flow graphs, dominators, natural-loop detection,
+// liveness/upward-exposed-use computation, induction-variable
+// recognition, a static cost model, and — on top of those — detection
+// of the prediction-based-protection candidate loops the paper
+// targets (a loop whose per-iteration value computation is an inner
+// loop or an expensive user call feeding a single store).
+package analysis
+
+import "rskip/internal/ir"
+
+// CFG holds per-block successor and predecessor lists for a function.
+type CFG struct {
+	Succs [][]int
+	Preds [][]int
+}
+
+// BuildCFG derives the control-flow graph from block terminators.
+func BuildCFG(f *ir.Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{Succs: make([][]int, n), Preds: make([][]int, n)}
+	for bi := range f.Blocks {
+		t := f.Blocks[bi].Terminator()
+		for _, s := range t.Blocks {
+			c.Succs[bi] = append(c.Succs[bi], s)
+			c.Preds[s] = append(c.Preds[s], bi)
+		}
+	}
+	return c
+}
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder.
+func (c *CFG) ReversePostorder() []int {
+	n := len(c.Succs)
+	seen := make([]bool, n)
+	var order []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.Succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(0)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Dominators computes the immediate-dominator array using the
+// Cooper-Harvey-Kennedy iterative algorithm. idom[0] == 0; unreachable
+// blocks get idom -1.
+func Dominators(c *CFG) []int {
+	rpo := c.ReversePostorder()
+	pos := make([]int, len(c.Succs))
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	idom := make([]int, len(c.Succs))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if pos[p] < 0 || idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b under idom.
+// Unreachable blocks are dominated by nothing.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = idom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import "rskip/internal/ir"
+
+// RegSet is a simple register set.
+type RegSet map[ir.Reg]bool
+
+// Add inserts r.
+func (s RegSet) Add(r ir.Reg) { s[r] = true }
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool { return s[r] }
+
+// Clone copies the set.
+func (s RegSet) Clone() RegSet {
+	n := make(RegSet, len(s))
+	for r := range s {
+		n[r] = true
+	}
+	return n
+}
+
+// instrDefs returns the register an instruction defines, or NoReg.
+func instrDefs(in *ir.Instr) ir.Reg {
+	if in.Op.HasDst() {
+		return in.Dst
+	}
+	return ir.NoReg
+}
+
+// UpwardExposed computes the registers whose values flow into a block
+// region from outside: a backward may-analysis over the region's
+// blocks only, seeded empty at region exits. The result at the region
+// entry is exactly the set of registers the region reads before
+// writing — the live-ins a recompute slice must receive as arguments.
+func UpwardExposed(f *ir.Func, c *CFG, region map[int]bool, entry int) RegSet {
+	// Per-block gen (upward-exposed uses) and kill (defs).
+	gen := map[int]RegSet{}
+	kill := map[int]RegSet{}
+	for b := range region {
+		g, k := RegSet{}, RegSet{}
+		for ii := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[ii]
+			for _, a := range in.Args {
+				if !k.Has(a) {
+					g.Add(a)
+				}
+			}
+			if d := instrDefs(in); d != ir.NoReg {
+				k.Add(d)
+			}
+		}
+		gen[b] = g
+		kill[b] = k
+	}
+	// Iterate to fixpoint: liveIn[b] = gen[b] ∪ (∪ liveIn[s in region] − kill[b]).
+	liveIn := map[int]RegSet{}
+	for b := range region {
+		liveIn[b] = gen[b].Clone()
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := range region {
+			cur := liveIn[b]
+			for _, s := range c.Succs[b] {
+				if !region[s] {
+					continue
+				}
+				for r := range liveIn[s] {
+					if !kill[b].Has(r) && !cur.Has(r) {
+						cur.Add(r)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if li, ok := liveIn[entry]; ok {
+		return li
+	}
+	return RegSet{}
+}
+
+// DefsIn returns all registers defined by instructions in the region.
+func DefsIn(f *ir.Func, region map[int]bool) RegSet {
+	defs := RegSet{}
+	for b := range region {
+		for ii := range f.Blocks[b].Instrs {
+			if d := instrDefs(&f.Blocks[b].Instrs[ii]); d != ir.NoReg {
+				defs.Add(d)
+			}
+		}
+	}
+	return defs
+}

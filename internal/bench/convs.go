@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+const conv1dSrc = `
+// conv1d: 1D convolution. The detected loop is the output loop; each
+// iteration's value is a reduction over the kernel window (Table 1:
+// "a reduction loop inside an outer loop").
+void kernel(int input[], int kern[], int output[], int n, int k) {
+	for (int f = 0; f < 4; f = f + 1) {
+		for (int i = 0; i < n - k + 1; i = i + 1) {
+			int sum = 0;
+			for (int j = 0; j < k; j = j + 1) {
+				sum = sum + input[i + j] * kern[j];
+			}
+			output[f * (n - k + 1) + i] = sum;
+		}
+	}
+}
+`
+
+// Conv1D is the signal-processing 1D convolution benchmark.
+func Conv1D() Benchmark {
+	return Benchmark{
+		Name:        "conv1d",
+		Domain:      "Signal processing, Machine learning",
+		Description: "1D convolution",
+		Pattern:     "A reduction loop",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      conv1dSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			n, k := 1024, 12
+			switch scale {
+			case ScaleFI:
+				n, k = 160, 6
+			case ScaleTiny:
+				n, k = 40, 4
+			}
+			// Blur-like positive kernels keep conv outputs on the input's
+			// smooth trend (edge-detector kernels would differentiate it).
+			input := smoothInts(rng, n, 0, 4000, 0.03)
+			kern := smoothInts(rng, k, 1, 8, 0.2)
+			outLen := 4 * (n - k + 1)
+			return Instance{
+				Elements: outLen,
+				Setup: func(mem *machine.Memory) []uint64 {
+					in := allocInts(mem, input)
+					kb := allocInts(mem, kern)
+					out := mem.Alloc(int64(outLen))
+					return []uint64{uint64(in), uint64(kb), uint64(out),
+						uint64(int64(n)), uint64(int64(k))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					// The output array is the third allocation.
+					return readWords(mem, int64(n+k), outLen)
+				},
+			}
+		},
+	}
+}
+
+const conv2dSrc = `
+// conv2d: 2D convolution with boundary conditionals. The detected loop
+// runs over output pixels; its value computation is a nested reduction
+// with conditional statements (Table 1), which is where SWIFT-R's
+// recurring synchronization points hurt the most (§7.1).
+void kernel(int input[], int kern[], int output[], int h, int w, int kh, int kw) {
+	for (int idx = 0; idx < h * w; idx = idx + 1) {
+		int y = idx / w;
+		int x = idx - y * w;
+		int sum = 0;
+		for (int ky = 0; ky < kh; ky = ky + 1) {
+			for (int kx = 0; kx < kw; kx = kx + 1) {
+				int yy = y + ky - kh / 2;
+				int xx = x + kx - kw / 2;
+				if (yy >= 0 && yy < h && xx >= 0 && xx < w) {
+					sum = sum + input[yy * w + xx] * kern[ky * kw + kx];
+				}
+			}
+		}
+		output[idx] = sum;
+	}
+}
+`
+
+// Conv2D is the 2D convolution benchmark.
+func Conv2D() Benchmark {
+	return Benchmark{
+		Name:        "conv2d",
+		Domain:      "Signal processing, Machine learning",
+		Description: "2D convolution",
+		Pattern:     "Nested reduction loops with conditional statement",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      conv2dSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			h, w, kh, kw := 40, 40, 9, 9
+			switch scale {
+			case ScaleFI:
+				h, w, kh, kw = 14, 14, 5, 5
+			case ScaleTiny:
+				h, w, kh, kw = 8, 8, 3, 3
+			}
+			input := make([]int64, h*w)
+			rows := smoothInts(rng, h, 50, 250, 0.05)
+			cols := smoothInts(rng, w, 50, 250, 0.05)
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					input[y*w+x] = (rows[y] + cols[x]) / 2
+				}
+			}
+			kern := smoothInts(rng, kh*kw, 1, 4, 0.3)
+			return Instance{
+				Elements: h * w,
+				Setup: func(mem *machine.Memory) []uint64 {
+					in := allocInts(mem, input)
+					kb := allocInts(mem, kern)
+					out := mem.Alloc(int64(h * w))
+					return []uint64{uint64(in), uint64(kb), uint64(out),
+						uint64(int64(h)), uint64(int64(w)),
+						uint64(int64(kh)), uint64(int64(kw))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(h*w+kh*kw), h*w)
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+const blackscholesSrc = `
+// blackscholes: PARSEC's European option pricer. The detected loop's
+// value is a direct user-call result (the paper's Figure 4a), which
+// qualifies it — uniquely among the benchmarks — for approximate
+// memoization as the second-level predictor.
+float cndf(float x) {
+	float sign = 1.0;
+	float xx = x;
+	if (xx < 0.0) {
+		xx = -xx;
+		sign = 0.0;
+	}
+	float k = 1.0 / (1.0 + 0.2316419 * xx);
+	float n = 0.39894228 * exp(-0.5 * xx * xx);
+	float poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937 +
+		k * (-1.821255978 + k * 1.330274429))));
+	float val = 1.0 - n * poly;
+	if (sign < 0.5) {
+		val = 1.0 - val;
+	}
+	return val;
+}
+
+float blkschls(float spt, float strike, float rate, float vol, float t, int otype) {
+	float den = vol * sqrt(t);
+	float d1 = (log(spt / strike) + (rate + 0.5 * vol * vol) * t) / den;
+	float d2 = d1 - den;
+	float fut = strike * exp(-rate * t);
+	float price = spt * cndf(d1) - fut * cndf(d2);
+	if (otype == 1) {
+		price = price - spt + fut;
+	}
+	return price;
+}
+
+void kernel(float spt[], float strike[], float rate[], float vol[], float t[],
+            int otype[], float prices[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		float price = blkschls(spt[i], strike[i], rate[i], vol[i], t[i], otype[i]);
+		prices[i] = price;
+	}
+}
+`
+
+// Blackscholes is the option-pricing benchmark.
+func Blackscholes() Benchmark {
+	return Benchmark{
+		Name:         "blackscholes",
+		Domain:       "Finance",
+		Description:  "Stock price prediction model",
+		Pattern:      "A function call",
+		Location:     "Inside an outer loop",
+		Kernel:       "kernel",
+		MemoEligible: true,
+		Source:       blackscholesSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			n := 4096
+			switch scale {
+			case ScaleFI:
+				n = 384
+			case ScaleTiny:
+				n = 64
+			}
+			// Option parameters cluster at market-conventional values
+			// (round strikes, standard tenors and vol levels) with small
+			// jitter, mirroring PARSEC's highly repetitive input file.
+			// Consecutive options remain independent — no spatial trend —
+			// which is why the DI-only skip rate stays low (Fig. 8a)
+			// while memoization thrives.
+			spt := clusteredFloats(rng, n, []float64{80, 90, 100, 115, 135}, 0.004)
+			// Strikes are quoted relative to spot (near-the-money chain),
+			// tenors and vols sit at log-spaced market conventions —
+			// uneven spacing that uniform min/max quantization handles
+			// poorly but histogram quantization captures (§4.2).
+			strike := clusteredFloats(rng, n, []float64{0.95, 1.0, 1.05}, 0.002)
+			for i := range strike {
+				strike[i] *= spt[i]
+			}
+			rate := clusteredFloats(rng, n, []float64{0.02, 0.05}, 0.01)
+			vol := clusteredFloats(rng, n, []float64{0.12, 0.18, 0.28, 0.45}, 0.01)
+			tm := clusteredFloats(rng, n, []float64{0.15, 0.4, 1.0, 2.2}, 0.01)
+			otype := make([]int64, n)
+			for i := range otype {
+				otype[i] = int64(rng.Intn(2))
+			}
+			return Instance{
+				Elements: n,
+				Setup: func(mem *machine.Memory) []uint64 {
+					sb := allocFloats(mem, spt)
+					kb := allocFloats(mem, strike)
+					rb := allocFloats(mem, rate)
+					vb := allocFloats(mem, vol)
+					tb := allocFloats(mem, tm)
+					ob := allocInts(mem, otype)
+					pb := mem.Alloc(int64(n))
+					return []uint64{uint64(sb), uint64(kb), uint64(rb), uint64(vb),
+						uint64(tb), uint64(ob), uint64(pb), uint64(int64(n))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(6*n), n)
+				},
+			}
+		},
+	}
+}

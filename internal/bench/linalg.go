@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+const sgemmSrc = `
+// sgemm: general matrix multiplication (Parboil). The detected loop is
+// the column loop: each iteration reduces one dot product and stores
+// one output element (Table 1: nested reduction loops inside an outer
+// loop).
+void kernel(int a[], int b[], int c[], int n, int m, int p) {
+	for (int i = 0; i < n; i = i + 1) {
+		for (int j = 0; j < p; j = j + 1) {
+			int sum = 0;
+			for (int k = 0; k < m; k = k + 1) {
+				sum = sum + a[i * m + k] * b[k * p + j];
+			}
+			c[i * p + j] = sum;
+		}
+	}
+}
+`
+
+// SGEMM is the linear-algebra matrix-multiplication benchmark.
+func SGEMM() Benchmark {
+	return Benchmark{
+		Name:        "sgemm",
+		Domain:      "Linear algebra",
+		Description: "General matrix multiplication",
+		Pattern:     "Nested reduction loops",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      sgemmSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			n, m, p := 48, 48, 48
+			switch scale {
+			case ScaleFI:
+				n, m, p = 14, 14, 14
+			case ScaleTiny:
+				n, m, p = 6, 6, 6
+			}
+			a := make([]int64, n*m)
+			b := make([]int64, m*p)
+			ar := smoothInts(rng, n*m, 0, 120, 0.03)
+			br := smoothInts(rng, m*p, 0, 120, 0.03)
+			copy(a, ar)
+			copy(b, br)
+			return Instance{
+				Elements: n * p,
+				Setup: func(mem *machine.Memory) []uint64 {
+					ab := allocInts(mem, a)
+					bb := allocInts(mem, b)
+					cb := mem.Alloc(int64(n * p))
+					return []uint64{uint64(ab), uint64(bb), uint64(cb),
+						uint64(int64(n)), uint64(int64(m)), uint64(int64(p))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(n*m+m*p), n*p)
+				},
+			}
+		},
+	}
+}
+
+const ludSrc = `
+// lud: LU decomposition (Rodinia). Both inner j-loops are detected:
+// reduction loops with trip counts that vary across the outer i loop
+// (Table 1). The second loop is the paper's Figure 4b example,
+// including the read-modify-write of a[j*size+i] that exercises the
+// pre-store temporary-space buffering.
+void kernel(float a[], int size) {
+	for (int i = 0; i < size; i = i + 1) {
+		for (int j = i; j < size; j = j + 1) {
+			float sum = a[i * size + j];
+			for (int k = 0; k < i; k = k + 1) {
+				sum = sum - a[i * size + k] * a[k * size + j];
+			}
+			a[i * size + j] = sum;
+		}
+		for (int j = i + 1; j < size; j = j + 1) {
+			float sum = a[j * size + i];
+			for (int k = 0; k < i; k = k + 1) {
+				sum = sum - a[j * size + k] * a[k * size + i];
+			}
+			a[j * size + i] = sum / a[i * size + i];
+		}
+	}
+}
+`
+
+// LUD is the LU-decomposition benchmark.
+func LUD() Benchmark {
+	return Benchmark{
+		Name:        "lud",
+		Domain:      "Linear algebra",
+		Description: "LU decomposition",
+		Pattern:     "A reduction loop with a varying trip count",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      ludSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			size := 56
+			switch scale {
+			case ScaleFI:
+				size = 18
+			case ScaleTiny:
+				size = 8
+			}
+			a := make([]float64, size*size)
+			rows := smoothFloats(rng, size, 0.5, 2.0, 0.02)
+			cols := smoothFloats(rng, size, 0.5, 2.0, 0.02)
+			for i := 0; i < size; i++ {
+				for j := 0; j < size; j++ {
+					a[i*size+j] = rows[i] * cols[j]
+				}
+			}
+			// Diagonal dominance keeps the factorization stable.
+			for i := 0; i < size; i++ {
+				a[i*size+i] += float64(size)
+			}
+			return Instance{
+				Elements: size * size, // both loop families combined, roughly
+				Setup: func(mem *machine.Memory) []uint64 {
+					ab := allocFloats(mem, a)
+					return []uint64{uint64(ab), uint64(int64(size))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, 0, size*size)
+				},
+			}
+		},
+	}
+}

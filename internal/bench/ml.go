@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+const kdeSrc = `
+// kde: Gaussian kernel density estimation. The detected loop evaluates
+// the density at each query point by a reduction over the data set
+// (Table 1: nested reduction loops inside an outer loop).
+void kernel(float data[], float query[], float density[], int n, int m, float h) {
+	for (int i = 0; i < m; i = i + 1) {
+		float sum = 0.0;
+		for (int j = 0; j < n; j = j + 1) {
+			float d = (query[i] - data[j]) / h;
+			sum = sum + exp(-0.5 * d * d);
+		}
+		density[i] = sum / (float(n) * h);
+	}
+}
+`
+
+// KDE is the kernel-density-estimation benchmark.
+func KDE() Benchmark {
+	return Benchmark{
+		Name:        "kde",
+		Domain:      "Machine learning",
+		Description: "Kernel Density Estimation",
+		Pattern:     "Nested reduction loops",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      kdeSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			n, m := 384, 256
+			switch scale {
+			case ScaleFI:
+				n, m = 48, 32
+			case ScaleTiny:
+				n, m = 16, 8
+			}
+			data := smoothFloats(rng, n, -3, 3, 0.3)
+			// Queries sweep the domain smoothly: consecutive densities
+			// share a trend.
+			query := make([]float64, m)
+			for i := range query {
+				query[i] = -4 + 8*float64(i)/float64(m)
+			}
+			h := 0.4 + rng.Float64()*0.2
+			return Instance{
+				Elements: m,
+				Setup: func(mem *machine.Memory) []uint64 {
+					db := allocFloats(mem, data)
+					qb := allocFloats(mem, query)
+					ob := mem.Alloc(int64(m))
+					return []uint64{uint64(db), uint64(qb), uint64(ob),
+						uint64(int64(n)), uint64(int64(m)), fbits(h)}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(n+m), m)
+				},
+			}
+		},
+	}
+}
+
+const forwardpropSrc = `
+// forwardprop: fully connected layer forward pass with a sigmoid
+// activation (Rodinia backprop's forward phase). The detected loop
+// computes one output neuron per iteration via a reduction over the
+// inputs (Table 1: a reduction loop).
+void kernel(float input[], float weights[], float output[], int nin, int nout) {
+	for (int j = 0; j < nout; j = j + 1) {
+		float sum = 0.0;
+		for (int i = 0; i < nin; i = i + 1) {
+			sum = sum + weights[j * nin + i] * input[i];
+		}
+		output[j] = 1.0 / (1.0 + exp(-sum));
+	}
+}
+`
+
+// ForwardProp is the neural-network forward-propagation benchmark.
+func ForwardProp() Benchmark {
+	return Benchmark{
+		Name:        "forwardprop",
+		Domain:      "Machine learning",
+		Description: "Forward propagation for the fully connected neural network",
+		Pattern:     "A reduction loop",
+		Location:    "Top level",
+		Kernel:      "kernel",
+		Source:      forwardpropSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			nin, nout := 512, 256
+			switch scale {
+			case ScaleFI:
+				nin, nout = 64, 40
+			case ScaleTiny:
+				nin, nout = 16, 8
+			}
+			input := smoothFloats(rng, nin, 0, 1, 0.05)
+			weights := make([]float64, nout*nin)
+			// Weight rows small enough that the pre-activation stays in
+			// the sigmoid's responsive range (a saturated network would
+			// produce 0/1 plateaus with no trend to interpolate).
+			wr := smoothFloats(rng, nout, -0.004, 0.004, 0.02)
+			wc := smoothFloats(rng, nin, 0.5, 1.5, 0.02)
+			for j := 0; j < nout; j++ {
+				for i := 0; i < nin; i++ {
+					weights[j*nin+i] = wr[j] * wc[i]
+				}
+			}
+			return Instance{
+				Elements: nout,
+				Setup: func(mem *machine.Memory) []uint64 {
+					ib := allocFloats(mem, input)
+					wb := allocFloats(mem, weights)
+					ob := mem.Alloc(int64(nout))
+					return []uint64{uint64(ib), uint64(wb), uint64(ob),
+						uint64(int64(nin)), uint64(int64(nout))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(nin+nout*nin), nout)
+				},
+			}
+		},
+	}
+}
+
+const backpropSrc = `
+// backprop: hidden-layer delta computation of backpropagation
+// (Rodinia). The detected loop reduces the output deltas through the
+// transposed weights and scales by the sigmoid derivative.
+void kernel(float deltao[], float weights[], float hidden[], float deltah[], int nh, int no) {
+	for (int j = 0; j < nh; j = j + 1) {
+		float sum = 0.0;
+		for (int k = 0; k < no; k = k + 1) {
+			sum = sum + deltao[k] * weights[k * nh + j];
+		}
+		deltah[j] = sum * hidden[j] * (1.0 - hidden[j]);
+	}
+}
+`
+
+// BackProp is the neural-network backward-propagation benchmark.
+func BackProp() Benchmark {
+	return Benchmark{
+		Name:        "backprop",
+		Domain:      "Machine learning",
+		Description: "Backward propagation for the fully connected neural network",
+		Pattern:     "A reduction loop",
+		Location:    "Top level",
+		Kernel:      "kernel",
+		Source:      backpropSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			nh, no := 512, 256
+			switch scale {
+			case ScaleFI:
+				nh, no = 64, 40
+			case ScaleTiny:
+				nh, no = 16, 8
+			}
+			deltao := smoothFloats(rng, no, -0.5, 0.5, 0.02)
+			hidden := smoothFloats(rng, nh, 0.2, 0.8, 0.02)
+			weights := make([]float64, no*nh)
+			wr := smoothFloats(rng, no, -0.5, 0.5, 0.02)
+			wc := smoothFloats(rng, nh, 0.5, 1.5, 0.02)
+			for k := 0; k < no; k++ {
+				for j := 0; j < nh; j++ {
+					weights[k*nh+j] = wr[k] * wc[j]
+				}
+			}
+			return Instance{
+				Elements: nh,
+				Setup: func(mem *machine.Memory) []uint64 {
+					db := allocFloats(mem, deltao)
+					wb := allocFloats(mem, weights)
+					hb := allocFloats(mem, hidden)
+					ob := mem.Alloc(int64(nh))
+					return []uint64{uint64(db), uint64(wb), uint64(hb), uint64(ob),
+						uint64(int64(nh)), uint64(int64(no))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					return readWords(mem, int64(no+no*nh+nh), nh)
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+const yoloSrc = `
+// yolo: a scaled-down object-detection head standing in for YOLOv2
+// (see DESIGN.md's substitution table). Per detection cell, the
+// detected loop computes a convolutional feature map with a leaky-ReLU
+// (a reduction loop inside an outer loop); class scores and the argmax
+// label follow. The program's output is the label per cell, so small
+// value errors that slip past fuzzy validation tend to be logically
+// masked — the benign-false-negative behaviour §7.2 reports for
+// YOLOv2.
+void kernel(float img[], float cw[], float clsw[], float feat[], float score[],
+            int labels[], int ncells, int patch, int nf, int nc) {
+	for (int cell = 0; cell < ncells; cell = cell + 1) {
+		for (int f = 0; f < nf; f = f + 1) {
+			float sum = 0.0;
+			for (int p = 0; p < patch; p = p + 1) {
+				sum = sum + img[cell * patch + p] * cw[f * patch + p];
+			}
+			if (sum < 0.0) {
+				sum = 0.1 * sum;
+			}
+			feat[f] = sum;
+		}
+		int best = 0;
+		float bestv = -1000000.0;
+		for (int c = 0; c < nc; c = c + 1) {
+			float s = 0.0;
+			for (int i = 0; i < nf; i = i + 1) {
+				s = s + feat[i] * clsw[c * nf + i];
+			}
+			score[c] = s;
+			if (s > bestv) {
+				bestv = s;
+				best = c;
+			}
+		}
+		labels[cell] = best;
+	}
+}
+`
+
+// YOLO is the object-detection benchmark.
+func YOLO() Benchmark {
+	return Benchmark{
+		Name:        "yolo",
+		Domain:      "Machine learning, Computer vision",
+		Description: "Real time object detection (scaled-down YOLOv2 head)",
+		Pattern:     "A reduction loop",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      yoloSrc,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			ncells, patch, nf, nc := 40, 64, 32, 16
+			switch scale {
+			case ScaleFI:
+				ncells, patch, nf, nc = 8, 24, 12, 8
+			case ScaleTiny:
+				ncells, patch, nf, nc = 4, 8, 4, 4
+			}
+			img := smoothFloats(rng, ncells*patch, 0, 1, 0.03)
+			cwr := smoothFloats(rng, nf, -0.4, 0.4, 0.02)
+			cwc := smoothFloats(rng, patch, 0.5, 1.5, 0.02)
+			cw := make([]float64, nf*patch)
+			for f := 0; f < nf; f++ {
+				for p := 0; p < patch; p++ {
+					cw[f*patch+p] = cwr[f] * cwc[p]
+				}
+			}
+			clsw := smoothFloats(rng, nc*nf, -0.5, 0.5, 0.4)
+			return Instance{
+				Elements: ncells * nf,
+				Setup: func(mem *machine.Memory) []uint64 {
+					ib := allocFloats(mem, img)
+					cb := allocFloats(mem, cw)
+					wb := allocFloats(mem, clsw)
+					fb := mem.Alloc(int64(nf))
+					sb := mem.Alloc(int64(nc))
+					lb := mem.Alloc(int64(ncells))
+					return []uint64{uint64(ib), uint64(cb), uint64(wb),
+						uint64(fb), uint64(sb), uint64(lb),
+						uint64(int64(ncells)), uint64(int64(patch)),
+						uint64(int64(nf)), uint64(int64(nc))}
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					base := int64(ncells*patch + nf*patch + nc*nf + nf + nc)
+					return readWords(mem, base, ncells)
+				},
+			}
+		},
+	}
+}

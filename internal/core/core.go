@@ -1,0 +1,347 @@
+// Package core is RSkip's public pipeline facade: compile MiniC source
+// once, derive the protected module variants (UNSAFE, SWIFT, SWIFT-R,
+// prediction-based), run the offline training phase, and execute
+// instances under any scheme with full measurement — dynamic
+// instructions, simulated cycles/IPC, skip rates, and optional fault
+// injection. Everything the command-line tools, examples, tests and
+// benchmark harness do goes through this package.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rskip/internal/analysis"
+	"rskip/internal/bench"
+	"rskip/internal/ir"
+	"rskip/internal/lower"
+	"rskip/internal/machine"
+	"rskip/internal/rtm"
+	"rskip/internal/train"
+	"rskip/internal/transform"
+)
+
+// Scheme names a protection configuration.
+type Scheme int
+
+// Schemes.
+const (
+	Unsafe Scheme = iota // no protection
+	SWIFT                // detection-only duplication
+	SWIFTR               // TMR duplication (baseline)
+	RSkip                // prediction-based protection
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Unsafe:
+		return "UNSAFE"
+	case SWIFT:
+		return "SWIFT"
+	case SWIFTR:
+		return "SWIFT-R"
+	case RSkip:
+		return "RSkip"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Config parameterizes a build.
+type Config struct {
+	// AR is the acceptable range as a fraction (0.2 = the paper's
+	// AR20).
+	AR float64
+	// CostThreshold gates candidate loops (0 = default).
+	CostThreshold int
+	// Window is the run-time observe/adjust period.
+	Window int
+	// MemoBits is the memo-table address width.
+	MemoBits int
+	// DisableMemo turns off the second-level predictor (Fig. 8a's
+	// DI-only configuration).
+	DisableMemo bool
+	// DisableDI routes everything to the second-level predictor.
+	DisableDI bool
+	// ForceCP runs every PP loop under emulated conventional
+	// protection.
+	ForceCP bool
+	// MemoUniform selects prior work's uniform quantization.
+	MemoUniform bool
+	// FixedStride replaces dynamic phase slicing with fixed-length
+	// phases (ablation).
+	FixedStride int
+	// IssueWidth overrides the simulated core's issue width.
+	IssueWidth int
+	// EnableCFC adds control-flow checking (block signatures) to the
+	// SWIFT, SWIFT-R and RSkip variants — the companion technique that
+	// fail-stops illegal control transfers.
+	EnableCFC bool
+}
+
+// DefaultConfig returns the paper's AR20 deployment.
+func DefaultConfig() Config { return Config{AR: 0.2} }
+
+// Key returns a string identifying every build-affecting field, for
+// caching compiled programs.
+func (c Config) Key() string {
+	return fmt.Sprintf("ar=%g|ct=%d|w=%d|mb=%d|dm=%v|dd=%v|cp=%v|mu=%v|fs=%d|iw=%d|cfc=%v",
+		c.AR, c.CostThreshold, c.Window, c.MemoBits, c.DisableMemo,
+		c.DisableDI, c.ForceCP, c.MemoUniform, c.FixedStride, c.IssueWidth, c.EnableCFC)
+}
+
+// Program is one benchmark compiled under every scheme.
+type Program struct {
+	Bench  bench.Benchmark
+	Cfg    Config
+	Kernel int // kernel function index (identical across variants)
+
+	UnsafeMod *ir.Module
+	SwiftMod  *ir.Module
+	SwiftRMod *ir.Module
+	RSkipMod  *ir.Module
+
+	// Candidates are the detected loops (computed on the unprotected
+	// module; block indexes are stable across variants).
+	Candidates []analysis.Candidate
+	// RegionBlocks marks the detected-loop blocks per function for
+	// fault-injection targeting.
+	RegionBlocks map[int]map[int]bool
+	// RegionFuncs marks the outlined recompute slices of the RSkip
+	// variant, which execute in-region wherever they are called from.
+	RegionFuncs map[int]bool
+
+	Trained *train.Result
+}
+
+// Build compiles the benchmark and derives all protected variants.
+func Build(b bench.Benchmark, cfg Config) (*Program, error) {
+	mod, err := lower.Compile(b.Name, b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s: %w", b.Name, err)
+	}
+	kernel := mod.FuncByName(b.Kernel)
+	if kernel < 0 {
+		return nil, fmt.Errorf("core: %s has no kernel function %q", b.Name, b.Kernel)
+	}
+	opt := analysis.Options{CostThreshold: cfg.CostThreshold}
+	cands := analysis.FindCandidates(mod, opt)
+
+	swift := mod.Clone()
+	transform.ApplySWIFT(swift)
+	swiftr := mod.Clone()
+	transform.ApplySWIFTR(swiftr)
+	rsk, err := transform.ApplyRSkip(mod, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: rskip transform for %s: %w", b.Name, err)
+	}
+	if cfg.EnableCFC {
+		transform.ApplyCFC(swift)
+		transform.ApplyCFC(swiftr)
+		transform.ApplyCFC(rsk)
+		for _, m := range []*ir.Module{swift, swiftr, rsk} {
+			if err := ir.Verify(m); err != nil {
+				return nil, fmt.Errorf("core: CFC produced invalid IR for %s: %w", b.Name, err)
+			}
+		}
+	}
+
+	p := &Program{
+		Bench: b, Cfg: cfg, Kernel: kernel,
+		UnsafeMod: mod, SwiftMod: swift, SwiftRMod: swiftr, RSkipMod: rsk,
+		Candidates:   cands,
+		RegionBlocks: map[int]map[int]bool{},
+		RegionFuncs:  map[int]bool{},
+	}
+	for _, c := range cands {
+		rb := p.RegionBlocks[c.Func]
+		if rb == nil {
+			rb = map[int]bool{}
+			p.RegionBlocks[c.Func] = rb
+		}
+		rb[c.Header] = true
+		rb[c.Latch] = true
+		for blk := range c.Region {
+			rb[blk] = true
+		}
+	}
+	for _, li := range rsk.Loops {
+		p.RegionFuncs[li.RecomputeFn] = true
+	}
+	return p, nil
+}
+
+// Module returns the IR variant for a scheme.
+func (p *Program) Module(s Scheme) *ir.Module {
+	switch s {
+	case SWIFT:
+		return p.SwiftMod
+	case SWIFTR:
+		return p.SwiftRMod
+	case RSkip:
+		return p.RSkipMod
+	}
+	return p.UnsafeMod
+}
+
+// Train runs the offline training phase over the given training seeds.
+func (p *Program) Train(seeds []int64, scale bench.Scale) error {
+	var setups []func(mem *machine.Memory) []uint64
+	for _, s := range seeds {
+		inst := p.Bench.Gen(s, scale)
+		setups = append(setups, inst.Setup)
+	}
+	tr, err := train.Run(p.RSkipMod, p.Kernel, setups, train.Config{
+		AR:          p.Cfg.AR,
+		Window:      p.Cfg.Window,
+		MemoBits:    p.Cfg.MemoBits,
+		MemoUniform: p.Cfg.MemoUniform,
+	})
+	if err != nil {
+		return err
+	}
+	p.Trained = tr
+	return nil
+}
+
+// SaveProfile persists the trained deployment profile (QoS model and
+// memo tables) as JSON.
+func (p *Program) SaveProfile(path string) error {
+	if p.Trained == nil {
+		return fmt.Errorf("core: %s has no trained profile to save", p.Bench.Name)
+	}
+	return p.Trained.SaveFile(path)
+}
+
+// LoadProfile replaces the trained deployment profile with one read
+// from disk, skipping re-training.
+func (p *Program) LoadProfile(path string) error {
+	tr, err := train.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	p.Trained = tr
+	return nil
+}
+
+// RunOpts tune one execution.
+type RunOpts struct {
+	Fault     *machine.FaultPlan
+	MaxInstrs uint64
+	// Trace/TraceLimit dump executed instructions (debugging).
+	Trace      io.Writer
+	TraceLimit uint64
+}
+
+// Outcome reports one execution.
+type Outcome struct {
+	Result machine.RunResult
+	Output []uint64
+	// Stats holds per-loop run-time management statistics (RSkip runs
+	// only).
+	Stats map[int]*rtm.LoopStats
+	// Err is the abnormal-termination error, if any (Segfault, Trap,
+	// Hang, Detect).
+	Err error
+	// FaultFired reports whether an armed fault was actually injected.
+	FaultFired bool
+	// FaultTag is the protection tag of the instruction (or register)
+	// the fault hit.
+	FaultTag ir.InstrTag
+	// FaultOp is that instruction's opcode.
+	FaultOp ir.Op
+	// FaultInValueSlice reports whether the fault landed in
+	// prediction-covered code: a TagValue site or an unprotected
+	// value-slice callee.
+	FaultInValueSlice bool
+}
+
+// SkipRate aggregates the skip rate over all PP loops of the run.
+func (o *Outcome) SkipRate() float64 {
+	tot, skip := 0, 0
+	for _, s := range o.Stats {
+		tot += s.Observed
+		skip += s.SkippedDI + s.SkippedAM
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(skip) / float64(tot)
+}
+
+// DISkipRate aggregates the first-level predictor's skip contribution.
+func (o *Outcome) DISkipRate() float64 {
+	tot, skip := 0, 0
+	for _, s := range o.Stats {
+		tot += s.Observed
+		skip += s.SkippedDI
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(skip) / float64(tot)
+}
+
+// Run executes one instance under the scheme. The returned outcome
+// always carries counters, even for abnormal terminations.
+func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
+	mod := p.Module(s)
+	mcfg := machine.Config{
+		MaxInstrs:    opts.MaxInstrs,
+		Fault:        opts.Fault,
+		RegionBlocks: p.RegionBlocks,
+		IssueWidth:   p.Cfg.IssueWidth,
+		TraceFn:      -1,
+	}
+	if opts.Trace != nil && opts.TraceLimit > 0 {
+		mcfg.Trace = opts.Trace
+		mcfg.TraceLimit = opts.TraceLimit
+	}
+	var mgr *rtm.Manager
+	if s == RSkip {
+		mcfg.RegionFuncs = p.RegionFuncs
+		rcfg := rtm.DefaultConfig(p.Cfg.AR)
+		rcfg.Window = p.Cfg.Window
+		if rcfg.Window == 0 {
+			rcfg.Window = 32
+		}
+		rcfg.DisableMemo = p.Cfg.DisableMemo
+		rcfg.DisableDI = p.Cfg.DisableDI
+		rcfg.FixedStride = p.Cfg.FixedStride
+		if p.Cfg.ForceCP {
+			rcfg.ForceCP = map[int]bool{}
+			for _, li := range mod.Loops {
+				rcfg.ForceCP[li.ID] = true
+			}
+		}
+		if p.Trained != nil {
+			rcfg.QoS = p.Trained.QoS
+			rcfg.Memo = p.Trained.Memo
+		}
+		mgr = rtm.NewManager(mod, rcfg)
+		mcfg = mgr.MachineConfig(mcfg)
+	}
+	m := machine.New(mod, mcfg)
+	args := inst.Setup(m.Mem)
+	res, err := m.Run(p.Kernel, args)
+	out := Outcome{Result: res, Err: err, FaultFired: m.FaultFired()}
+	var faultFn int
+	out.FaultTag, out.FaultOp, faultFn = m.FaultSite()
+	if out.FaultFired {
+		out.FaultInValueSlice = out.FaultTag == ir.TagValue ||
+			(faultFn >= 0 && faultFn < len(mod.Funcs) && mod.Funcs[faultFn].Internal)
+	}
+	if mgr != nil {
+		out.Stats = mgr.Stats
+	}
+	if err == nil {
+		out.Output = inst.Output(m.Mem)
+	}
+	return out
+}
+
+// Golden runs the unprotected module without faults and returns the
+// reference output.
+func (p *Program) Golden(inst bench.Instance) ([]uint64, machine.RunResult, error) {
+	o := p.Run(Unsafe, inst, RunOpts{})
+	return o.Output, o.Result, o.Err
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/ir"
+)
+
+func buildTiny(t *testing.T, name string, mut func(*Config)) *Program {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := Build(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSchemeModulesAreIndependent(t *testing.T) {
+	p := buildTiny(t, "conv1d", nil)
+	// The four variants must be distinct modules; mutating one must not
+	// leak into another.
+	mods := []*ir.Module{p.UnsafeMod, p.SwiftMod, p.SwiftRMod, p.RSkipMod}
+	for i := range mods {
+		for j := i + 1; j < len(mods); j++ {
+			if mods[i] == mods[j] {
+				t.Fatalf("modules %d and %d are the same pointer", i, j)
+			}
+		}
+	}
+	if len(p.UnsafeMod.Loops) != 0 {
+		t.Error("unprotected module has PP loops")
+	}
+	if len(p.RSkipMod.Loops) == 0 {
+		t.Error("rskip module has no PP loops")
+	}
+}
+
+func TestBlockIndexesStableAcrossSchemes(t *testing.T) {
+	// Fault-injection region marking depends on every variant keeping
+	// the unprotected module's block structure (transforms insert
+	// instructions, never blocks).
+	p := buildTiny(t, "lud", nil)
+	for _, m := range []*ir.Module{p.SwiftMod, p.SwiftRMod, p.RSkipMod} {
+		for fi, f := range p.UnsafeMod.Funcs {
+			if len(m.Funcs[fi].Blocks) != len(f.Blocks) {
+				t.Fatalf("func %s: %d blocks vs unprotected %d",
+					f.Name, len(m.Funcs[fi].Blocks), len(f.Blocks))
+			}
+			if m.Funcs[fi].Name != f.Name {
+				t.Fatalf("func %d renamed: %s vs %s", fi, m.Funcs[fi].Name, f.Name)
+			}
+		}
+	}
+}
+
+func TestRegionCoversCandidates(t *testing.T) {
+	p := buildTiny(t, "sgemm", nil)
+	for _, c := range p.Candidates {
+		rb := p.RegionBlocks[c.Func]
+		if rb == nil || !rb[c.Header] || !rb[c.Latch] {
+			t.Fatalf("region does not cover candidate loop %+v", c)
+		}
+		for blk := range c.Region {
+			if !rb[blk] {
+				t.Fatalf("region missing body block %d", blk)
+			}
+		}
+	}
+	for _, li := range p.RSkipMod.Loops {
+		if !p.RegionFuncs[li.RecomputeFn] {
+			t.Fatalf("recompute fn %d not in region funcs", li.RecomputeFn)
+		}
+	}
+}
+
+func TestProfileRoundTripThroughCore(t *testing.T) {
+	p := buildTiny(t, "sgemm", nil)
+	if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := p.SaveProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildTiny(t, "sgemm", nil)
+	if err := fresh.LoadProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	a := p.Run(RSkip, inst, RunOpts{})
+	b := fresh.Run(RSkip, inst, RunOpts{})
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	if a.SkipRate() != b.SkipRate() || a.Result.Instrs != b.Result.Instrs {
+		t.Errorf("loaded profile behaves differently: %v/%d vs %v/%d",
+			a.SkipRate(), a.Result.Instrs, b.SkipRate(), b.Result.Instrs)
+	}
+}
+
+func TestSaveProfileWithoutTraining(t *testing.T) {
+	p := buildTiny(t, "sgemm", nil)
+	if err := p.SaveProfile(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("expected error saving an untrained profile")
+	}
+}
+
+func TestSkipRateRoughlyMonotoneInAR(t *testing.T) {
+	// Wider acceptable ranges accept strictly more interiors; the
+	// end-to-end skip rate should not drop materially.
+	var prev float64 = -1
+	for _, ar := range []float64{0.2, 1.0} {
+		p := buildTiny(t, "kde", func(c *Config) { c.AR = ar })
+		if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleFI); err != nil {
+			t.Fatal(err)
+		}
+		inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleFI)
+		o := p.Run(RSkip, inst, RunOpts{})
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if o.SkipRate() < prev-0.05 {
+			t.Errorf("skip rate dropped from %.3f to %.3f as AR widened", prev, o.SkipRate())
+		}
+		prev = o.SkipRate()
+	}
+}
+
+func TestForceCPSkipsNothing(t *testing.T) {
+	p := buildTiny(t, "conv1d", func(c *Config) { c.ForceCP = true })
+	if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	o := p.Run(RSkip, inst, RunOpts{})
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.SkipRate() != 0 {
+		t.Errorf("ForceCP skipped %.1f%%", 100*o.SkipRate())
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for s, want := range map[Scheme]string{
+		Unsafe: "UNSAFE", SWIFT: "SWIFT", SWIFTR: "SWIFT-R", RSkip: "RSkip",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestConfigKeyDistinguishes(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.AR = 0.5
+	c := DefaultConfig()
+	c.DisableMemo = true
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true}
+	if len(keys) != 3 {
+		t.Errorf("config keys collide: %v", keys)
+	}
+}
+
+func TestEnableCFCPreservesOutputs(t *testing.T) {
+	p := buildTiny(t, "conv1d", func(c *Config) { c.EnableCFC = true })
+	if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	golden := p.Run(Unsafe, inst, RunOpts{})
+	if golden.Err != nil {
+		t.Fatal(golden.Err)
+	}
+	for _, s := range []Scheme{SWIFT, SWIFTR, RSkip} {
+		o := p.Run(s, inst, RunOpts{})
+		if o.Err != nil {
+			t.Fatalf("%v with CFC failed: %v", s, o.Err)
+		}
+		for i := range golden.Output {
+			if o.Output[i] != golden.Output[i] {
+				t.Fatalf("%v with CFC corrupted output[%d]", s, i)
+			}
+		}
+		if o.Result.Instrs <= golden.Result.Instrs {
+			t.Errorf("%v with CFC should cost instructions", s)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+)
+
+func TestProgramCaching(t *testing.T) {
+	c := quickCtx()
+	b, err := bench.ByName("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Program(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Program(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical configs should hit the cache")
+	}
+	cfg := core.DefaultConfig()
+	cfg.EnableCFC = true
+	p3, err := c.Program(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("EnableCFC must produce a distinct cached program")
+	}
+	cfg2 := core.DefaultConfig()
+	cfg2.AR = 0.8
+	p4, err := c.Program(b, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Error("AR must produce a distinct cached program")
+	}
+}
+
+func TestARLabels(t *testing.T) {
+	if ARLabel(0.2) != "AR20" || ARLabel(1.0) != "AR100" {
+		t.Errorf("labels: %s %s", ARLabel(0.2), ARLabel(1.0))
+	}
+	if len(ARs) != 4 {
+		t.Errorf("the paper evaluates 4 acceptable ranges, have %d", len(ARs))
+	}
+}
+
+func TestQuickScaling(t *testing.T) {
+	c := New()
+	if c.PerfScale() != bench.ScalePerf {
+		t.Error("default context should use perf scale")
+	}
+	if c.faultN() != 1000 {
+		t.Errorf("default fault count = %d", c.faultN())
+	}
+	c.Quick = true
+	if c.PerfScale() != bench.ScaleFI {
+		t.Error("quick context should use FI scale")
+	}
+	if c.faultN() != 200 {
+		t.Errorf("quick fault count = %d", c.faultN())
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCtx returns a context sized for test runs.
+func quickCtx() *Context {
+	c := New()
+	c.Quick = true
+	c.TrainSeeds = 2
+	c.FaultN = 60
+	return c
+}
+
+func TestTable1(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"conv1d", "blackscholes", "yolo", "lud"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "blkschls") {
+		t.Error("blackscholes memo callee missing from Table 1")
+	}
+}
+
+func TestFig2(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "average") {
+		t.Errorf("Fig2 output incomplete:\n%s", out)
+	}
+}
+
+func TestCostRatio(t *testing.T) {
+	c := quickCtx()
+	out, err := c.CostRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dynamic interpolation", "approximate memoization", "re-computation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost ratio missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMemoExperiment(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Memo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "histogram") || !strings.Contains(out, "uniform") {
+		t.Errorf("memo comparison incomplete:\n%s", out)
+	}
+}
+
+func TestFig8a(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DI-only") || !strings.Contains(out, "DI+AM") {
+		t.Errorf("Fig8a incomplete:\n%s", out)
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaigns are slow")
+	}
+	c := quickCtx()
+	c.FaultN = 40
+	rows, out, err := c.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9*6 { // 9 benchmarks × (UNSAFE, SWIFT-R, 4 ARs)
+		t.Errorf("got %d campaign rows, want 54", len(rows))
+	}
+	if !strings.Contains(out, "Figure 9a") || !strings.Contains(out, "Figure 9b") {
+		t.Errorf("Fig9 output incomplete")
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+	"rskip/internal/stats"
+)
+
+// fig6Src is a single long loop whose output regime changes mid-stream
+// — the scenario Figure 6 sketches for the run-time management system.
+const fig6Src = `
+void kernel(float a[], float out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		float s = 0.0;
+		for (int j = 0; j < 4; j = j + 1) { s += a[i + j]; }
+		out[i] = s;
+	}
+}
+`
+
+// Fig6 illustrates the run-time management cycle: a loop whose input
+// switches from a long smooth trend to a jagged regime and back; the
+// manager observes context signatures each window and swaps the tuning
+// parameter from the trained QoS model.
+func (c *Context) Fig6() (string, error) {
+	gen := func(seed int64, _ bench.Scale) bench.Instance {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1536
+		vals := make([]float64, n+4)
+		v := 200.0
+		for i := range vals {
+			third := len(vals) / 3
+			switch {
+			case i < third || i >= 2*third:
+				// Long trend with periodic small dips: the slope-change
+				// ratio at a dip is ~1.1, so TP=1 cuts constantly while
+				// TP=2 rides the whole trend (Figure 6's "escalate TP in
+				// a long trend to ignore small outliers").
+				if i%3 == 2 {
+					v -= 0.05
+				} else {
+					v += 0.5 + 0.02*rng.Float64()
+				}
+			default:
+				// Deep sawtooth around a low base: TP=1 cuts at every
+				// peak and each monotone run validates; TP=2 drags
+				// phases across the teeth and the chord misses them
+				// ("the parameter should be decreased in
+				// widely-fluctuating short trends").
+				if i == third {
+					v = 40
+				}
+				if (i/8)%2 == 0 {
+					v += 6
+				} else {
+					v -= 6
+				}
+				if i == 2*third-1 {
+					v = 200
+				}
+			}
+			vals[i] = v
+		}
+		return bench.Instance{
+			Elements: n,
+			Setup: func(mem *machine.Memory) []uint64 {
+				a := mem.Alloc(int64(n + 4))
+				mem.CopyFloats(a, vals)
+				out := mem.Alloc(int64(n))
+				return []uint64{uint64(a), uint64(out), uint64(int64(n))}
+			},
+			Output: func(mem *machine.Memory) []uint64 {
+				return nil
+			},
+		}
+	}
+	b := bench.Benchmark{
+		Name: "fig6", Kernel: "kernel", Source: fig6Src,
+		Domain: "illustration", Description: "regime-switching input",
+		Pattern: "A reduction loop", Location: "Top level",
+		Gen: gen,
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	if len(p.Candidates) == 0 {
+		return "", fmt.Errorf("fig6: no candidate detected")
+	}
+	if err := p.Train([]int64{1, 2, 3, 4, 5, 6}, bench.ScalePerf); err != nil {
+		return "", err
+	}
+	o := p.Run(core.RSkip, b.Gen(99, bench.ScalePerf), core.RunOpts{})
+	if o.Err != nil {
+		return "", o.Err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — run-time management on a regime-switching input\n")
+	sb.WriteString("(the input is smooth, then jagged, then smooth again; each row is one observe/adjust window)\n\n")
+	t := stats.NewTable("", "window", "signature", "chosen TP", "")
+	for _, st := range o.Stats {
+		for i := range st.TPTrace {
+			if i%4 != 0 {
+				continue // sample every 4th window for readability
+			}
+			t.Row(fmt.Sprintf("%d", i+1), st.SigTrace[i],
+				fmt.Sprintf("%.2f", st.TPTrace[i]),
+				stats.Bar(st.TPTrace[i]/2.0, 20))
+		}
+		sb.WriteString(t.String())
+		fmt.Fprintf(&sb, "\nskip rate %.1f%% with %d adjustments\n",
+			100*st.SkipRate(), st.Adjusts)
+	}
+	sb.WriteString("\ntrained QoS model (signature -> TP):\n")
+	for _, q := range p.Trained.QoS {
+		fmt.Fprintf(&sb, "  default -> %.2f\n", q.Default)
+		var sigs []string
+		for sig := range q.BySig {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			fmt.Fprintf(&sb, "  %s -> %.2f\n", sig, q.BySig[sig])
+		}
+	}
+	return sb.String(), nil
+}

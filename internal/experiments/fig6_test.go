@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig6(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"signature", "chosen TP", "trained QoS model"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig6 output missing %q:\n%s", want, out)
+		}
+	}
+	// The trajectory must contain at least two distinct tuning
+	// parameters — the whole point of the QoS adaptation.
+	tps := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		// Trajectory rows: window, signature, TP, bar.
+		if len(fields) == 4 && strings.Contains(fields[3], "#") {
+			tps[fields[2]] = true
+		}
+	}
+	if len(tps) < 2 {
+		t.Errorf("Fig6 trajectory shows no TP adaptation (%v):\n%s", tps, out)
+	}
+}

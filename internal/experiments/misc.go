@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/ir"
+	"rskip/internal/predict"
+	"rskip/internal/stats"
+	"rskip/internal/train"
+)
+
+// Table1 reproduces the benchmark-characteristics table from the
+// compiler's own candidate analysis.
+func (c *Context) Table1() (string, error) {
+	t := stats.NewTable("Table 1 — selected benchmarks (as detected by the compiler)",
+		"benchmark", "domain", "prediction target", "detected loops", "candidates", "memo")
+	for _, b := range bench.All() {
+		p, err := c.Program(b, core.DefaultConfig())
+		if err != nil {
+			return "", err
+		}
+		memo := "-"
+		for _, li := range p.RSkipMod.Loops {
+			if li.MemoFn >= 0 {
+				memo = p.RSkipMod.Funcs[li.MemoFn].Name
+			}
+		}
+		t.Row(b.Name, b.Domain, b.Pattern, b.Location,
+			fmt.Sprintf("%d", len(p.Candidates)), memo)
+	}
+	return t.String(), nil
+}
+
+// Fig2 reproduces the motivation study: the proportion of dynamic
+// instructions whose computation outputs can be estimated by a trend
+// or by the top-10 most frequent values.
+func (c *Context) Fig2() (string, error) {
+	t := stats.NewTable(
+		"Figure 2 — coverage of predictable computations (% of dynamic instructions; paper: both methods suggest >33% on average)",
+		"benchmark", "trend", "top-10", "value-slice share", "trend elems", "top-10 elems")
+	scale := c.PerfScale()
+	var trends, tops []float64
+	for _, b := range bench.All() {
+		p, err := c.Program(b, core.DefaultConfig())
+		if err != nil {
+			return "", err
+		}
+		inst := b.Gen(bench.TestSeed(0), scale)
+		series, counters, err := train.Collect(p.RSkipMod, p.Kernel, inst.Setup)
+		if err != nil {
+			return "", err
+		}
+		// The value slice's share of the whole program's dynamic
+		// instructions (tagged value instructions plus unprotected
+		// callee execution). The collector run uses the RSkip module,
+		// whose value slices are single copies, so the counts equal the
+		// unprotected program's.
+		valueInstrs := counters.ByTag[ir.TagValue] + counters.Internal
+		valueShare := float64(valueInstrs) / float64(counters.Dyn)
+
+		totalElems, trendElems, topElems := 0, 0, 0
+		for _, invocations := range series {
+			for _, pts := range invocations {
+				totalElems += len(pts)
+				trendElems += trendPredictable(pts, 0.3)
+				topElems += topKPredictable(pts, 10, 0.05)
+			}
+		}
+		if totalElems == 0 {
+			continue
+		}
+		trendCov := valueShare * float64(trendElems) / float64(totalElems)
+		topCov := valueShare * float64(topElems) / float64(totalElems)
+		trends = append(trends, trendCov)
+		tops = append(tops, topCov)
+		t.Row(b.Name, stats.Pct(trendCov), stats.Pct(topCov), stats.Pct(valueShare),
+			stats.Pct(float64(trendElems)/float64(totalElems)),
+			stats.Pct(float64(topElems)/float64(totalElems)))
+	}
+	t.Row("average", stats.Pct(stats.Mean(trends)), stats.Pct(stats.Mean(tops)), "", "", "")
+	return t.String(), nil
+}
+
+// trendPredictable counts elements whose value stays within the
+// relative threshold of the previous element — the paper's "less than
+// a certain amount of changes in consecutive iterations".
+func trendPredictable(pts []predict.Point, threshold float64) int {
+	n := 0
+	for i := 1; i < len(pts); i++ {
+		if predict.RelDiff(pts[i].V, pts[i-1].V) <= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// topKPredictable counts elements whose value lies within the relative
+// tolerance of one of the k most frequent (coarsely quantized) values.
+func topKPredictable(pts []predict.Point, k int, tol float64) int {
+	quant := func(v float64) float64 {
+		if v == 0 {
+			return 0
+		}
+		mag := math.Pow(10, math.Floor(math.Log10(math.Abs(v)))-2)
+		return math.Round(v/mag) * mag
+	}
+	freq := map[float64]int{}
+	for _, p := range pts {
+		freq[quant(p.V)]++
+	}
+	type kv struct {
+		v float64
+		n int
+	}
+	var all []kv
+	for v, n := range freq {
+		all = append(all, kv{v, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	if len(all) > k {
+		all = all[:k]
+	}
+	count := 0
+	for _, p := range pts {
+		for _, c := range all {
+			if predict.RelDiff(p.V, c.v) <= tol {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Memo reproduces the §4.2 quantization comparison on blackscholes:
+// histogram-based quantization (this work) vs uniform min/max
+// quantization (prior work), reporting validation accuracy and the
+// number of encoded inputs at the same 15-bit address width.
+func (c *Context) Memo() (string, error) {
+	b, err := bench.ByName("blackscholes")
+	if err != nil {
+		return "", err
+	}
+	t := stats.NewTable(
+		"§4.2 — lookup-table quantization on blackscholes (paper: uniform 96.5% acc / 3 of 6 inputs encoded; histogram >99% / 6 of 6 at the same 15-bit address)",
+		"quantization", "validation accuracy", "encoded inputs", "bits per input")
+	for _, uniform := range []bool{true, false} {
+		cfg := core.DefaultConfig()
+		cfg.MemoUniform = uniform
+		p, err := c.Program(b, cfg)
+		if err != nil {
+			return "", err
+		}
+		label := "histogram (this work)"
+		if uniform {
+			label = "uniform (prior work)"
+		}
+		acc := 0.0
+		bits := "-"
+		encoded := 0
+		deployed := ""
+		for id, a := range p.Trained.MemoAccuracy {
+			acc = a
+			if tab := p.Trained.MemoBuilt[id]; tab != nil {
+				bits = fmt.Sprint(tab.Bits)
+				encoded = tab.EncodedInputs()
+			}
+			if p.Trained.Memo[id] == nil {
+				deployed = " (below deployment gate)"
+			}
+		}
+		t.Row(label, stats.Pct(acc)+deployed, fmt.Sprintf("%d", encoded), bits)
+	}
+	return t.String(), nil
+}
+
+// Ablation measures the design choices DESIGN.md calls out: dynamic vs
+// fixed-stride phase slicing, signature-driven TP adaptation vs a
+// fixed TP, and the two-level predictor split on blackscholes.
+func (c *Context) Ablation() (string, error) {
+	var sb strings.Builder
+	scale := c.PerfScale()
+
+	// (1) Redundancy-guided dynamic slicing vs fixed strides, per
+	// benchmark: coarse fixed strides do fine on long smooth series
+	// (few endpoints) but collapse on short or volatile ones, which is
+	// what the run-time-guided slicing exists for.
+	t1 := stats.NewTable("Ablation — phase slicing skip rate (AR20)",
+		"benchmark", "dynamic (trained TP)", "fixed stride 8", "fixed stride 32")
+	type variant struct {
+		label string
+		mut   func(*core.Config)
+	}
+	variants := []variant{
+		{"dynamic (trained TP)", func(*core.Config) {}},
+		{"fixed stride 8", func(cfg *core.Config) { cfg.FixedStride = 8 }},
+		{"fixed stride 32", func(cfg *core.Config) { cfg.FixedStride = 32 }},
+	}
+	skipsBy := map[string][]string{}
+	var names []string
+	sums := make([]float64, len(variants))
+	for vi, v := range variants {
+		for _, b := range bench.All() {
+			cfg := core.DefaultConfig()
+			if b.MemoEligible {
+				// Memoization masks the slicing policy; compare DI alone.
+				cfg.DisableMemo = true
+			}
+			v.mut(&cfg)
+			p, err := c.Program(b, cfg)
+			if err != nil {
+				return "", err
+			}
+			inst := b.Gen(bench.TestSeed(0), scale)
+			o := p.Run(core.RSkip, inst, core.RunOpts{})
+			if o.Err != nil {
+				return "", fmt.Errorf("ablation: %s: %v", b.Name, o.Err)
+			}
+			if vi == 0 {
+				names = append(names, b.Name)
+			}
+			skipsBy[b.Name] = append(skipsBy[b.Name], stats.Pct(o.SkipRate()))
+			sums[vi] += o.SkipRate()
+		}
+	}
+	for _, n := range names {
+		t1.Row(append([]string{n}, skipsBy[n]...)...)
+	}
+	avg := []string{"average"}
+	for _, s := range sums {
+		avg = append(avg, stats.Pct(s/float64(len(names))))
+	}
+	t1.Row(avg...)
+	sb.WriteString(t1.String())
+	sb.WriteByte('\n')
+
+	// (2) Two-level prediction on blackscholes.
+	b, err := bench.ByName("blackscholes")
+	if err != nil {
+		return "", err
+	}
+	t2 := stats.NewTable("Ablation — predictor levels on blackscholes (AR20)",
+		"configuration", "skip rate", "norm. time")
+	levels := []struct {
+		label string
+		mut   func(*core.Config)
+	}{
+		{"DI + AM (deployed)", func(*core.Config) {}},
+		{"DI only", func(cfg *core.Config) { cfg.DisableMemo = true }},
+		{"AM only", func(cfg *core.Config) { cfg.DisableDI = true }},
+		{"emulated CP (no prediction)", func(cfg *core.Config) { cfg.ForceCP = true }},
+	}
+	inst := b.Gen(bench.TestSeed(0), scale)
+	for _, v := range levels {
+		cfg := core.DefaultConfig()
+		v.mut(&cfg)
+		p, err := c.Program(b, cfg)
+		if err != nil {
+			return "", err
+		}
+		golden := p.Run(core.Unsafe, inst, core.RunOpts{})
+		o := p.Run(core.RSkip, inst, core.RunOpts{})
+		if golden.Err != nil || o.Err != nil {
+			return "", fmt.Errorf("ablation: blackscholes: %v %v", golden.Err, o.Err)
+		}
+		t2.Row(v.label, stats.Pct(o.SkipRate()),
+			stats.X(float64(o.Result.Cycles)/float64(golden.Result.Cycles)))
+	}
+	sb.WriteString(t2.String())
+	sb.WriteByte('\n')
+
+	// (3) Control-flow checking on top of the protection schemes: the
+	// companion technique ([16]-style signatures) converts illegal
+	// control transfers into fail-stop detections.
+	bcf, err := bench.ByName("conv2d")
+	if err != nil {
+		return "", err
+	}
+	t3 := stats.NewTable("Ablation — control-flow checking (conv2d, fault injection)",
+		"scheme", "protected", "SDC", "Hang", "instr overhead")
+	instCF := bcf.Gen(bench.TestSeed(0), bench.ScaleFI)
+	n := c.faultN() / 2
+	if n < 50 {
+		n = 50
+	}
+	for _, enable := range []bool{false, true} {
+		cfg := core.DefaultConfig()
+		cfg.EnableCFC = enable
+		p, err := c.Program(bcf, cfg)
+		if err != nil {
+			return "", err
+		}
+		golden := p.Run(core.Unsafe, instCF, core.RunOpts{})
+		o := p.Run(core.RSkip, instCF, core.RunOpts{})
+		if golden.Err != nil || o.Err != nil {
+			return "", fmt.Errorf("cfc ablation: %v %v", golden.Err, o.Err)
+		}
+		r, err := fault.Campaign(p, core.RSkip, instCF, fault.Config{N: n, Seed: c.Seed})
+		if err != nil {
+			return "", err
+		}
+		label := "RSkip AR20"
+		if enable {
+			label = "RSkip AR20 + CFC"
+		}
+		t3.Row(label,
+			fmt.Sprintf("%.1f%%", r.ProtectionRate()),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.SDC)),
+			fmt.Sprintf("%.1f%%", r.Rate(fault.Hang)),
+			stats.X(float64(o.Result.Instrs)/float64(golden.Result.Instrs)))
+	}
+	sb.WriteString(t3.String())
+	return sb.String(), nil
+}

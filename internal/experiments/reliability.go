@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/stats"
+)
+
+// ReliabilityRow is one benchmark × scheme fault-injection summary.
+type ReliabilityRow struct {
+	Bench  string
+	Scheme string
+	R      fault.Result
+}
+
+// Fig9 reproduces the fault-injection study: outcome distribution per
+// benchmark and scheme (Fig. 9a) and false negatives per acceptable
+// range (Fig. 9b).
+func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
+	var rows []ReliabilityRow
+	n := c.faultN()
+	for _, b := range bench.All() {
+		inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
+		base, err := c.Program(b, core.DefaultConfig())
+		if err != nil {
+			return nil, "", err
+		}
+		for _, s := range []core.Scheme{core.Unsafe, core.SWIFTR} {
+			c.logf("fig9: %s %v", b.Name, s)
+			r, err := fault.Campaign(base, s, inst, fault.Config{N: n, Seed: c.Seed})
+			if err != nil {
+				return nil, "", fmt.Errorf("fig9: %s %v: %w", b.Name, s, err)
+			}
+			rows = append(rows, ReliabilityRow{Bench: b.Name, Scheme: s.String(), R: r})
+		}
+		for _, ar := range ARs {
+			c.logf("fig9: %s %s", b.Name, ARLabel(ar))
+			cfg := core.DefaultConfig()
+			cfg.AR = ar
+			p, err := c.Program(b, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			r, err := fault.Campaign(p, core.RSkip, inst, fault.Config{N: n, Seed: c.Seed})
+			if err != nil {
+				return nil, "", fmt.Errorf("fig9: %s %s: %w", b.Name, ARLabel(ar), err)
+			}
+			rows = append(rows, ReliabilityRow{Bench: b.Name, Scheme: ARLabel(ar), R: r})
+		}
+	}
+	return rows, renderFig9(rows), nil
+}
+
+func renderFig9(rows []ReliabilityRow) string {
+	var sb strings.Builder
+	t := stats.NewTable(
+		"Figure 9a — fault injection outcomes (%) (paper avg: UNSAFE 76.68 Correct/20.72 SDC/2.13 Seg; SWIFT-R 97.24/1.08/1.40; AR20 95.67/2.23/1.63; AR50 94.51/3.37; AR80 93.42/4.30; AR100 92.52/5.29; CoreDump+Hang <0.3 everywhere)",
+		"benchmark", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang")
+	for _, r := range rows {
+		t.Row(r.Bench, r.Scheme,
+			fmt.Sprintf("%.1f", r.R.ProtectionRate()),
+			fmt.Sprintf("%.1f", r.R.Rate(fault.SDC)),
+			fmt.Sprintf("%.1f", r.R.Rate(fault.Segfault)),
+			fmt.Sprintf("%.1f", r.R.Rate(fault.CoreDump)),
+			fmt.Sprintf("%.1f", r.R.Rate(fault.Hang)))
+	}
+	appendAverages(t, rows)
+	sb.WriteString(t.String())
+	sb.WriteByte('\n')
+
+	fn := stats.NewTable(
+		"Figure 9b — false negatives (%) (paper avg: AR20 1.80, AR50 3.12, AR80 3.74, AR100 5.04; mostly SDCs; largely benign in YOLOv2)",
+		"benchmark", "AR20", "AR50", "AR80", "AR100")
+	byBench := map[string]map[string]float64{}
+	var names []string
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Scheme, "AR") {
+			continue
+		}
+		m := byBench[r.Bench]
+		if m == nil {
+			m = map[string]float64{}
+			byBench[r.Bench] = m
+			names = append(names, r.Bench)
+		}
+		m[r.Scheme] = r.R.FalseNegRate()
+	}
+	sums := map[string]float64{}
+	for _, nme := range names {
+		cells := []string{nme}
+		for _, s := range []string{"AR20", "AR50", "AR80", "AR100"} {
+			v := byBench[nme][s]
+			sums[s] += v
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+		}
+		fn.Row(cells...)
+	}
+	avg := []string{"average"}
+	for _, s := range []string{"AR20", "AR50", "AR80", "AR100"} {
+		avg = append(avg, fmt.Sprintf("%.2f", sums[s]/float64(len(names))))
+	}
+	fn.Row(avg...)
+	sb.WriteString(fn.String())
+	return sb.String()
+}
+
+func appendAverages(t *stats.Table, rows []ReliabilityRow) {
+	type agg struct {
+		prot, sdc, seg, core, hang float64
+		n                          int
+	}
+	byScheme := map[string]*agg{}
+	var order []string
+	for _, r := range rows {
+		a := byScheme[r.Scheme]
+		if a == nil {
+			a = &agg{}
+			byScheme[r.Scheme] = a
+			order = append(order, r.Scheme)
+		}
+		a.prot += r.R.ProtectionRate()
+		a.sdc += r.R.Rate(fault.SDC)
+		a.seg += r.R.Rate(fault.Segfault)
+		a.core += r.R.Rate(fault.CoreDump)
+		a.hang += r.R.Rate(fault.Hang)
+		a.n++
+	}
+	for _, s := range order {
+		a := byScheme[s]
+		f := func(v float64) string { return fmt.Sprintf("%.2f", v/float64(a.n)) }
+		t.Row("average", s, f(a.prot), f(a.sdc), f(a.seg), f(a.core), f(a.hang))
+	}
+}
+
+// Frontier reproduces §7.3: the protection-rate vs slowdown trade-off
+// per acceptable range, anchored by SWIFT-R.
+func (c *Context) Frontier(perf []PerfRow, rel []ReliabilityRow) string {
+	timeBy := map[string][]float64{}
+	for _, r := range perf {
+		timeBy[r.Scheme] = append(timeBy[r.Scheme], r.Time)
+	}
+	protBy := map[string][]float64{}
+	for _, r := range rel {
+		protBy[r.Scheme] = append(protBy[r.Scheme], r.R.ProtectionRate())
+	}
+	t := stats.NewTable(
+		"§7.3 — rationality of the acceptable range (paper: SWIFT-R 97.24%/2.33x; AR20 95.67%/1.42x; AR50 94.51%/1.33x; AR80 93.42%/1.30x; AR100 92.52%/1.27x)",
+		"scheme", "protection rate", "slowdown")
+	for _, s := range []string{"SWIFT-R", "AR20", "AR50", "AR80", "AR100"} {
+		prot := stats.Mean(protBy[s])
+		slow := stats.Mean(timeBy[s])
+		t.Row(s, fmt.Sprintf("%.2f%%", prot), stats.X(slow))
+	}
+	return t.String()
+}

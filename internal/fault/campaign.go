@@ -1,0 +1,224 @@
+// Package fault runs the paper's statistical fault-injection
+// experiments (§7.2): for each benchmark and protection scheme it
+// executes N runs, each with one single-event upset injected at a
+// uniformly random dynamic instruction inside the detected loops, and
+// classifies the outcome into the paper's five classes plus the
+// detection-only scheme's "Detected". It also measures false
+// negatives — faults on prediction-covered value slices that fuzzy
+// validation accepted.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+)
+
+// Class is a fault-injection outcome.
+type Class int
+
+// Outcome classes (§7.2).
+const (
+	Correct  Class = iota // output bitwise equal to the fault-free run
+	SDC                   // silent data corruption
+	Segfault              // illegal memory access
+	CoreDump              // trap / abnormal termination
+	Hang                  // exceeded the instruction budget
+	Detected              // SWIFT-only: detection signaled (no recovery)
+	NumClasses
+)
+
+var classNames = [...]string{"Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Config parameterizes a campaign.
+type Config struct {
+	// N is the number of injected faults (the paper uses 1,000).
+	N int
+	// Seed drives the fault-plan sampling.
+	Seed int64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// HangFactor sets the instruction budget as a multiple of the
+	// scheme's fault-free run (default 50).
+	HangFactor uint64
+	// Mix sets the sampling weights of the three fault kinds; zero
+	// uses DefaultMix.
+	Mix Mix
+}
+
+// Mix weights the fault kinds. Register-file strikes dominate real
+// SEU profiles (and provide the masking of dead registers); strikes on
+// in-flight results/operands and opcode-field flips are the residual
+// classes software-only schemes struggle with (§7.2).
+type Mix struct {
+	RegFile, Result, Source, Opcode float64
+}
+
+// DefaultMix follows the register-file-dominated SEU model of the
+// paper's gem5 setup.
+var DefaultMix = Mix{RegFile: 0.80, Result: 0.10, Source: 0.05, Opcode: 0.05}
+
+// Result summarizes one campaign.
+type Result struct {
+	Scheme core.Scheme
+	N      int
+	Counts [NumClasses]int
+	// Fired counts runs where the fault actually struck (the region
+	// was reached); unfired faults are masked by construction.
+	Fired int
+	// FalseNeg counts SDC runs whose fault hit a prediction-covered
+	// value-slice instruction and slipped through fuzzy validation
+	// (RSkip schemes only).
+	FalseNeg int
+	// Recovered counts runs where the run-time management repaired an
+	// element (RSkip) — diagnostics beyond the paper's figures.
+	Recovered int
+}
+
+// Rate returns the percentage of runs in the class.
+func (r *Result) Rate(c Class) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return 100 * float64(r.Counts[c]) / float64(r.N)
+}
+
+// ProtectionRate is the paper's headline reliability metric: the
+// fraction of injected faults that did not corrupt the program
+// (Correct plus, for detection-only schemes, Detected).
+func (r *Result) ProtectionRate() float64 {
+	return r.Rate(Correct) + r.Rate(Detected)
+}
+
+// FalseNegRate returns false negatives as a percentage of runs.
+func (r *Result) FalseNegRate() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return 100 * float64(r.FalseNeg) / float64(r.N)
+}
+
+// Campaign runs N fault injections of the scheme on the instance.
+func Campaign(p *core.Program, s core.Scheme, inst bench.Instance, cfg Config) (Result, error) {
+	if cfg.N == 0 {
+		cfg.N = 1000
+	}
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 50
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+
+	// Fault-free profile run of this scheme: golden output, region
+	// size, instruction budget.
+	profile := p.Run(s, inst, core.RunOpts{})
+	if profile.Err != nil {
+		return Result{}, fmt.Errorf("fault: fault-free %s run failed: %w", s, profile.Err)
+	}
+	if profile.Result.Region == 0 {
+		return Result{}, fmt.Errorf("fault: no detected-loop region executed under %s", s)
+	}
+	golden := profile.Output
+	budget := profile.Result.Instrs * cfg.HangFactor
+
+	// Pre-draw all fault plans so the campaign is deterministic
+	// regardless of worker scheduling.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plans := make([]machine.FaultPlan, cfg.N)
+	for i := range plans {
+		plans[i] = machine.FaultPlan{
+			Kind:   drawKind(rng, cfg.Mix),
+			Target: uint64(rng.Int63n(int64(profile.Result.Region))),
+			Bit:    uint(rng.Intn(64)),
+			Pick:   rng.Intn(1 << 20),
+		}
+	}
+
+	res := Result{Scheme: s, N: cfg.N}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.N; i++ {
+		plan := plans[i]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			o := p.Run(s, inst, core.RunOpts{Fault: &plan, MaxInstrs: budget})
+			cls, fn, rec := classify(&o, golden)
+			mu.Lock()
+			res.Counts[cls]++
+			if o.FaultFired {
+				res.Fired++
+			}
+			if fn {
+				res.FalseNeg++
+			}
+			if rec {
+				res.Recovered++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res, nil
+}
+
+func drawKind(rng *rand.Rand, m Mix) machine.FaultKind {
+	t := rng.Float64() * (m.RegFile + m.Result + m.Source + m.Opcode)
+	switch {
+	case t < m.RegFile:
+		return machine.FaultRegFile
+	case t < m.RegFile+m.Result:
+		return machine.FaultResultBit
+	case t < m.RegFile+m.Result+m.Source:
+		return machine.FaultSourceBit
+	default:
+		return machine.FaultOpcode
+	}
+}
+
+// classify maps one run outcome to a class, plus false-negative and
+// recovery flags.
+func classify(o *core.Outcome, golden []uint64) (Class, bool, bool) {
+	recovered := false
+	detections := 0
+	for _, st := range o.Stats {
+		recovered = recovered || st.Recovered > 0
+		detections += st.Detected
+	}
+	if o.Err != nil {
+		switch o.Err.(type) {
+		case *machine.SegfaultError:
+			return Segfault, false, recovered
+		case *machine.TrapError:
+			return CoreDump, false, recovered
+		case *machine.HangError:
+			return Hang, false, recovered
+		case *machine.DetectError:
+			return Detected, false, recovered
+		}
+		return CoreDump, false, recovered
+	}
+	for i := range golden {
+		if o.Output[i] != golden[i] {
+			// Corrupted output: a false negative when the fault hit the
+			// prediction-covered value slice and detection never fired.
+			fn := o.FaultFired && o.FaultInValueSlice && detections == 0
+			return SDC, fn, recovered
+		}
+	}
+	return Correct, false, recovered
+}

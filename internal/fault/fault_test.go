@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+)
+
+func buildTrained(t *testing.T, name string, ar float64) (*core.Program, bench.Instance) {
+	t.Helper()
+	b, err := bench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.AR = ar
+	p, err := core.Build(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	return p, b.Gen(bench.TestSeed(0), bench.ScaleTiny)
+}
+
+func TestCampaignBasics(t *testing.T) {
+	p, inst := buildTrained(t, "conv1d", 0.2)
+	r, err := Campaign(p, core.Unsafe, inst, Config{N: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 120 {
+		t.Errorf("N = %d", r.N)
+	}
+	total := 0
+	for c := Correct; c < NumClasses; c++ {
+		total += r.Counts[c]
+	}
+	if total != r.N {
+		t.Errorf("classes sum to %d, want %d", total, r.N)
+	}
+	if r.Counts[Correct] == 0 {
+		t.Error("no masked faults at all — masking model broken")
+	}
+	if r.Fired == 0 {
+		t.Error("no faults fired")
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	p, inst := buildTrained(t, "conv1d", 0.2)
+	a, err := Campaign(p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Campaign(p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts || a.FalseNeg != b.FalseNeg {
+		t.Errorf("campaign not deterministic across worker counts:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestProtectionOrdering(t *testing.T) {
+	// SWIFT-R must protect better than UNSAFE; RSkip at AR20 must be in
+	// the same league as SWIFT-R (the paper's core claim).
+	p, inst := buildTrained(t, "sgemm", 0.2)
+	cfg := Config{N: 250, Seed: 3}
+	unsafe, err := Campaign(p, core.Unsafe, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swiftr, err := Campaign(p, core.SWIFTR, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rskip, err := Campaign(p, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swiftr.ProtectionRate() <= unsafe.ProtectionRate() {
+		t.Errorf("SWIFT-R (%.1f%%) not better than UNSAFE (%.1f%%)",
+			swiftr.ProtectionRate(), unsafe.ProtectionRate())
+	}
+	if rskip.ProtectionRate() < unsafe.ProtectionRate() {
+		t.Errorf("RSkip (%.1f%%) worse than UNSAFE (%.1f%%)",
+			rskip.ProtectionRate(), unsafe.ProtectionRate())
+	}
+	if rskip.ProtectionRate() < swiftr.ProtectionRate()-15 {
+		t.Errorf("RSkip (%.1f%%) far below SWIFT-R (%.1f%%)",
+			rskip.ProtectionRate(), swiftr.ProtectionRate())
+	}
+	if swiftr.Rate(SDC) > unsafe.Rate(SDC) {
+		t.Errorf("SWIFT-R SDC rate %.1f%% above UNSAFE %.1f%%",
+			swiftr.Rate(SDC), unsafe.Rate(SDC))
+	}
+}
+
+func TestFalseNegativesGrowWithAR(t *testing.T) {
+	p20, inst := buildTrained(t, "conv1d", 0.2)
+	pWide, _ := buildTrained(t, "conv1d", 1.0)
+	cfg := Config{N: 300, Seed: 9}
+	narrow, err := Campaign(p20, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Campaign(pWide, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.FalseNeg < narrow.FalseNeg {
+		t.Errorf("false negatives should not shrink with a wider AR: AR20=%d AR100=%d",
+			narrow.FalseNeg, wide.FalseNeg)
+	}
+}
+
+func TestSWIFTDetectionClass(t *testing.T) {
+	p, inst := buildTrained(t, "conv1d", 0.2)
+	r, err := Campaign(p, core.SWIFT, inst, Config{N: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts[Detected] == 0 {
+		t.Error("detection-only scheme never signaled a fault")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := []string{"Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected"}
+	for c := Correct; c < NumClasses; c++ {
+		if c.String() != want[c] {
+			t.Errorf("class %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}

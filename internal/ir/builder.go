@@ -1,0 +1,140 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a Func. The frontend lowering and
+// the protection transforms both use it.
+type Builder struct {
+	F   *Func
+	cur int // current block index
+}
+
+// NewBuilder returns a builder for a fresh function with the given
+// signature. Parameters are bound to registers r0..rN-1 and an entry
+// block is created and made current.
+func NewBuilder(name string, params []Param, ret Type) *Builder {
+	f := &Func{Name: name, Params: params, Ret: ret}
+	for _, p := range params {
+		f.NewReg(p.Type)
+	}
+	b := &Builder{F: f}
+	b.cur = b.NewBlock("entry")
+	return b
+}
+
+// NewBlock appends an empty block and returns its index. The current
+// block is unchanged.
+func (b *Builder) NewBlock(name string) int {
+	b.F.Blocks = append(b.F.Blocks, Block{Name: name})
+	return len(b.F.Blocks) - 1
+}
+
+// SetBlock makes block idx the insertion point.
+func (b *Builder) SetBlock(idx int) { b.cur = idx }
+
+// Block returns the current insertion block index.
+func (b *Builder) Block() int { return b.cur }
+
+// emit appends an instruction to the current block.
+func (b *Builder) emit(in Instr) {
+	blk := &b.F.Blocks[b.cur]
+	if n := len(blk.Instrs); n > 0 && blk.Instrs[n-1].Op.IsTerminator() {
+		panic(fmt.Sprintf("ir: emit %s after terminator in block %s of %s",
+			in.Op, blk.Name, b.F.Name))
+	}
+	blk.Instrs = append(blk.Instrs, in)
+}
+
+// ConstInt emits an integer (or pointer) constant.
+func (b *Builder) ConstInt(v int64) Reg {
+	dst := b.F.NewReg(Int)
+	b.emit(Instr{Op: OpConstInt, Dst: dst, Imm: v})
+	return dst
+}
+
+// ConstFloat emits a float constant.
+func (b *Builder) ConstFloat(v float64) Reg {
+	dst := b.F.NewReg(Float)
+	b.emit(Instr{Op: OpConstFloat, Dst: dst, FImm: v})
+	return dst
+}
+
+// Unop emits a one-operand value instruction.
+func (b *Builder) Unop(op Op, t Type, a Reg) Reg {
+	dst := b.F.NewReg(t)
+	b.emit(Instr{Op: op, Dst: dst, Args: []Reg{a}})
+	return dst
+}
+
+// Binop emits a two-operand value instruction.
+func (b *Builder) Binop(op Op, t Type, a, c Reg) Reg {
+	dst := b.F.NewReg(t)
+	b.emit(Instr{Op: op, Dst: dst, Args: []Reg{a, c}})
+	return dst
+}
+
+// Mov emits dst = src into an existing register (used for assignments
+// to named variables).
+func (b *Builder) Mov(dst, src Reg) {
+	b.emit(Instr{Op: OpMov, Dst: dst, Args: []Reg{src}})
+}
+
+// Load emits dst = mem[addr].
+func (b *Builder) Load(t Type, addr Reg) Reg {
+	dst := b.F.NewReg(t)
+	b.emit(Instr{Op: OpLoad, Dst: dst, Args: []Reg{addr}})
+	return dst
+}
+
+// Store emits mem[addr] = val.
+func (b *Builder) Store(addr, val Reg) {
+	b.emit(Instr{Op: OpStore, Args: []Reg{addr, val}})
+}
+
+// Alloca emits a stack allocation of size words.
+func (b *Builder) Alloca(size int64) Reg {
+	dst := b.F.NewReg(Ptr)
+	b.emit(Instr{Op: OpAlloca, Dst: dst, Imm: size})
+	return dst
+}
+
+// Call emits a function call; dst is NoReg for void callees.
+func (b *Builder) Call(callee int, ret Type, args ...Reg) Reg {
+	dst := NoReg
+	if ret != Void {
+		dst = b.F.NewReg(ret)
+	}
+	b.emit(Instr{Op: OpCall, Dst: dst, Args: args, Callee: callee})
+	return dst
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target int) {
+	b.emit(Instr{Op: OpBr, Blocks: []int{target}})
+}
+
+// CondBr branches to then when cond != 0, otherwise to els.
+func (b *Builder) CondBr(cond Reg, then, els int) {
+	b.emit(Instr{Op: OpCondBr, Args: []Reg{cond}, Blocks: []int{then, els}})
+}
+
+// Ret emits a return; pass NoReg for void.
+func (b *Builder) Ret(v Reg) {
+	in := Instr{Op: OpRet}
+	if v != NoReg {
+		in.Args = []Reg{v}
+	}
+	b.emit(in)
+}
+
+// Raw appends a pre-built instruction; transforms use it for
+// protection primitives and runtime hooks.
+func (b *Builder) Raw(in Instr) { b.emit(in) }
+
+// Terminated reports whether the current block already ends in a
+// terminator, meaning further emission must pick a new block.
+func (b *Builder) Terminated() bool {
+	blk := &b.F.Blocks[b.cur]
+	n := len(blk.Instrs)
+	return n > 0 && blk.Instrs[n-1].Op.IsTerminator()
+}

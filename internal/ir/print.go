@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as readable IR text. The format is for
+// diagnostics and golden tests; it is not re-parsed.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, li := range m.Loops {
+		fmt.Fprintf(&sb, "; loop %d %q func=%d recompute=%d selfread=%v memo=%d inv=%d\n",
+			li.ID, li.Name, li.Func, li.RecomputeFn, li.SelfRead, li.MemoFn, li.NumInvariants)
+	}
+	for i, f := range m.Funcs {
+		sb.WriteString(f.stringIndexed(m, i))
+	}
+	return sb.String()
+}
+
+// String renders the function without module context (callee indexes
+// print numerically).
+func (f *Func) String() string { return f.stringIndexed(nil, -1) }
+
+func (f *Func) stringIndexed(m *Module, idx int) string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s:r%d", p.Type, p.Name, i)
+	}
+	marker := ""
+	if f.Internal {
+		marker = " ; internal"
+	}
+	fmt.Fprintf(&sb, "\nfunc %s(%s) %s {%s\n", f.Name, strings.Join(params, ", "), f.Ret, marker)
+	for bi := range f.Blocks {
+		blk := &f.Blocks[bi]
+		fmt.Fprintf(&sb, "b%d: ; %s\n", bi, blk.Name)
+		for ii := range blk.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(m, f, &blk.Instrs[ii]))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	_ = idx
+	return sb.String()
+}
+
+func formatInstr(m *Module, f *Func, in *Instr) string {
+	var sb strings.Builder
+	if in.Op.HasDst() && in.Dst != NoReg {
+		fmt.Fprintf(&sb, "%v = ", in.Dst)
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpConstInt, OpAlloca:
+		fmt.Fprintf(&sb, " %d", in.Imm)
+	case OpConstFloat:
+		fmt.Fprintf(&sb, " %g", in.FImm)
+	case OpCall:
+		name := fmt.Sprintf("@%d", in.Callee)
+		if m != nil && in.Callee >= 0 && in.Callee < len(m.Funcs) {
+			name = "@" + m.Funcs[in.Callee].Name
+		}
+		sb.WriteString(" " + name)
+	case OpRTLoopEnter, OpRTObserve, OpRTLoopExit:
+		fmt.Fprintf(&sb, " #%d", in.Imm)
+	}
+	for _, a := range in.Args {
+		fmt.Fprintf(&sb, " %v", a)
+	}
+	for _, t := range in.Blocks {
+		fmt.Fprintf(&sb, " ->b%d", t)
+	}
+	if in.Tag != TagNone {
+		fmt.Fprintf(&sb, " ; %s", in.Tag)
+	}
+	return sb.String()
+}

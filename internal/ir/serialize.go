@@ -1,0 +1,307 @@
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Module serialization: a stable, line-oriented text format (".rir")
+// so compiled and transformed modules can be written to disk and
+// reloaded — the compiler emits artifacts, tools and tests reload
+// them. The format is exact: float immediates travel as bit patterns,
+// every metadata field round-trips.
+//
+//	rir 1
+//	module <name>
+//	pragma <func> <header> <ar-bits>
+//	loop <id> <func> <recompute> <selfread> <memo> <ninv> <isfloat> <hasar> <ar-bits> <name...>
+//	func <name> <ret> <internal> <numregs>
+//	regtypes <one letter per register: v i f p>
+//	param <type> <name>
+//	block <name...>
+//	i <op> <dst> <nargs> <args...> <nblocks> <blocks...> <imm> <fimm-bits> <callee> <tag>
+//	endfunc
+
+// MarshalText writes the module in .rir format.
+func (m *Module) MarshalText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "rir 1\n")
+	fmt.Fprintf(bw, "module %s\n", sanitizeName(m.Name))
+	for _, p := range m.Pragmas {
+		fmt.Fprintf(bw, "pragma %d %d %d\n", p.Func, p.Header, math.Float64bits(p.AR))
+	}
+	for _, l := range m.Loops {
+		fmt.Fprintf(bw, "loop %d %d %d %t %d %d %t %t %d %s\n",
+			l.ID, l.Func, l.RecomputeFn, l.SelfRead, l.MemoFn,
+			l.NumInvariants, l.ValueIsFloat, l.HasAROverride,
+			math.Float64bits(l.AROverride), sanitizeName(l.Name))
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(bw, "func %s %d %t %d\n", sanitizeName(f.Name), f.Ret, f.Internal, f.NumRegs)
+		letters := make([]byte, f.NumRegs)
+		for i, t := range f.RegType {
+			letters[i] = "vifp"[t]
+		}
+		fmt.Fprintf(bw, "regtypes %s\n", letters)
+		for _, p := range f.Params {
+			fmt.Fprintf(bw, "param %d %s\n", p.Type, sanitizeName(p.Name))
+		}
+		for bi := range f.Blocks {
+			fmt.Fprintf(bw, "block %s\n", sanitizeName(f.Blocks[bi].Name))
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				fmt.Fprintf(bw, "i %s %d %d", in.Op, in.Dst, len(in.Args))
+				for _, a := range in.Args {
+					fmt.Fprintf(bw, " %d", a)
+				}
+				fmt.Fprintf(bw, " %d", len(in.Blocks))
+				for _, b := range in.Blocks {
+					fmt.Fprintf(bw, " %d", b)
+				}
+				fmt.Fprintf(bw, " %d %d %d %d\n",
+					in.Imm, math.Float64bits(in.FImm), in.Callee, in.Tag)
+			}
+		}
+		fmt.Fprintf(bw, "endfunc\n")
+	}
+	return bw.Flush()
+}
+
+// sanitizeName keeps names single-token for the line format.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// opByName maps printed opcode names back to codes.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opMax))
+	for op := OpInvalid + 1; op < opMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// UnmarshalText reads a module in .rir format. The result is verified
+// before it is returned.
+func UnmarshalText(r io.Reader) (*Module, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	next := func() ([]string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			return strings.Fields(line), true
+		}
+		return nil, false
+	}
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("ir: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	fields, ok := next()
+	if !ok || len(fields) != 2 || fields[0] != "rir" || fields[1] != "1" {
+		return nil, fail("missing `rir 1` header")
+	}
+	fields, ok = next()
+	if !ok || len(fields) != 2 || fields[0] != "module" {
+		return nil, fail("missing module line")
+	}
+	m := &Module{Name: fields[1]}
+
+	var cur *Func
+	for {
+		fields, ok = next()
+		if !ok {
+			break
+		}
+		switch fields[0] {
+		case "pragma":
+			if cur != nil || len(fields) != 4 {
+				return nil, fail("malformed pragma")
+			}
+			fn, e1 := strconv.Atoi(fields[1])
+			hdr, e2 := strconv.Atoi(fields[2])
+			bits, e3 := strconv.ParseUint(fields[3], 10, 64)
+			if e1 != nil || e2 != nil || e3 != nil {
+				return nil, fail("malformed pragma numbers")
+			}
+			m.Pragmas = append(m.Pragmas, ARPragma{Func: fn, Header: hdr, AR: math.Float64frombits(bits)})
+		case "loop":
+			if cur != nil || len(fields) != 11 {
+				return nil, fail("malformed loop")
+			}
+			var l LoopInfo
+			var arBits uint64
+			_, err := fmt.Sscanf(strings.Join(fields[1:10], " "),
+				"%d %d %d %t %d %d %t %t %d",
+				&l.ID, &l.Func, &l.RecomputeFn, &l.SelfRead, &l.MemoFn,
+				&l.NumInvariants, &l.ValueIsFloat, &l.HasAROverride, &arBits)
+			if err != nil {
+				return nil, fail("malformed loop fields: %v", err)
+			}
+			l.AROverride = math.Float64frombits(arBits)
+			l.Name = fields[10]
+			m.Loops = append(m.Loops, l)
+		case "func":
+			if cur != nil || len(fields) != 5 {
+				return nil, fail("malformed func")
+			}
+			ret, e1 := strconv.Atoi(fields[2])
+			internal, e2 := strconv.ParseBool(fields[3])
+			nregs, e3 := strconv.Atoi(fields[4])
+			if e1 != nil || e2 != nil || e3 != nil || nregs < 0 {
+				return nil, fail("malformed func fields")
+			}
+			cur = &Func{Name: fields[1], Ret: Type(ret), Internal: internal, NumRegs: nregs}
+		case "regtypes":
+			if cur == nil {
+				return nil, fail("regtypes outside func")
+			}
+			letters := ""
+			if len(fields) == 2 {
+				letters = fields[1]
+			} else if len(fields) != 1 {
+				return nil, fail("malformed regtypes")
+			}
+			if len(letters) != cur.NumRegs {
+				return nil, fail("regtypes mismatch")
+			}
+			for _, ch := range letters {
+				idx := strings.IndexRune("vifp", ch)
+				if idx < 0 {
+					return nil, fail("bad register type %q", ch)
+				}
+				cur.RegType = append(cur.RegType, Type(idx))
+			}
+		case "param":
+			if cur == nil || len(fields) != 3 {
+				return nil, fail("malformed param")
+			}
+			t, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad param type")
+			}
+			cur.Params = append(cur.Params, Param{Name: fields[2], Type: Type(t)})
+		case "block":
+			if cur == nil || len(fields) != 2 {
+				return nil, fail("malformed block")
+			}
+			cur.Blocks = append(cur.Blocks, Block{Name: fields[1]})
+		case "i":
+			if cur == nil || len(cur.Blocks) == 0 {
+				return nil, fail("instruction outside a block")
+			}
+			in, err := parseInstr(fields)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			blk := &cur.Blocks[len(cur.Blocks)-1]
+			blk.Instrs = append(blk.Instrs, in)
+		case "endfunc":
+			if cur == nil {
+				return nil, fail("endfunc without func")
+			}
+			m.Funcs = append(m.Funcs, cur)
+			cur = nil
+		default:
+			return nil, fail("unknown record %q", fields[0])
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("ir: unterminated func %s", cur.Name)
+	}
+	if err := Verify(m); err != nil {
+		return nil, fmt.Errorf("ir: loaded module is invalid: %w", err)
+	}
+	return m, nil
+}
+
+func parseInstr(fields []string) (Instr, error) {
+	// i <op> <dst> <nargs> <args...> <nblocks> <blocks...> <imm> <fimm> <callee> <tag>
+	if len(fields) < 5 {
+		return Instr{}, fmt.Errorf("short instruction line")
+	}
+	op, ok := opByName[fields[1]]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown opcode %q", fields[1])
+	}
+	pos := 2
+	nextInt := func() (int64, error) {
+		if pos >= len(fields) {
+			return 0, fmt.Errorf("truncated instruction line")
+		}
+		v, err := strconv.ParseInt(fields[pos], 10, 64)
+		pos++
+		return v, err
+	}
+	in := Instr{Op: op}
+	dst, err := nextInt()
+	if err != nil {
+		return Instr{}, err
+	}
+	in.Dst = Reg(dst)
+	nargs, err := nextInt()
+	if err != nil || nargs < 0 || nargs > 16 {
+		return Instr{}, fmt.Errorf("bad arg count")
+	}
+	for k := int64(0); k < nargs; k++ {
+		a, err := nextInt()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Args = append(in.Args, Reg(a))
+	}
+	nblocks, err := nextInt()
+	if err != nil || nblocks < 0 || nblocks > 2 {
+		return Instr{}, fmt.Errorf("bad block count")
+	}
+	for k := int64(0); k < nblocks; k++ {
+		b, err := nextInt()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Blocks = append(in.Blocks, int(b))
+	}
+	if in.Imm, err = nextInt(); err != nil {
+		return Instr{}, err
+	}
+	if pos >= len(fields) {
+		return Instr{}, fmt.Errorf("truncated instruction line")
+	}
+	fbits, err := strconv.ParseUint(fields[pos], 10, 64)
+	pos++
+	if err != nil {
+		return Instr{}, err
+	}
+	in.FImm = math.Float64frombits(fbits)
+	callee, err := nextInt()
+	if err != nil {
+		return Instr{}, err
+	}
+	in.Callee = int(callee)
+	tag, err := nextInt()
+	if err != nil || tag < 0 || tag > 5 {
+		return Instr{}, fmt.Errorf("bad tag")
+	}
+	in.Tag = InstrTag(tag)
+	if pos != len(fields) {
+		return Instr{}, fmt.Errorf("trailing junk on instruction line")
+	}
+	return in, nil
+}

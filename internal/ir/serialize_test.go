@@ -1,0 +1,132 @@
+package ir
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleModule() *Module {
+	b := NewBuilder("kernel", []Param{
+		{Name: "a", Type: Ptr}, {Name: "n", Type: Int},
+	}, Float)
+	c := b.ConstFloat(1.5)
+	x := b.Binop(OpFAdd, Float, c, c)
+	addr := b.Binop(OpAdd, Ptr, 0, 1)
+	v := b.Load(Float, addr)
+	y := b.Binop(OpFMul, Float, x, v)
+	done := b.NewBlock("done")
+	cond := b.Binop(OpGt, Int, 1, 1)
+	b.CondBr(cond, done, done)
+	b.SetBlock(done)
+	b.Ret(y)
+	f := b.F
+	f.Blocks[0].Instrs[1].Tag = TagValue
+
+	return &Module{
+		Name:  "sample module", // space exercises sanitization
+		Funcs: []*Func{f},
+		Loops: []LoopInfo{{
+			ID: 0, Func: 0, Name: "kernel.loop@b1", RecomputeFn: 0,
+			SelfRead: true, MemoFn: -1, NumInvariants: 2, ValueIsFloat: true,
+			HasAROverride: true, AROverride: 0.35,
+		}},
+		Pragmas: []ARPragma{{Func: 0, Header: 1, AR: 0.35}},
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := sampleModule()
+	var buf bytes.Buffer
+	if err := m.MarshalText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalText(&buf)
+	if err != nil {
+		t.Fatalf("UnmarshalText: %v\n%s", err, buf.String())
+	}
+	if got.Name != "sample_module" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if !reflect.DeepEqual(got.Loops, m.Loops) {
+		t.Errorf("loops mismatch:\n%+v\n%+v", got.Loops, m.Loops)
+	}
+	if !reflect.DeepEqual(got.Pragmas, m.Pragmas) {
+		t.Errorf("pragmas mismatch")
+	}
+	if len(got.Funcs) != 1 {
+		t.Fatalf("func count %d", len(got.Funcs))
+	}
+	gf, mf := got.Funcs[0], m.Funcs[0]
+	if gf.Name != mf.Name || gf.Ret != mf.Ret || gf.NumRegs != mf.NumRegs {
+		t.Errorf("func header mismatch: %+v vs %+v", gf, mf)
+	}
+	if !reflect.DeepEqual(gf.RegType, mf.RegType) {
+		t.Errorf("regtypes mismatch")
+	}
+	if len(gf.Blocks) != len(mf.Blocks) {
+		t.Fatalf("block count mismatch")
+	}
+	for bi := range mf.Blocks {
+		if len(gf.Blocks[bi].Instrs) != len(mf.Blocks[bi].Instrs) {
+			t.Fatalf("block %d instr count mismatch", bi)
+		}
+		for ii := range mf.Blocks[bi].Instrs {
+			a, b := gf.Blocks[bi].Instrs[ii], mf.Blocks[bi].Instrs[ii]
+			// Args/Blocks nil-vs-empty distinction is irrelevant.
+			if a.Op != b.Op || a.Dst != b.Dst || a.Imm != b.Imm ||
+				a.FImm != b.FImm || a.Callee != b.Callee || a.Tag != b.Tag ||
+				!reflect.DeepEqual(append([]Reg{}, a.Args...), append([]Reg{}, b.Args...)) ||
+				!reflect.DeepEqual(append([]int{}, a.Blocks...), append([]int{}, b.Blocks...)) {
+				t.Fatalf("instr %d/%d mismatch:\n%+v\n%+v", bi, ii, a, b)
+			}
+		}
+	}
+}
+
+func TestSerializeSecondRoundIdentical(t *testing.T) {
+	m := sampleModule()
+	var b1, b2 bytes.Buffer
+	if err := m.MarshalText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalText(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.MarshalText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("serialization is not a fixed point")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"rir 2\nmodule x\n",
+		"rir 1\n",
+		"rir 1\nmodule x\nfunc f 1 false 0\n", // unterminated func
+		"rir 1\nmodule x\nblurb\n",
+		"rir 1\nmodule x\nfunc f 1 false 1\nregtypes ii\nendfunc\n", // regtypes length
+		"rir 1\nmodule x\nfunc f 1 false 0\nregtypes \nendfunc\n",
+		"rir 1\nmodule x\ni add 0 0 0 0 0 0 0\n", // instr outside block
+		// Invalid module (block without terminator) must fail Verify.
+		"rir 1\nmodule x\nfunc f 0 false 1\nregtypes i\nblock entry\ni const 0 0 0 5 0 0 0\nendfunc\n",
+	}
+	for _, src := range cases {
+		if _, err := UnmarshalText(strings.NewReader(src)); err == nil {
+			t.Errorf("UnmarshalText(%q): expected error", src)
+		}
+	}
+}
+
+func TestUnmarshalUnknownOpcode(t *testing.T) {
+	src := "rir 1\nmodule x\nfunc f 0 false 0\nregtypes \nblock b\ni frobnicate -1 0 0 0 0 0 0\nendfunc\n"
+	if _, err := UnmarshalText(strings.NewReader(src)); err == nil ||
+		!strings.Contains(err.Error(), "unknown opcode") {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package ir defines the compiler intermediate representation used by
+// RSkip: a typed register machine with basic blocks, functions and
+// modules. All protection transforms (SWIFT, SWIFT-R, prediction-based
+// protection) are IR-to-IR rewrites, and the machine package executes
+// the IR directly.
+//
+// The IR deliberately avoids SSA form: virtual registers are mutable,
+// which keeps the duplication/triplication transforms simple (a shadow
+// copy of a register is itself a register) and matches how the original
+// RSkip prototype operates on machine-level values.
+package ir
+
+import "fmt"
+
+// Type is the type of a register or function result.
+type Type uint8
+
+// Register and value types. Pointers are machine words holding a word
+// address into the simulated memory; keeping them distinct from Int
+// lets the analysis separate address computation from value
+// computation, which the paper protects conventionally.
+const (
+	Void  Type = iota
+	Int        // 64-bit signed integer
+	Float      // 64-bit IEEE-754 float
+	Ptr        // word address into simulated memory
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Ptr:
+		return "ptr"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Reg is a virtual register index local to a function. The special
+// value NoReg marks "no destination".
+type Reg int32
+
+// NoReg marks an absent register operand (e.g. the destination of a
+// store, or a void call result).
+const NoReg Reg = -1
+
+func (r Reg) String() string {
+	if r == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}

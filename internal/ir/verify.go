@@ -1,0 +1,165 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the module: every block ends
+// in exactly one terminator, register and block references are in
+// range, operand counts match opcodes, and register types are
+// consistent with operations. Transforms verify their output in tests.
+func Verify(m *Module) error {
+	for fi, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return fmt.Errorf("func %d (%s): %w", fi, f.Name, err)
+		}
+	}
+	for _, li := range m.Loops {
+		if li.Func < 0 || li.Func >= len(m.Funcs) {
+			return fmt.Errorf("loop %d: bad func index %d", li.ID, li.Func)
+		}
+		if li.RecomputeFn < 0 || li.RecomputeFn >= len(m.Funcs) {
+			return fmt.Errorf("loop %d: bad recompute index %d", li.ID, li.RecomputeFn)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if len(f.RegType) != f.NumRegs {
+		return fmt.Errorf("RegType len %d != NumRegs %d", len(f.RegType), f.NumRegs)
+	}
+	if f.NumRegs < len(f.Params) {
+		return fmt.Errorf("fewer registers than parameters")
+	}
+	for i, p := range f.Params {
+		if f.RegType[i] != p.Type {
+			return fmt.Errorf("param %d type %s != reg type %s", i, p.Type, f.RegType[i])
+		}
+	}
+	for bi := range f.Blocks {
+		blk := &f.Blocks[bi]
+		if len(blk.Instrs) == 0 {
+			return fmt.Errorf("block %d (%s): empty", bi, blk.Name)
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			last := ii == len(blk.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				return fmt.Errorf("block %d (%s) instr %d (%s): terminator placement",
+					bi, blk.Name, ii, in.Op)
+			}
+			if err := verifyInstr(m, f, in); err != nil {
+				return fmt.Errorf("block %d (%s) instr %d (%s): %w",
+					bi, blk.Name, ii, in.Op, err)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(m *Module, f *Func, in *Instr) error {
+	checkReg := func(r Reg) error {
+		if r == NoReg || int(r) >= f.NumRegs || r < NoReg {
+			return fmt.Errorf("bad register %v (NumRegs=%d)", r, f.NumRegs)
+		}
+		return nil
+	}
+	for _, a := range in.Args {
+		if err := checkReg(a); err != nil {
+			return err
+		}
+	}
+	for _, t := range in.Blocks {
+		if t < 0 || t >= len(f.Blocks) {
+			return fmt.Errorf("bad block target %d", t)
+		}
+	}
+	if in.Op.HasDst() && in.Dst != NoReg {
+		if err := checkReg(in.Dst); err != nil {
+			return err
+		}
+	}
+	wantArgs := -1 // -1: variable
+	switch in.Op {
+	case OpConstInt, OpConstFloat, OpAlloca:
+		wantArgs = 0
+	case OpMov, OpNeg, OpFNeg, OpIToF, OpFToI, OpLoad,
+		OpSqrt, OpExp, OpLog, OpFAbs, OpFloor:
+		wantArgs = 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpPow, OpFMin, OpFMax,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+		OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe,
+		OpStore, OpCheck2:
+		wantArgs = 2
+	case OpVote3:
+		wantArgs = 3
+	case OpCondBr:
+		wantArgs = 1
+		if len(in.Blocks) != 2 {
+			return fmt.Errorf("condbr needs 2 targets, has %d", len(in.Blocks))
+		}
+	case OpBr:
+		wantArgs = 0
+		if len(in.Blocks) != 1 {
+			return fmt.Errorf("br needs 1 target, has %d", len(in.Blocks))
+		}
+	case OpRet:
+		if f.Ret == Void && len(in.Args) != 0 {
+			return fmt.Errorf("void return carries a value")
+		}
+		if f.Ret != Void && len(in.Args) != 1 {
+			return fmt.Errorf("non-void return missing value")
+		}
+	case OpCall:
+		if in.Callee < 0 || in.Callee >= len(m.Funcs) {
+			return fmt.Errorf("bad callee %d", in.Callee)
+		}
+		callee := m.Funcs[in.Callee]
+		if len(in.Args) != len(callee.Params) {
+			return fmt.Errorf("call %s: %d args, want %d",
+				callee.Name, len(in.Args), len(callee.Params))
+		}
+		for i, a := range in.Args {
+			if f.TypeOf(a) != callee.Params[i].Type {
+				return fmt.Errorf("call %s arg %d: type %s, want %s",
+					callee.Name, i, f.TypeOf(a), callee.Params[i].Type)
+			}
+		}
+		if callee.Ret == Void && in.Dst != NoReg {
+			return fmt.Errorf("call %s: void callee with destination", callee.Name)
+		}
+	case OpRTObserve:
+		wantArgs = 3
+	case OpRTLoopEnter, OpRTLoopExit:
+		// variable invariant live-ins / none
+	default:
+	}
+	if wantArgs >= 0 && len(in.Args) != wantArgs {
+		return fmt.Errorf("%d args, want %d", len(in.Args), wantArgs)
+	}
+	// Spot type checks for the most error-prone ops.
+	switch in.Op {
+	case OpLoad:
+		if f.TypeOf(in.Args[0]) != Ptr {
+			return fmt.Errorf("load address is %s, want ptr", f.TypeOf(in.Args[0]))
+		}
+	case OpStore:
+		if f.TypeOf(in.Args[0]) != Ptr {
+			return fmt.Errorf("store address is %s, want ptr", f.TypeOf(in.Args[0]))
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		for _, a := range in.Args {
+			if f.TypeOf(a) != Float {
+				return fmt.Errorf("float op on %s operand", f.TypeOf(a))
+			}
+		}
+	case OpCondBr:
+		if f.TypeOf(in.Args[0]) != Int {
+			return fmt.Errorf("condbr condition is %s, want int", f.TypeOf(in.Args[0]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package lang
+
+// TypeKind is a MiniC source-level type.
+type TypeKind uint8
+
+// MiniC types. Arrays only appear as parameter/local declarations; an
+// array-typed expression decays to its element type plus an "is array"
+// flag on the symbol.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeFloat
+)
+
+func (t TypeKind) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	}
+	return "?"
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    TypeKind
+	Params []ParamDecl
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// ParamDecl is one function parameter; IsArray marks `T name[]`.
+type ParamDecl struct {
+	Name    string
+	Type    TypeKind
+	IsArray bool
+	Pos     Pos
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Statements.
+type (
+	// BlockStmt is `{ ... }`.
+	BlockStmt struct {
+		Stmts []Stmt
+		Pos   Pos
+	}
+	// DeclStmt declares a scalar (`int x;`, `float y = e;`) or a local
+	// array (`float t[256];`).
+	DeclStmt struct {
+		Name     string
+		Type     TypeKind
+		ArrayLen int64 // 0 for scalars
+		Init     Expr  // nil when absent (scalars only)
+		Pos      Pos
+	}
+	// AssignStmt is `lhs = rhs;` where lhs is a name or an index.
+	// Op is EOF for plain assignment, or Plus/Minus/Star/Slash for the
+	// compound forms (`x += e`, including `x++` as `x += 1`). The
+	// lowerer evaluates a compound target's address exactly once.
+	AssignStmt struct {
+		LHS Expr // *NameExpr or *IndexExpr
+		RHS Expr
+		Op  Kind
+		Pos Pos
+	}
+	// IfStmt is `if (cond) then else els`.
+	IfStmt struct {
+		Cond Expr
+		Then *BlockStmt
+		Else *BlockStmt // nil when absent
+		Pos  Pos
+	}
+	// ForStmt is `for (init; cond; post) body`; init/post are
+	// assignments or declarations and may be nil, cond may be nil.
+	// ARPragma, when non-nil, carries a `#pragma rskip ar(x)` override
+	// of the acceptable range for this loop's prediction-based
+	// protection (§3 footnote 5: ar(0) demands exact validation).
+	ForStmt struct {
+		Init     Stmt
+		Cond     Expr
+		Post     Stmt
+		Body     *BlockStmt
+		ARPragma *float64
+		Pos      Pos
+	}
+	// WhileStmt is `while (cond) body`.
+	WhileStmt struct {
+		Cond Expr
+		Body *BlockStmt
+		Pos  Pos
+	}
+	// ReturnStmt is `return e?;`.
+	ReturnStmt struct {
+		Value Expr // nil for bare return
+		Pos   Pos
+	}
+	// ExprStmt is an expression evaluated for effect (a call).
+	ExprStmt struct {
+		X   Expr
+		Pos Pos
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Pos Pos }
+	// ContinueStmt jumps to the innermost loop's post/cond.
+	ContinueStmt struct{ Pos Pos }
+)
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. The checker fills in
+// each node's type.
+type Expr interface {
+	exprNode()
+	// ResultType returns the checked type (valid after Check).
+	ResultType() TypeKind
+	ExprPos() Pos
+}
+
+type exprType struct{ T TypeKind }
+
+func (e *exprType) ResultType() TypeKind { return e.T }
+
+// Expressions.
+type (
+	// IntLitExpr is an integer literal.
+	IntLitExpr struct {
+		exprType
+		Value int64
+		Pos   Pos
+	}
+	// FloatLitExpr is a float literal.
+	FloatLitExpr struct {
+		exprType
+		Value float64
+		Pos   Pos
+	}
+	// NameExpr references a variable or parameter.
+	NameExpr struct {
+		exprType
+		Name    string
+		Pos     Pos
+		IsArray bool // set by the checker
+	}
+	// IndexExpr is `base[idx]`.
+	IndexExpr struct {
+		exprType
+		Base string // array name (arrays are not first-class)
+		Idx  Expr
+		Pos  Pos
+	}
+	// CallExpr calls a user function or builtin.
+	CallExpr struct {
+		exprType
+		Name string
+		Args []Expr
+		Pos  Pos
+		// Builtin is non-empty for math builtins and casts
+		// (sqrt/exp/log/fabs/pow/floor/fmin/fmax/int/float).
+		Builtin string
+	}
+	// UnaryExpr is `-x` or `!x`.
+	UnaryExpr struct {
+		exprType
+		Op  Kind // Minus or Not
+		X   Expr
+		Pos Pos
+	}
+	// BinaryExpr is a binary operation; for && and || evaluation is
+	// short-circuiting.
+	BinaryExpr struct {
+		exprType
+		Op   Kind
+		X, Y Expr
+		Pos  Pos
+	}
+)
+
+func (*IntLitExpr) exprNode()   {}
+func (*FloatLitExpr) exprNode() {}
+func (*NameExpr) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()   {}
+
+func (e *IntLitExpr) ExprPos() Pos   { return e.Pos }
+func (e *FloatLitExpr) ExprPos() Pos { return e.Pos }
+func (e *NameExpr) ExprPos() Pos     { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos    { return e.Pos }
+func (e *CallExpr) ExprPos() Pos     { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos    { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos   { return e.Pos }

@@ -1,0 +1,402 @@
+package lang
+
+import "fmt"
+
+// Builtins maps math builtin names to their arity. All take and return
+// float except the int/float casts, which convert.
+var Builtins = map[string]int{
+	"sqrt": 1, "exp": 1, "log": 1, "fabs": 1, "floor": 1,
+	"pow": 2, "fmin": 2, "fmax": 2,
+	"int": 1, "float": 1,
+}
+
+// Symbol describes a declared name inside a function.
+type Symbol struct {
+	Name    string
+	Type    TypeKind
+	IsArray bool
+}
+
+// FuncSig is a function signature visible to callers.
+type FuncSig struct {
+	Name   string
+	Ret    TypeKind
+	Params []ParamDecl
+}
+
+// Check type-checks the program in place, annotating every expression
+// with its result type and resolving calls. It returns the table of
+// function signatures on success.
+func Check(prog *Program) (map[string]*FuncSig, error) {
+	sigs := make(map[string]*FuncSig, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		if _, dup := sigs[fn.Name]; dup {
+			return nil, errf(fn.Pos, "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			return nil, errf(fn.Pos, "function %q shadows a builtin", fn.Name)
+		}
+		sigs[fn.Name] = &FuncSig{Name: fn.Name, Ret: fn.Ret, Params: fn.Params}
+	}
+	for _, fn := range prog.Funcs {
+		c := &checker{sigs: sigs, fn: fn}
+		c.push()
+		for _, p := range fn.Params {
+			if err := c.declare(p.Pos, p.Name, p.Type, p.IsArray); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.checkBlock(fn.Body, false); err != nil {
+			return nil, err
+		}
+		c.pop()
+	}
+	return sigs, nil
+}
+
+type checker struct {
+	sigs   map[string]*FuncSig
+	fn     *FuncDecl
+	scopes []map[string]*Symbol
+	loops  int
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(pos Pos, name string, t TypeKind, isArray bool) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "%q redeclared in this scope", name)
+	}
+	top[name] = &Symbol{Name: name, Type: t, IsArray: isArray}
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt, ownScope bool) error {
+	if ownScope {
+		c.push()
+		defer c.pop()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st, true)
+	case *DeclStmt:
+		if st.Type == TypeVoid {
+			return errf(st.Pos, "void variable %q", st.Name)
+		}
+		if st.Init != nil {
+			if st.ArrayLen > 0 {
+				return errf(st.Pos, "array %q cannot have an initializer", st.Name)
+			}
+			t, err := c.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if err := c.assignable(st.Pos, st.Type, t, st.Init); err != nil {
+				return err
+			}
+		}
+		return c.declare(st.Pos, st.Name, st.Type, st.ArrayLen > 0)
+	case *AssignStmt:
+		lt, err := c.checkExpr(st.LHS)
+		if err != nil {
+			return err
+		}
+		if n, ok := st.LHS.(*NameExpr); ok && n.IsArray {
+			return errf(st.Pos, "cannot assign to array %q", n.Name)
+		}
+		rt, err := c.checkExpr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Op != EOF {
+			if lt == TypeVoid || rt == TypeVoid {
+				return errf(st.Pos, "void operand in compound assignment")
+			}
+			if st.Op == Slash && lt == TypeInt && rt == TypeFloat {
+				return errf(st.Pos, "cannot assign float to int (use int()/float() to convert)")
+			}
+		}
+		return c.assignable(st.Pos, lt, rt, st.RHS)
+	case *IfStmt:
+		t, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt {
+			return errf(st.Pos, "if condition is %s, want int", t)
+		}
+		if err := c.checkBlock(st.Then, true); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(st.Else, true)
+		}
+		return nil
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			t, err := c.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if t != TypeInt {
+				return errf(st.Pos, "for condition is %s, want int", t)
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(st.Body, true)
+	case *WhileStmt:
+		t, err := c.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeInt {
+			return errf(st.Pos, "while condition is %s, want int", t)
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkBlock(st.Body, true)
+	case *ReturnStmt:
+		if st.Value == nil {
+			if c.fn.Ret != TypeVoid {
+				return errf(st.Pos, "missing return value in %q", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret == TypeVoid {
+			return errf(st.Pos, "void function %q returns a value", c.fn.Name)
+		}
+		t, err := c.checkExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		return c.assignable(st.Pos, c.fn.Ret, t, st.Value)
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if _, ok := st.X.(*CallExpr); !ok {
+			return errf(st.Pos, "expression statement must be a call")
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("lang: unknown statement %T", s)
+}
+
+// assignable checks that a value of type 'from' can initialize 'to';
+// int widens to float implicitly, float narrows only via int().
+// Arrays are not first-class values.
+func (c *checker) assignable(pos Pos, to, from TypeKind, rhs Expr) error {
+	if n, ok := rhs.(*NameExpr); ok && n.IsArray {
+		return errf(pos, "array %q used as a value", n.Name)
+	}
+	if to == from {
+		return nil
+	}
+	if to == TypeFloat && from == TypeInt {
+		return nil // lowering inserts the conversion
+	}
+	return errf(pos, "cannot assign %s to %s (use int()/float() to convert)", from, to)
+}
+
+func (c *checker) checkExpr(e Expr) (TypeKind, error) {
+	switch ex := e.(type) {
+	case *IntLitExpr:
+		ex.T = TypeInt
+		return TypeInt, nil
+	case *FloatLitExpr:
+		ex.T = TypeFloat
+		return TypeFloat, nil
+	case *NameExpr:
+		sym := c.lookup(ex.Name)
+		if sym == nil {
+			return 0, errf(ex.Pos, "undefined: %q", ex.Name)
+		}
+		ex.IsArray = sym.IsArray
+		ex.T = sym.Type
+		return sym.Type, nil
+	case *IndexExpr:
+		sym := c.lookup(ex.Base)
+		if sym == nil {
+			return 0, errf(ex.Pos, "undefined: %q", ex.Base)
+		}
+		if !sym.IsArray {
+			return 0, errf(ex.Pos, "%q is not an array", ex.Base)
+		}
+		it, err := c.checkExpr(ex.Idx)
+		if err != nil {
+			return 0, err
+		}
+		if it != TypeInt {
+			return 0, errf(ex.Pos, "array index is %s, want int", it)
+		}
+		ex.T = sym.Type
+		return sym.Type, nil
+	case *CallExpr:
+		return c.checkCall(ex)
+	case *UnaryExpr:
+		t, err := c.checkExpr(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if ex.Op == Not {
+			if t != TypeInt {
+				return 0, errf(ex.Pos, "operand of ! is %s, want int", t)
+			}
+			ex.T = TypeInt
+			return TypeInt, nil
+		}
+		if t == TypeVoid {
+			return 0, errf(ex.Pos, "cannot negate void")
+		}
+		ex.T = t
+		return t, nil
+	case *BinaryExpr:
+		return c.checkBinary(ex)
+	}
+	return 0, fmt.Errorf("lang: unknown expression %T", e)
+}
+
+func (c *checker) checkCall(ex *CallExpr) (TypeKind, error) {
+	if arity, ok := Builtins[ex.Name]; ok {
+		ex.Builtin = ex.Name
+		if len(ex.Args) != arity {
+			return 0, errf(ex.Pos, "%s takes %d argument(s), got %d", ex.Name, arity, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			t, err := c.checkExpr(a)
+			if err != nil {
+				return 0, err
+			}
+			if t == TypeVoid {
+				return 0, errf(ex.Pos, "void argument to %s", ex.Name)
+			}
+		}
+		switch ex.Name {
+		case "int":
+			ex.T = TypeInt
+		default:
+			ex.T = TypeFloat
+		}
+		return ex.T, nil
+	}
+	sig, ok := c.sigs[ex.Name]
+	if !ok {
+		return 0, errf(ex.Pos, "call to undefined function %q", ex.Name)
+	}
+	if len(ex.Args) != len(sig.Params) {
+		return 0, errf(ex.Pos, "%s takes %d argument(s), got %d",
+			ex.Name, len(sig.Params), len(ex.Args))
+	}
+	for i, a := range ex.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return 0, err
+		}
+		p := sig.Params[i]
+		if p.IsArray {
+			n, isName := a.(*NameExpr)
+			if !isName || !n.IsArray || n.ResultType() != p.Type {
+				return 0, errf(a.ExprPos(), "argument %d of %s must be a %s array name",
+					i+1, ex.Name, p.Type)
+			}
+			continue
+		}
+		if err := c.assignable(a.ExprPos(), p.Type, t, a); err != nil {
+			return 0, err
+		}
+	}
+	ex.T = sig.Ret
+	return sig.Ret, nil
+}
+
+func (c *checker) checkBinary(ex *BinaryExpr) (TypeKind, error) {
+	xt, err := c.checkExpr(ex.X)
+	if err != nil {
+		return 0, err
+	}
+	yt, err := c.checkExpr(ex.Y)
+	if err != nil {
+		return 0, err
+	}
+	if xn, ok := ex.X.(*NameExpr); ok && xn.IsArray {
+		return 0, errf(ex.Pos, "array %q used as a value", xn.Name)
+	}
+	if yn, ok := ex.Y.(*NameExpr); ok && yn.IsArray {
+		return 0, errf(ex.Pos, "array %q used as a value", yn.Name)
+	}
+	switch ex.Op {
+	case AndAnd, OrOr:
+		if xt != TypeInt || yt != TypeInt {
+			return 0, errf(ex.Pos, "logical operands must be int, got %s and %s", xt, yt)
+		}
+		ex.T = TypeInt
+		return TypeInt, nil
+	case EqEq, NotEq, Lt, Le, Gt, Ge:
+		if xt == TypeVoid || yt == TypeVoid {
+			return 0, errf(ex.Pos, "void operand")
+		}
+		ex.T = TypeInt
+		return TypeInt, nil
+	case Percent:
+		if xt != TypeInt || yt != TypeInt {
+			return 0, errf(ex.Pos, "%% requires int operands, got %s and %s", xt, yt)
+		}
+		ex.T = TypeInt
+		return TypeInt, nil
+	case Plus, Minus, Star, Slash:
+		if xt == TypeVoid || yt == TypeVoid {
+			return 0, errf(ex.Pos, "void operand")
+		}
+		if xt == TypeFloat || yt == TypeFloat {
+			ex.T = TypeFloat
+		} else {
+			ex.T = TypeInt
+		}
+		return ex.T, nil
+	}
+	return 0, errf(ex.Pos, "unknown operator")
+}

@@ -1,0 +1,134 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkOK(t *testing.T, src string) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := Check(p); err != nil {
+		t.Fatalf("Check: %v\nsource:\n%s", err, src)
+	}
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	_, err = Check(p)
+	if err == nil {
+		t.Fatalf("Check(%q): expected error containing %q", src, wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("Check(%q): error %q does not contain %q", src, err, wantSub)
+	}
+}
+
+func TestCheckValidPrograms(t *testing.T) {
+	for _, src := range []string{
+		`int f() { return 1; }`,
+		`float f() { return 1; }`, // int widens to float
+		`float f(float x) { return sqrt(x) + exp(x) - log(x) * fabs(x); }`,
+		`float f(float x, float y) { return pow(x, y) + fmin(x, y) + fmax(x, y) + floor(x); }`,
+		`int f(float x) { return int(x); }`,
+		`float f(int x) { return float(x); }`,
+		`int g() { return 2; } int f() { return g(); }`,
+		`void g(int x) { } void f() { g(3); }`,
+		`int f(int a[], int n) { int s = 0; for (int i = 0; i < n; i = i + 1) { s = s + a[i]; } return s; }`,
+		`int f(int x) { if (x > 0 && x < 10 || !x) { return 1; } return 0; }`,
+		`int f() { int x = 1; { int x = 2; } return x; }`, // shadowing in nested scope
+		`void f(float a[]) { float t[8]; t[0] = a[0]; a[1] = t[0]; }`,
+		`int f(int x) { while (x > 0) { x = x - 1; if (x == 3) { break; } } return x; }`,
+	} {
+		checkOK(t, src)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`int f() { return y; }`, "undefined"},
+		{`int f() { return g(); }`, "undefined function"},
+		{`int f() { return 1.5; }`, "cannot assign float to int"},
+		{`int f(float x) { return x; }`, "cannot assign float to int"},
+		{`void f() { return 1; }`, "void function"},
+		{`int f() { return; }`, "missing return value"},
+		{`int f(int x) { if (1.0) { } return x; }`, "if condition"},
+		{`int f(int x) { while (1.5) { } return x; }`, "while condition"},
+		{`int f(int x, int x) { return x; }`, "redeclared"},
+		{`int f() { int x; int x; return x; }`, "redeclared"},
+		{`int f() { int x; return x[0]; }`, "not an array"},
+		{`int f(int a[]) { return a; }`, "array"},
+		{`int f(int a[]) { a = 1; return 0; }`, "cannot assign to array"},
+		{`int f(int a[]) { return a[1.5]; }`, "array index"},
+		{`int f() { return sqrt(1.0, 2.0); }`, "takes 1 argument"},
+		{`int g(int x) { return x; } int f() { return g(); }`, "takes 1 argument"},
+		{`int g(int a[]) { return a[0]; } int f() { return g(1); }`, "must be a int array name"},
+		{`float g(float a[]) { return a[0]; } int f(int b[]) { return int(g(b)); }`, "must be a float array name"},
+		{`int f() { return 1 % 1.5; }`, "requires int operands"},
+		{`int f() { return 1.0 && 1; }`, "logical operands"},
+		{`int f() { return !1.5; }`, "operand of !"},
+		{`int f() { 1 + 2; return 0; }`, "must be a call"},
+		{`int sqrt(int x) { return x; }`, "shadows a builtin"},
+		{`int f() { return 0; } int f() { return 1; }`, "duplicate function"},
+		{`void f() { int x = 1.0; }`, "cannot assign float to int"},
+	}
+	for _, tt := range cases {
+		checkErr(t, tt.src, tt.want)
+	}
+}
+
+func TestCheckExprTypesAnnotated(t *testing.T) {
+	p, err := Parse(`float f(int a, float b) { return a + b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if ret.Value.ResultType() != TypeFloat {
+		t.Errorf("a + b (int+float) should be float, got %v", ret.Value.ResultType())
+	}
+	bin := ret.Value.(*BinaryExpr)
+	if bin.X.ResultType() != TypeInt || bin.Y.ResultType() != TypeFloat {
+		t.Errorf("operand types wrong: %v %v", bin.X.ResultType(), bin.Y.ResultType())
+	}
+}
+
+func TestCheckComparisonIsInt(t *testing.T) {
+	p, err := Parse(`int f(float a, float b) { return a < b; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(p); err != nil {
+		t.Fatal(err)
+	}
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if ret.Value.ResultType() != TypeInt {
+		t.Errorf("float comparison should produce int, got %v", ret.Value.ResultType())
+	}
+}
+
+func TestCheckSignatures(t *testing.T) {
+	p, err := Parse(`int g(int x, float y) { return x; } void f() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sigs["g"]
+	if g == nil || g.Ret != TypeInt || len(g.Params) != 2 || g.Params[1].Type != TypeFloat {
+		t.Errorf("signature table wrong: %+v", g)
+	}
+}

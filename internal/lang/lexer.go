@@ -1,0 +1,234 @@
+package lang
+
+import (
+	"strings"
+)
+
+// Lexer turns MiniC source into a token stream. Comments (// and
+// /* */) and whitespace are skipped.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		switch c := lx.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}, nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		start := lx.off
+		isFloat := false
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.off < len(lx.src) && lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.off < len(lx.src) && (lx.peek() == 'e' || lx.peek() == 'E') {
+			save := lx.off
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peek()) {
+				isFloat = true
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			} else {
+				lx.off = save // 'e' belonged to the next token
+			}
+		}
+		text := lx.src[start:lx.off]
+		if isFloat || strings.ContainsAny(text, ".eE") {
+			return Token{Kind: FloatLit, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IntLit, Text: text, Pos: pos}, nil
+	}
+	if c == '#' {
+		// A pragma directive consumes the rest of the line.
+		start := lx.off + 1
+		for lx.off < len(lx.src) && lx.peek() != '\n' {
+			lx.advance()
+		}
+		text := strings.TrimSpace(lx.src[start:lx.off])
+		const kw = "pragma"
+		if !strings.HasPrefix(text, kw) {
+			return Token{}, errf(pos, "unknown directive %q (expected #pragma)", text)
+		}
+		return Token{Kind: Pragma, Text: strings.TrimSpace(text[len(kw):]), Pos: pos}, nil
+	}
+	lx.advance()
+	two := func(next byte, withKind, aloneKind Kind) (Token, error) {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: withKind, Text: string(c) + string(next), Pos: pos}, nil
+		}
+		return Token{Kind: aloneKind, Text: string(c), Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Text: ")", Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Text: "}", Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Text: "[", Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Text: "]", Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Text: ",", Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Text: ";", Pos: pos}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: PlusPlus, Text: "++", Pos: pos}, nil
+		}
+		return two('=', PlusAssign, Plus)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: MinusMinus, Text: "--", Pos: pos}, nil
+		}
+		return two('=', MinusAssign, Minus)
+	case '*':
+		return two('=', StarAssign, Star)
+	case '/':
+		return two('=', SlashAssign, Slash)
+	case '%':
+		return Token{Kind: Percent, Text: "%", Pos: pos}, nil
+	case '=':
+		return two('=', EqEq, Assign)
+	case '!':
+		return two('=', NotEq, Not)
+	case '<':
+		return two('=', Le, Lt)
+	case '>':
+		return two('=', Ge, Gt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: AndAnd, Text: "&&", Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '&'")
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OrOr, Text: "||", Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '|'")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// Tokenize lexes the entire source.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

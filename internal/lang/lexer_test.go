@@ -1,0 +1,105 @@
+package lang
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []Kind
+	}{
+		{"", []Kind{EOF}},
+		{"x", []Kind{Ident, EOF}},
+		{"int x;", []Kind{KwInt, Ident, Semi, EOF}},
+		{"x = 1 + 2;", []Kind{Ident, Assign, IntLit, Plus, IntLit, Semi, EOF}},
+		{"a[i] = b[j];", []Kind{Ident, LBracket, Ident, RBracket, Assign,
+			Ident, LBracket, Ident, RBracket, Semi, EOF}},
+		{"1.5 2. .5 1e3 1.5e-2", []Kind{FloatLit, FloatLit, FloatLit, FloatLit, FloatLit, EOF}},
+		{"42 0 123456", []Kind{IntLit, IntLit, IntLit, EOF}},
+		{"< <= > >= == != = ! && ||", []Kind{Lt, Le, Gt, Ge, EqEq, NotEq,
+			Assign, Not, AndAnd, OrOr, EOF}},
+		{"+ - * / %", []Kind{Plus, Minus, Star, Slash, Percent, EOF}},
+		{"( ) { } [ ] , ;", []Kind{LParen, RParen, LBrace, RBrace,
+			LBracket, RBracket, Comma, Semi, EOF}},
+		{"if else for while return break continue", []Kind{KwIf, KwElse,
+			KwFor, KwWhile, KwReturn, KwBreak, KwContinue, EOF}},
+		{"int float void", []Kind{KwInt, KwFloat, KwVoid, EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Errorf("%q: got %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []Kind{Ident, Ident, Ident, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks, err := Tokenize("foo _bar baz123 intx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"foo", "_bar", "baz123", "intx"}
+	for i, w := range want {
+		if toks[i].Kind != Ident || toks[i].Text != w {
+			t.Errorf("token %d: got %v %q, want Ident %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("token a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("token b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "#", "a & b", "a | b", "/* unterminated", "$"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexExponentNotGreedy(t *testing.T) {
+	// "1e" followed by a non-digit must not consume the 'e'.
+	toks, err := Tokenize("1 end")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != IntLit || toks[1].Kind != Ident || toks[1].Text != "end" {
+		t.Errorf("got %v %q / %v %q", toks[0].Kind, toks[0].Text, toks[1].Kind, toks[1].Text)
+	}
+}

@@ -1,0 +1,543 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full MiniC program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s %q",
+			k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseType() (TypeKind, error) {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return TypeInt, nil
+	case KwFloat:
+		p.next()
+		return TypeFloat, nil
+	case KwVoid:
+		p.next()
+		return TypeVoid, nil
+	}
+	return TypeVoid, errf(p.cur().Pos, "expected type, found %q", p.cur().Text)
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	pos := p.cur().Pos
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Pos: pos}
+	if !p.accept(RParen) {
+		for {
+			ppos := p.cur().Pos
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if pt == TypeVoid {
+				return nil, errf(ppos, "void parameter")
+			}
+			pname, err := p.expect(Ident)
+			if err != nil {
+				return nil, err
+			}
+			isArr := false
+			if p.accept(LBracket) {
+				if _, err := p.expect(RBracket); err != nil {
+					return nil, err
+				}
+				isArr = true
+			}
+			fn.Params = append(fn.Params, ParamDecl{
+				Name: pname.Text, Type: pt, IsArray: isArr, Pos: ppos,
+			})
+			if p.accept(RParen) {
+				break
+			}
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.accept(RBrace) {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwInt, KwFloat:
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case KwIf:
+		return p.parseIf()
+	case KwFor:
+		return p.parseFor()
+	case Pragma:
+		return p.parsePragma()
+	case KwWhile:
+		return p.parseWhile()
+	case KwReturn:
+		t := p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != Semi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = e
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case KwBreak:
+		t := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil
+	case KwContinue:
+		t := p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseDecl parses `T name;`, `T name = e;` or `T name[N];` without
+// the trailing semicolon.
+func (p *Parser) parseDecl() (Stmt, error) {
+	pos := p.cur().Pos
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(Ident)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name.Text, Type: t, Pos: pos}
+	if p.accept(LBracket) {
+		lit, err := p.expect(IntLit)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(lit.Text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, errf(lit.Pos, "bad array length %q", lit.Text)
+		}
+		d.ArrayLen = n
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	if p.accept(Assign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement without
+// the trailing semicolon (shared by for-headers and plain statements).
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	assignable := func() error {
+		switch e.(type) {
+		case *NameExpr, *IndexExpr:
+			return nil
+		}
+		return errf(pos, "left side of assignment is not assignable")
+	}
+	switch p.cur().Kind {
+	case Assign:
+		p.next()
+		if err := assignable(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: e, RHS: rhs, Op: EOF, Pos: pos}, nil
+	case PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		opTok := p.next()
+		if err := assignable(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		op := map[Kind]Kind{
+			PlusAssign: Plus, MinusAssign: Minus,
+			StarAssign: Star, SlashAssign: Slash,
+		}[opTok.Kind]
+		return &AssignStmt{LHS: e, RHS: rhs, Op: op, Pos: pos}, nil
+	case PlusPlus, MinusMinus:
+		opTok := p.next()
+		if err := assignable(); err != nil {
+			return nil, err
+		}
+		op := Plus
+		if opTok.Kind == MinusMinus {
+			op = Minus
+		}
+		one := &IntLitExpr{Value: 1, Pos: opTok.Pos}
+		return &AssignStmt{LHS: e, RHS: one, Op: op, Pos: pos}, nil
+	}
+	return &ExprStmt{X: e, Pos: pos}, nil
+}
+
+// parsePragma handles `#pragma rskip ar(<value>)`, which must precede
+// a for statement and overrides that loop's acceptable range.
+func (p *Parser) parsePragma() (Stmt, error) {
+	t := p.next()
+	var ar float64
+	if n, err := fmt.Sscanf(t.Text, "rskip ar(%g)", &ar); n != 1 || err != nil {
+		return nil, errf(t.Pos, "malformed pragma %q (expected `rskip ar(<value>)`)", t.Text)
+	}
+	if ar < 0 {
+		return nil, errf(t.Pos, "acceptable range must be non-negative, got %g", ar)
+	}
+	if p.cur().Kind != KwFor {
+		return nil, errf(t.Pos, "#pragma rskip must precede a for loop")
+	}
+	st, err := p.parseFor()
+	if err != nil {
+		return nil, err
+	}
+	st.(*ForStmt).ARPragma = &ar
+	return st, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &BlockStmt{Stmts: []Stmt{inner}, Pos: inner.(*IfStmt).Pos}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: t.Pos}
+	if p.cur().Kind != Semi {
+		var init Stmt
+		var err error
+		if p.cur().Kind == KwInt || p.cur().Kind == KwFloat {
+			init, err = p.parseDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		st.Init = init
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+}
+
+// Expression parsing: precedence climbing.
+// Levels (low→high): || ; && ; == != ; < <= > >= ; + - ; * / % ; unary.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(0) }
+
+var precTable = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	EqEq: 3, NotEq: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Kind
+		prec, ok := precTable[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, X: lhs, Y: rhs, Pos: opTok.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Not:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case IntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLitExpr{Value: v, Pos: t.Pos}, nil
+	case FloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLitExpr{Value: v, Pos: t.Pos}, nil
+	case KwInt, KwFloat:
+		// Cast syntax: int(expr), float(expr).
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		b := "int"
+		if t.Kind == KwFloat {
+			b = "float"
+		}
+		return &CallExpr{Name: b, Builtin: b, Args: []Expr{arg}, Pos: t.Pos}, nil
+	case Ident:
+		p.next()
+		switch p.cur().Kind {
+		case LParen:
+			p.next()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			if !p.accept(RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(RParen) {
+						break
+					}
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		case LBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Base: t.Text, Idx: idx, Pos: t.Pos}, nil
+		}
+		return &NameExpr{Name: t.Text, Pos: t.Pos}, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s %q in expression", t.Kind, t.Text)
+}

@@ -1,0 +1,162 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestParseFunctions(t *testing.T) {
+	p := parseOK(t, `
+int add(int a, int b) { return a + b; }
+float scale(float x[], int n) { return x[0]; }
+void nop() { }
+`)
+	if len(p.Funcs) != 3 {
+		t.Fatalf("got %d functions, want 3", len(p.Funcs))
+	}
+	add := p.Funcs[0]
+	if add.Name != "add" || add.Ret != TypeInt || len(add.Params) != 2 {
+		t.Errorf("add parsed wrong: %+v", add)
+	}
+	scale := p.Funcs[1]
+	if !scale.Params[0].IsArray || scale.Params[0].Type != TypeFloat {
+		t.Errorf("array param parsed wrong: %+v", scale.Params[0])
+	}
+	if p.Funcs[2].Ret != TypeVoid {
+		t.Errorf("void return parsed wrong")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	p := parseOK(t, `
+void f(int n) {
+	int x;
+	int y = 2;
+	float arr[16];
+	x = y;
+	arr[x] = 1.0;
+	if (x < n) { x = x + 1; } else { x = 0; }
+	if (x == 1) { x = 2; } else if (x == 2) { x = 3; }
+	for (int i = 0; i < n; i = i + 1) { x = x + i; }
+	for (;;) { break; }
+	while (x > 0) { x = x - 1; continue; }
+	return;
+}
+`)
+	body := p.Funcs[0].Body.Stmts
+	wantTypes := []string{"*lang.DeclStmt", "*lang.DeclStmt", "*lang.DeclStmt",
+		"*lang.AssignStmt", "*lang.AssignStmt", "*lang.IfStmt", "*lang.IfStmt",
+		"*lang.ForStmt", "*lang.ForStmt", "*lang.WhileStmt", "*lang.ReturnStmt"}
+	if len(body) != len(wantTypes) {
+		t.Fatalf("got %d statements, want %d", len(body), len(wantTypes))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := parseOK(t, `int f(int a, int b, int c) { return a + b * c; }`)
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	top, ok := ret.Value.(*BinaryExpr)
+	if !ok || top.Op != Plus {
+		t.Fatalf("top operator: %+v", ret.Value)
+	}
+	if rhs, ok := top.Y.(*BinaryExpr); !ok || rhs.Op != Star {
+		t.Fatalf("b*c should bind tighter: %+v", top.Y)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	p := parseOK(t, `int f(int a, int b, int c) { return a || b && c; }`)
+	ret := p.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	top := ret.Value.(*BinaryExpr)
+	if top.Op != OrOr {
+		t.Fatalf("|| should be top: %v", top.Op)
+	}
+	if rhs, ok := top.Y.(*BinaryExpr); !ok || rhs.Op != AndAnd {
+		t.Fatalf("&& should bind tighter than ||")
+	}
+}
+
+func TestParseUnaryAndCalls(t *testing.T) {
+	p := parseOK(t, `
+float g(float x) { return -x; }
+float f(float x) { return sqrt(-x * 2.0) + g(x); }
+int h(float x) { return int(x) + !0; }
+`)
+	if len(p.Funcs) != 3 {
+		t.Fatal("parse failure")
+	}
+	f := p.Funcs[1].Body.Stmts[0].(*ReturnStmt).Value.(*BinaryExpr)
+	call, ok := f.X.(*CallExpr)
+	if !ok || call.Name != "sqrt" {
+		t.Fatalf("sqrt call: %+v", f.X)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	p := parseOK(t, `int f(int x) {
+	if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; }
+}`)
+	ifst := p.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if ifst.Else == nil || len(ifst.Else.Stmts) != 1 {
+		t.Fatal("else-if chain lost")
+	}
+	if _, ok := ifst.Else.Stmts[0].(*IfStmt); !ok {
+		t.Fatal("else-if not nested as IfStmt")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"int f( { }", "expected type"},
+		{"int f() { return 1 }", "expected ';'"},
+		{"int f() { x = ; }", "unexpected"},
+		{"int f() { if x { } }", "expected '('"},
+		{"int f() { int a[0]; }", "bad array length"},
+		{"int f() { int a[-1]; }", "expected int literal"},
+		{"int f() { 1 = 2; }", "not assignable"},
+		{"void f(void v) { }", "void parameter"},
+		{"int f() { for (int i = 0 i < 2; ) {} }", "expected ';'"},
+		{"int f() {", "unterminated block"},
+		{"int f() { float t[4] = 0.0; }", "expected"},
+	}
+	for _, tt := range cases {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", tt.src, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tt.src, err, tt.wantSub)
+		}
+	}
+}
+
+func TestParseAllBenchmarkShapes(t *testing.T) {
+	// The nine benchmark sources stress every construct; parsing them
+	// lives in the bench package tests, but the representative shapes
+	// are checked here too.
+	parseOK(t, `
+void kernel(float a[], int size) {
+	for (int i = 0; i < size; i = i + 1) {
+		for (int j = i + 1; j < size; j = j + 1) {
+			float sum = a[j * size + i];
+			for (int k = 0; k < i; k = k + 1) {
+				sum = sum - a[j * size + k] * a[k * size + i];
+			}
+			a[j * size + i] = sum / a[i * size + i];
+		}
+	}
+}`)
+}

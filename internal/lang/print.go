@@ -1,0 +1,264 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed program back to MiniC source. The output
+// re-parses to a structurally identical program (round-trip property),
+// which makes it usable as a formatter and as the backend of
+// source-to-source tooling.
+func Format(p *Program) string {
+	var pr printer
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.funcDecl(fn)
+	}
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.nl()
+}
+
+func (p *printer) nl() { p.sb.WriteByte('\n') }
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	params := make([]string, len(fn.Params))
+	for i, pa := range fn.Params {
+		suffix := ""
+		if pa.IsArray {
+			suffix = "[]"
+		}
+		params[i] = fmt.Sprintf("%s %s%s", pa.Type, pa.Name, suffix)
+	}
+	p.line("%s %s(%s) {", fn.Ret, fn.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range fn.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range st.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		switch {
+		case st.ArrayLen > 0:
+			p.line("%s %s[%d];", st.Type, st.Name, st.ArrayLen)
+		case st.Init != nil:
+			p.line("%s %s = %s;", st.Type, st.Name, exprString(st.Init))
+		default:
+			p.line("%s %s;", st.Type, st.Name)
+		}
+	case *AssignStmt:
+		p.line("%s;", simpleStmtString(st))
+	case *IfStmt:
+		p.ifStmt(st)
+	case *ForStmt:
+		if st.ARPragma != nil {
+			p.line("#pragma rskip ar(%s)", strconv.FormatFloat(*st.ARPragma, 'g', -1, 64))
+		}
+		init, post := "", ""
+		if st.Init != nil {
+			init = headerStmtString(st.Init)
+		}
+		cond := ""
+		if st.Cond != nil {
+			cond = exprString(st.Cond)
+		}
+		if st.Post != nil {
+			post = headerStmtString(st.Post)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(st.Cond))
+		p.indent++
+		for _, inner := range st.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if st.Value == nil {
+			p.line("return;")
+		} else {
+			p.line("return %s;", exprString(st.Value))
+		}
+	case *ExprStmt:
+		p.line("%s;", exprString(st.X))
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+func (p *printer) ifStmt(st *IfStmt) {
+	p.line("if (%s) {", exprString(st.Cond))
+	p.indent++
+	for _, inner := range st.Then.Stmts {
+		p.stmt(inner)
+	}
+	p.indent--
+	if st.Else == nil {
+		p.line("}")
+		return
+	}
+	// Re-sugar `else { if ... }` chains produced by the parser.
+	if len(st.Else.Stmts) == 1 {
+		if inner, ok := st.Else.Stmts[0].(*IfStmt); ok {
+			p.sb.WriteString(strings.Repeat("\t", p.indent))
+			p.sb.WriteString("} else ")
+			p.elseIf(inner)
+			return
+		}
+	}
+	p.line("} else {")
+	p.indent++
+	for _, inner := range st.Else.Stmts {
+		p.stmt(inner)
+	}
+	p.indent--
+	p.line("}")
+}
+
+// elseIf prints an if statement continuing an `} else ` prefix.
+func (p *printer) elseIf(st *IfStmt) {
+	fmt.Fprintf(&p.sb, "if (%s) {\n", exprString(st.Cond))
+	p.indent++
+	for _, inner := range st.Then.Stmts {
+		p.stmt(inner)
+	}
+	p.indent--
+	if st.Else == nil {
+		p.line("}")
+		return
+	}
+	if len(st.Else.Stmts) == 1 {
+		if inner, ok := st.Else.Stmts[0].(*IfStmt); ok {
+			p.sb.WriteString(strings.Repeat("\t", p.indent))
+			p.sb.WriteString("} else ")
+			p.elseIf(inner)
+			return
+		}
+	}
+	p.line("} else {")
+	p.indent++
+	for _, inner := range st.Else.Stmts {
+		p.stmt(inner)
+	}
+	p.indent--
+	p.line("}")
+}
+
+// headerStmtString renders a for-header init/post without semicolon.
+func headerStmtString(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			return fmt.Sprintf("%s %s = %s", st.Type, st.Name, exprString(st.Init))
+		}
+		return fmt.Sprintf("%s %s", st.Type, st.Name)
+	case *AssignStmt:
+		return simpleStmtString(st)
+	case *ExprStmt:
+		return exprString(st.X)
+	}
+	return fmt.Sprintf("/* %T */", s)
+}
+
+func simpleStmtString(st *AssignStmt) string {
+	lhs := exprString(st.LHS)
+	if st.Op == EOF {
+		return fmt.Sprintf("%s = %s", lhs, exprString(st.RHS))
+	}
+	// x += 1 round-trips as the compound form; x++ sugar is not
+	// reconstructed (it parses identically).
+	opText := map[Kind]string{Plus: "+=", Minus: "-=", Star: "*=", Slash: "/="}[st.Op]
+	return fmt.Sprintf("%s %s %s", lhs, opText, exprString(st.RHS))
+}
+
+// precedence mirrors the parser's table for minimal parenthesization.
+func precedenceOf(op Kind) int {
+	if p, ok := precTable[op]; ok {
+		return p
+	}
+	return 7 // primary
+}
+
+func exprString(e Expr) string {
+	return exprPrec(e, 0)
+}
+
+func exprPrec(e Expr, parent int) string {
+	switch ex := e.(type) {
+	case *IntLitExpr:
+		return strconv.FormatInt(ex.Value, 10)
+	case *FloatLitExpr:
+		s := strconv.FormatFloat(ex.Value, 'g', -1, 64)
+		// Float literals must keep their floatness through re-parsing.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *NameExpr:
+		return ex.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ex.Base, exprString(ex.Idx))
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Name, strings.Join(args, ", "))
+	case *UnaryExpr:
+		op := "-"
+		if ex.Op == Not {
+			op = "!"
+		}
+		return op + exprPrec(ex.X, 7)
+	case *BinaryExpr:
+		prec := precedenceOf(ex.Op)
+		opText := map[Kind]string{
+			OrOr: "||", AndAnd: "&&", EqEq: "==", NotEq: "!=",
+			Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+			Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+		}[ex.Op]
+		s := fmt.Sprintf("%s %s %s",
+			exprPrec(ex.X, prec), opText, exprPrec(ex.Y, prec+1))
+		if prec < parent {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	return fmt.Sprintf("/* %T */", e)
+}

@@ -1,0 +1,154 @@
+package lang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// normalize strips positions and checker annotations so structural
+// comparison survives a reformat.
+func normalizeProgram(p *Program) interface{} {
+	var norm func(v reflect.Value) interface{}
+	norm = func(v reflect.Value) interface{} {
+		switch v.Kind() {
+		case reflect.Ptr, reflect.Interface:
+			if v.IsNil() {
+				return nil
+			}
+			return norm(v.Elem())
+		case reflect.Struct:
+			out := map[string]interface{}{"_type": v.Type().Name()}
+			for i := 0; i < v.NumField(); i++ {
+				name := v.Type().Field(i).Name
+				if name == "Pos" || name == "T" || name == "IsArray" ||
+					name == "Builtin" || name == "exprType" {
+					continue
+				}
+				out[name] = norm(v.Field(i))
+			}
+			return out
+		case reflect.Slice:
+			var out []interface{}
+			for i := 0; i < v.Len(); i++ {
+				out = append(out, norm(v.Index(i)))
+			}
+			return out
+		default:
+			if !v.CanInterface() {
+				return nil
+			}
+			return v.Interface()
+		}
+	}
+	return norm(reflect.ValueOf(p))
+}
+
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	formatted := Format(p1)
+	p2, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("re-parse formatted source: %v\n--- formatted:\n%s", err, formatted)
+	}
+	// Structural identity (modulo positions and annotations).
+	if !reflect.DeepEqual(normalizeProgram(p1), normalizeProgram(p2)) {
+		t.Fatalf("round trip changed the program\n--- formatted:\n%s", formatted)
+	}
+	// Idempotence: formatting the re-parsed program yields the same text.
+	if again := Format(p2); again != formatted {
+		t.Fatalf("formatter is not idempotent:\n%s\n---\n%s", formatted, again)
+	}
+	// The formatted program must still type-check.
+	if _, err := Check(p2); err != nil {
+		t.Fatalf("formatted program fails checking: %v\n%s", err, formatted)
+	}
+}
+
+func TestFormatRoundTripBasics(t *testing.T) {
+	sources := []string{
+		`int f() { return 1 + 2 * 3; }`,
+		`int f(int a, int b) { return (a + b) * (a - b); }`,
+		`float f(float x) { if (x > 0.0) { return sqrt(x); } else { return -x; } }`,
+		`int f(int x) {
+			if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; }
+		}`,
+		`void f(int a[], int n) {
+			for (int i = 0; i < n; i++) { a[i] += i * 2; }
+			int j = 0;
+			while (j < n) { j++; if (j == 3) { break; } continue; }
+		}`,
+		`void f(float a[], int n) {
+			#pragma rskip ar(0.5)
+			for (int i = 0; i < n; i = i + 1) {
+				float s = 0.0;
+				for (int k = 0; k < 4; k = k + 1) { s = s + a[i + k]; }
+				a[i] = s;
+			}
+		}`,
+		`int f() { return 1 && 2 || !3; }`,
+		`float f() { return 2.0; }`,
+		`float f() { return 1e10; }`,
+		`int f(int x) { int t[8]; t[x % 8] = x / 2; return t[0]; }`,
+		`int f(float x) { return int(x) + int(float(3)); }`,
+	}
+	for _, src := range sources {
+		roundTrip(t, src)
+	}
+}
+
+func TestFormatRoundTripBenchmarkShapes(t *testing.T) {
+	// The full benchmark sources live in internal/bench; importing them
+	// here would create a cycle, so the structurally hardest shapes are
+	// replicated.
+	roundTrip(t, `
+float cndf(float x) {
+	float sign = 1.0;
+	float xx = x;
+	if (xx < 0.0) {
+		xx = -xx;
+		sign = 0.0;
+	}
+	float k = 1.0 / (1.0 + 0.2316419 * xx);
+	float val = 1.0 - 0.39894228 * exp(-0.5 * xx * xx) * k;
+	if (sign < 0.5) {
+		val = 1.0 - val;
+	}
+	return val;
+}
+void kernel(float a[], int size) {
+	for (int i = 0; i < size; i = i + 1) {
+		for (int j = i + 1; j < size; j = j + 1) {
+			float sum = a[j * size + i];
+			for (int k = 0; k < i; k = k + 1) {
+				sum = sum - a[j * size + k] * a[k * size + i];
+			}
+			a[j * size + i] = sum / a[i * size + i];
+		}
+	}
+}`)
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	// (a + b) * c must not round-trip into a + b * c.
+	p, err := Parse(`int f(int a, int b, int c) { return (a + b) * c; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(p)
+	if !strings.Contains(out, "(a + b) * c") {
+		t.Errorf("parenthesization lost:\n%s", out)
+	}
+	// a + b * c stays unparenthesized (inspect just the return line —
+	// the signature's parameter list legitimately has parentheses).
+	p2, _ := Parse(`int f(int a, int b, int c) { return a + b * c; }`)
+	for _, line := range strings.Split(Format(p2), "\n") {
+		if strings.Contains(line, "return") && strings.Contains(line, "(") {
+			t.Errorf("gratuitous parentheses: %q", line)
+		}
+	}
+}

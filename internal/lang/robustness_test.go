@@ -1,0 +1,86 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics mutates valid sources by deleting, duplicating
+// and swapping tokens; the frontend must return an error or a program,
+// never panic.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`int f(int a, int b) { return a + b * 2; }`,
+		`void kernel(float a[], int n) {
+			for (int i = 0; i < n; i++) {
+				float s = 0.0;
+				for (int j = 0; j < 4; j++) { s += a[i + j]; }
+				a[i] = s / 4.0;
+			}
+		}`,
+		`float g(float x) { if (x > 0.0) { return sqrt(x); } else { return -x; } }`,
+		`int h(int n) {
+			#pragma rskip ar(0.5)
+			for (int i = 0; i < n; i += 1) { n--; }
+			return n;
+		}`,
+	}
+	rng := rand.New(rand.NewSource(99))
+	mutate := func(src string) string {
+		words := strings.Fields(src)
+		if len(words) < 2 {
+			return src
+		}
+		switch rng.Intn(4) {
+		case 0: // delete a token
+			i := rng.Intn(len(words))
+			words = append(words[:i], words[i+1:]...)
+		case 1: // duplicate a token
+			i := rng.Intn(len(words))
+			words = append(words[:i+1], words[i:]...)
+		case 2: // swap two tokens
+			i, j := rng.Intn(len(words)), rng.Intn(len(words))
+			words[i], words[j] = words[j], words[i]
+		case 3: // truncate
+			words = words[:rng.Intn(len(words))+1]
+		}
+		return strings.Join(words, " ")
+	}
+	for i := 0; i < 2000; i++ {
+		src := mutate(seeds[rng.Intn(len(seeds))])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("frontend panicked on %q: %v", src, r)
+				}
+			}()
+			if prog, err := Parse(src); err == nil {
+				// Checking a syntactically-valid mutation must not
+				// panic either.
+				_, _ = Check(prog)
+			}
+		}()
+	}
+}
+
+// TestLexerNeverPanics throws byte soup at the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abz019 \t\n+-*/%=<>!&|(){}[];,.#\"'\\~^?:e"
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(64)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Tokenize(sb.String())
+		}()
+	}
+}

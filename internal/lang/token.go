@@ -1,0 +1,121 @@
+// Package lang implements the MiniC frontend: a small C-like language
+// in which the benchmark kernels are written, so that RSkip genuinely
+// "accepts unprotected source code and generates a resilient
+// executable" as the paper describes. The package provides a lexer,
+// parser, AST and type checker; package lower translates checked ASTs
+// into the IR.
+package lang
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwVoid
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semi
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Not
+	Lt
+	Le
+	Gt
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	// Compound assignment and increment/decrement.
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PlusPlus
+	MinusMinus
+	// Pragma is a '#pragma ...' directive line; Text carries everything
+	// after '#pragma'.
+	Pragma
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "int literal", FloatLit: "float literal",
+	KwInt: "'int'", KwFloat: "'float'", KwVoid: "'void'", KwIf: "'if'", KwElse: "'else'",
+	KwFor: "'for'", KwWhile: "'while'", KwReturn: "'return'", KwBreak: "'break'",
+	KwContinue: "'continue'",
+	LParen:     "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'",
+	LBracket: "'['", RBracket: "']'", Comma: "','", Semi: "';'", Assign: "'='",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'",
+	Not: "'!'", Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='",
+	EqEq: "'=='", NotEq: "'!='", AndAnd: "'&&'", OrOr: "'||'",
+	PlusAssign: "'+='", MinusAssign: "'-='", StarAssign: "'*='", SlashAssign: "'/='",
+	PlusPlus: "'++'", MinusMinus: "'--'",
+	Pragma: "pragma",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "float": KwFloat, "void": KwVoid,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a frontend diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

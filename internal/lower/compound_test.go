@@ -1,0 +1,108 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"rskip/internal/lang"
+	"rskip/internal/machine"
+)
+
+func TestCompoundAssignment(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{`int f() { int x = 10; x += 5; return x; }`, 15},
+		{`int f() { int x = 10; x -= 3; return x; }`, 7},
+		{`int f() { int x = 10; x *= 4; return x; }`, 40},
+		{`int f() { int x = 10; x /= 3; return x; }`, 3},
+		{`int f() { int x = 10; x++; x++; return x; }`, 12},
+		{`int f() { int x = 10; x--; return x; }`, 9},
+		{`int f() { int t[4]; t[2] = 7; t[2] += 3; t[2] *= 2; return t[2]; }`, 20},
+		{`int f() { int t[4]; t[1] = 5; t[1]++; return t[1]; }`, 6},
+		{`int f() {
+			int s = 0;
+			for (int i = 0; i < 5; i++) { s += i; }
+			return s;
+		}`, 10},
+		{`int f() { float x = 2.0; x *= 3.0; x += 1; return int(x); }`, 7},
+	}
+	for _, tt := range tests {
+		got := runInt(t, tt.src, "f")
+		if got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestCompoundIndexEvaluatedOnce(t *testing.T) {
+	// bump() has a side effect (increments a counter cell); using it as
+	// the index of a compound assignment must evaluate it exactly once.
+	src := `
+int bump(int c[]) {
+	c[0] = c[0] + 1;
+	return c[0];
+}
+int f(int c[], int t[]) {
+	t[1] = 100;
+	t[bump(c)] += 5;
+	return t[1] * 1000 + c[0];
+}
+`
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(mod, machine.Config{TraceFn: -1})
+	c := m.Mem.Alloc(4)
+	tr := m.Mem.Alloc(8)
+	res, err := m.Run(mod.FuncByName("f"), []uint64{uint64(c), uint64(tr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bump called once: c[0]==1, index 1, t[1] = 105.
+	if got := int64(res.Ret); got != 105*1000+1 {
+		t.Errorf("got %d, want 105001 (index evaluated once)", got)
+	}
+}
+
+func TestCompoundAssignTypeErrors(t *testing.T) {
+	cases := []string{
+		`int f() { int x; x += 1.5; return x; }`,              // float into int
+		`void g() { } int f() { int x; x += g(); return x; }`, // void rhs
+		`int f(int a[]) { a += 1; return 0; }`,                // array target
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestCompoundParsesInForHeader(t *testing.T) {
+	prog, err := lang.Parse(`int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i += 2) { s++; }
+	return s;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = prog
+	if got := runInt(t, `int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i += 2) { s++; }
+	return s;
+}`, "f", 10); got != 5 {
+		t.Errorf("strided loop ran %d times, want 5", got)
+	}
+}
+
+func TestPlusPlusNotAnExpression(t *testing.T) {
+	// x++ is a statement, not an expression.
+	if _, err := Compile("t", `int f() { int x = 1; return x++; }`); err == nil {
+		t.Error("x++ in expression position should not parse")
+	}
+	_ = strings.Contains
+}

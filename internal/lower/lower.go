@@ -1,0 +1,611 @@
+// Package lower translates checked MiniC ASTs into the RSkip IR.
+package lower
+
+import (
+	"fmt"
+
+	"rskip/internal/ir"
+	"rskip/internal/lang"
+)
+
+// Program lowers a checked program into an IR module. The program must
+// have passed lang.Check; lowering panics-free relies on that.
+func Program(name string, prog *lang.Program) (*ir.Module, error) {
+	sigs, err := lang.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := &ir.Module{Name: name}
+	indexes := make(map[string]int, len(prog.Funcs))
+	for i, fn := range prog.Funcs {
+		indexes[fn.Name] = i
+		m.Funcs = append(m.Funcs, nil) // reserve slot so calls can resolve
+	}
+	for i, fn := range prog.Funcs {
+		f, pragmas, err := lowerFunc(fn, indexes, sigs)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs[i] = f
+		for _, pg := range pragmas {
+			pg.Func = i
+			m.Pragmas = append(m.Pragmas, pg)
+		}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("lower: internal error: %w", err)
+	}
+	return m, nil
+}
+
+// Compile is the one-call frontend: source text to IR module.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Program(name, prog)
+}
+
+type loopCtx struct {
+	breakTo    int
+	continueTo int
+}
+
+type lowerer struct {
+	b        *ir.Builder
+	indexes  map[string]int
+	sigTable map[string]*lang.FuncSig
+	scopes   []map[string]varSlot
+	loops    []loopCtx
+	// pragmas collects (header block, AR) pairs for loops carrying a
+	// `#pragma rskip ar(x)`.
+	pragmas []ir.ARPragma
+}
+
+type varSlot struct {
+	reg     ir.Reg
+	typ     ir.Type
+	isArray bool
+}
+
+func irType(t lang.TypeKind) ir.Type {
+	switch t {
+	case lang.TypeInt:
+		return ir.Int
+	case lang.TypeFloat:
+		return ir.Float
+	}
+	return ir.Void
+}
+
+func lowerFunc(fn *lang.FuncDecl, indexes map[string]int, sigs map[string]*lang.FuncSig) (*ir.Func, []ir.ARPragma, error) {
+	params := make([]ir.Param, len(fn.Params))
+	for i, p := range fn.Params {
+		t := irType(p.Type)
+		if p.IsArray {
+			t = ir.Ptr
+		}
+		params[i] = ir.Param{Name: p.Name, Type: t}
+	}
+	b := ir.NewBuilder(fn.Name, params, irType(fn.Ret))
+	lw := &lowerer{b: b, indexes: indexes, sigTable: sigs}
+	lw.push()
+	for i, p := range fn.Params {
+		lw.bind(p.Name, varSlot{reg: ir.Reg(i), typ: irType(p.Type), isArray: p.IsArray})
+	}
+	if err := lw.block(fn.Body, false); err != nil {
+		return nil, nil, err
+	}
+	lw.pop()
+	if !b.Terminated() {
+		if fn.Ret == lang.TypeVoid {
+			b.Ret(ir.NoReg)
+		} else {
+			// Fall-off-the-end of a value-returning function returns a
+			// zero; MiniC has no unreachable-code analysis.
+			if fn.Ret == lang.TypeFloat {
+				b.Ret(b.ConstFloat(0))
+			} else {
+				b.Ret(b.ConstInt(0))
+			}
+		}
+	}
+	return b.F, lw.pragmas, nil
+}
+
+func (lw *lowerer) push() { lw.scopes = append(lw.scopes, map[string]varSlot{}) }
+func (lw *lowerer) pop()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) bind(name string, s varSlot) {
+	lw.scopes[len(lw.scopes)-1][name] = s
+}
+
+func (lw *lowerer) lookup(name string) (varSlot, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if s, ok := lw.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return varSlot{}, false
+}
+
+func (lw *lowerer) block(b *lang.BlockStmt, ownScope bool) error {
+	if ownScope {
+		lw.push()
+		defer lw.pop()
+	}
+	for _, s := range b.Stmts {
+		if lw.b.Terminated() {
+			// Unreachable trailing statements (code after return) are
+			// dropped; the checker accepted them, so just stop.
+			return nil
+		}
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		return lw.block(st, true)
+	case *lang.DeclStmt:
+		return lw.decl(st)
+	case *lang.AssignStmt:
+		return lw.assign(st)
+	case *lang.IfStmt:
+		return lw.ifStmt(st)
+	case *lang.ForStmt:
+		return lw.forStmt(st)
+	case *lang.WhileStmt:
+		return lw.whileStmt(st)
+	case *lang.ReturnStmt:
+		if st.Value == nil {
+			lw.b.Ret(ir.NoReg)
+			return nil
+		}
+		v, err := lw.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		v = lw.convert(v, irType(st.Value.ResultType()), lw.b.F.Ret)
+		lw.b.Ret(v)
+		return nil
+	case *lang.ExprStmt:
+		_, err := lw.expr(st.X)
+		return err
+	case *lang.BreakStmt:
+		lw.b.Br(lw.loops[len(lw.loops)-1].breakTo)
+		return nil
+	case *lang.ContinueStmt:
+		lw.b.Br(lw.loops[len(lw.loops)-1].continueTo)
+		return nil
+	}
+	return fmt.Errorf("lower: unknown statement %T", s)
+}
+
+func (lw *lowerer) decl(st *lang.DeclStmt) error {
+	t := irType(st.Type)
+	if st.ArrayLen > 0 {
+		base := lw.b.Alloca(st.ArrayLen)
+		lw.bind(st.Name, varSlot{reg: base, typ: t, isArray: true})
+		return nil
+	}
+	reg := lw.b.F.NewReg(t)
+	if st.Init != nil {
+		v, err := lw.expr(st.Init)
+		if err != nil {
+			return err
+		}
+		v = lw.convert(v, irType(st.Init.ResultType()), t)
+		lw.b.Mov(reg, v)
+	} else {
+		// Zero-initialize so the machine never reads an undefined
+		// register.
+		var zero ir.Reg
+		if t == ir.Float {
+			zero = lw.b.ConstFloat(0)
+		} else {
+			zero = lw.b.ConstInt(0)
+		}
+		lw.b.Mov(reg, zero)
+	}
+	lw.bind(st.Name, varSlot{reg: reg, typ: t})
+	return nil
+}
+
+func (lw *lowerer) assign(st *lang.AssignStmt) error {
+	switch lhs := st.LHS.(type) {
+	case *lang.NameExpr:
+		slot, _ := lw.lookup(lhs.Name)
+		v, err := lw.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Op != lang.EOF {
+			v = lw.applyCompound(st.Op, slot.reg, v, slot.typ, irType(st.RHS.ResultType()))
+		} else {
+			v = lw.convert(v, irType(st.RHS.ResultType()), slot.typ)
+		}
+		lw.b.Mov(slot.reg, v)
+		return nil
+	case *lang.IndexExpr:
+		// The address is evaluated exactly once, including for the
+		// compound forms (C semantics for `a[i] += e`).
+		addr, elemT, err := lw.indexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		v, err := lw.expr(st.RHS)
+		if err != nil {
+			return err
+		}
+		if st.Op != lang.EOF {
+			old := lw.b.Load(elemT, addr)
+			v = lw.applyCompound(st.Op, old, v, elemT, irType(st.RHS.ResultType()))
+		} else {
+			v = lw.convert(v, irType(st.RHS.ResultType()), elemT)
+		}
+		lw.b.Store(addr, v)
+		return nil
+	}
+	return fmt.Errorf("lower: bad assignment target %T", st.LHS)
+}
+
+// applyCompound emits `cur <op> rhs` in the target's type, widening
+// the right-hand side when needed.
+func (lw *lowerer) applyCompound(op lang.Kind, cur, rhs ir.Reg, curT, rhsT ir.Type) ir.Reg {
+	rhs = lw.convert(rhs, rhsT, curT)
+	var iop, fop ir.Op
+	switch op {
+	case lang.Plus:
+		iop, fop = ir.OpAdd, ir.OpFAdd
+	case lang.Minus:
+		iop, fop = ir.OpSub, ir.OpFSub
+	case lang.Star:
+		iop, fop = ir.OpMul, ir.OpFMul
+	default: // Slash
+		iop, fop = ir.OpDiv, ir.OpFDiv
+	}
+	if curT == ir.Float {
+		return lw.b.Binop(fop, ir.Float, cur, rhs)
+	}
+	return lw.b.Binop(iop, curT, cur, rhs)
+}
+
+func (lw *lowerer) indexAddr(ix *lang.IndexExpr) (ir.Reg, ir.Type, error) {
+	slot, ok := lw.lookup(ix.Base)
+	if !ok || !slot.isArray {
+		return ir.NoReg, ir.Void, fmt.Errorf("lower: %q is not an array", ix.Base)
+	}
+	idx, err := lw.expr(ix.Idx)
+	if err != nil {
+		return ir.NoReg, ir.Void, err
+	}
+	addr := lw.b.Binop(ir.OpAdd, ir.Ptr, slot.reg, idx)
+	return addr, slot.typ, nil
+}
+
+func (lw *lowerer) ifStmt(st *lang.IfStmt) error {
+	cond, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := lw.b.NewBlock("if.then")
+	elseB := -1
+	joinB := lw.b.NewBlock("if.join")
+	target := joinB
+	if st.Else != nil {
+		elseB = lw.b.NewBlock("if.else")
+		target = elseB
+	}
+	lw.b.CondBr(cond, thenB, target)
+	lw.b.SetBlock(thenB)
+	if err := lw.block(st.Then, true); err != nil {
+		return err
+	}
+	if !lw.b.Terminated() {
+		lw.b.Br(joinB)
+	}
+	if st.Else != nil {
+		lw.b.SetBlock(elseB)
+		if err := lw.block(st.Else, true); err != nil {
+			return err
+		}
+		if !lw.b.Terminated() {
+			lw.b.Br(joinB)
+		}
+	}
+	lw.b.SetBlock(joinB)
+	return nil
+}
+
+func (lw *lowerer) forStmt(st *lang.ForStmt) error {
+	lw.push()
+	defer lw.pop()
+	if st.Init != nil {
+		if err := lw.stmt(st.Init); err != nil {
+			return err
+		}
+	}
+	condB := lw.b.NewBlock("for.cond")
+	bodyB := lw.b.NewBlock("for.body")
+	postB := lw.b.NewBlock("for.post")
+	exitB := lw.b.NewBlock("for.exit")
+	if st.ARPragma != nil {
+		lw.pragmas = append(lw.pragmas, ir.ARPragma{Header: condB, AR: *st.ARPragma})
+	}
+	lw.b.Br(condB)
+
+	lw.b.SetBlock(condB)
+	if st.Cond != nil {
+		c, err := lw.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		lw.b.CondBr(c, bodyB, exitB)
+	} else {
+		lw.b.Br(bodyB)
+	}
+
+	lw.b.SetBlock(bodyB)
+	lw.loops = append(lw.loops, loopCtx{breakTo: exitB, continueTo: postB})
+	if err := lw.block(st.Body, true); err != nil {
+		return err
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if !lw.b.Terminated() {
+		lw.b.Br(postB)
+	}
+
+	lw.b.SetBlock(postB)
+	if st.Post != nil {
+		if err := lw.stmt(st.Post); err != nil {
+			return err
+		}
+	}
+	lw.b.Br(condB)
+
+	lw.b.SetBlock(exitB)
+	return nil
+}
+
+func (lw *lowerer) whileStmt(st *lang.WhileStmt) error {
+	condB := lw.b.NewBlock("while.cond")
+	bodyB := lw.b.NewBlock("while.body")
+	exitB := lw.b.NewBlock("while.exit")
+	lw.b.Br(condB)
+
+	lw.b.SetBlock(condB)
+	c, err := lw.expr(st.Cond)
+	if err != nil {
+		return err
+	}
+	lw.b.CondBr(c, bodyB, exitB)
+
+	lw.b.SetBlock(bodyB)
+	lw.loops = append(lw.loops, loopCtx{breakTo: exitB, continueTo: condB})
+	if err := lw.block(st.Body, true); err != nil {
+		return err
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	if !lw.b.Terminated() {
+		lw.b.Br(condB)
+	}
+
+	lw.b.SetBlock(exitB)
+	return nil
+}
+
+// convert inserts an int->float widening when needed; identical types
+// pass through.
+func (lw *lowerer) convert(v ir.Reg, from, to ir.Type) ir.Reg {
+	if from == to || to == ir.Void {
+		return v
+	}
+	if from == ir.Int && to == ir.Float {
+		return lw.b.Unop(ir.OpIToF, ir.Float, v)
+	}
+	if from == ir.Float && to == ir.Int {
+		return lw.b.Unop(ir.OpFToI, ir.Int, v)
+	}
+	return v
+}
+
+func (lw *lowerer) expr(e lang.Expr) (ir.Reg, error) {
+	switch ex := e.(type) {
+	case *lang.IntLitExpr:
+		return lw.b.ConstInt(ex.Value), nil
+	case *lang.FloatLitExpr:
+		return lw.b.ConstFloat(ex.Value), nil
+	case *lang.NameExpr:
+		slot, ok := lw.lookup(ex.Name)
+		if !ok {
+			return ir.NoReg, fmt.Errorf("lower: undefined %q", ex.Name)
+		}
+		return slot.reg, nil
+	case *lang.IndexExpr:
+		addr, t, err := lw.indexAddr(ex)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		return lw.b.Load(t, addr), nil
+	case *lang.CallExpr:
+		return lw.call(ex)
+	case *lang.UnaryExpr:
+		x, err := lw.expr(ex.X)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		if ex.Op == lang.Not {
+			zero := lw.b.ConstInt(0)
+			return lw.b.Binop(ir.OpEq, ir.Int, x, zero), nil
+		}
+		if ex.ResultType() == lang.TypeFloat {
+			x = lw.convert(x, irType(ex.X.ResultType()), ir.Float)
+			return lw.b.Unop(ir.OpFNeg, ir.Float, x), nil
+		}
+		return lw.b.Unop(ir.OpNeg, ir.Int, x), nil
+	case *lang.BinaryExpr:
+		return lw.binary(ex)
+	}
+	return ir.NoReg, fmt.Errorf("lower: unknown expression %T", e)
+}
+
+func (lw *lowerer) call(ex *lang.CallExpr) (ir.Reg, error) {
+	if ex.Builtin != "" {
+		args := make([]ir.Reg, len(ex.Args))
+		for i, a := range ex.Args {
+			r, err := lw.expr(a)
+			if err != nil {
+				return ir.NoReg, err
+			}
+			args[i] = r
+		}
+		at := func(i int) ir.Type { return irType(ex.Args[i].ResultType()) }
+		switch ex.Builtin {
+		case "int":
+			return lw.convert(args[0], at(0), ir.Int), nil
+		case "float":
+			return lw.convert(args[0], at(0), ir.Float), nil
+		case "pow", "fmin", "fmax":
+			x := lw.convert(args[0], at(0), ir.Float)
+			y := lw.convert(args[1], at(1), ir.Float)
+			op := map[string]ir.Op{"pow": ir.OpPow, "fmin": ir.OpFMin, "fmax": ir.OpFMax}[ex.Builtin]
+			return lw.b.Binop(op, ir.Float, x, y), nil
+		default:
+			x := lw.convert(args[0], at(0), ir.Float)
+			op := map[string]ir.Op{
+				"sqrt": ir.OpSqrt, "exp": ir.OpExp, "log": ir.OpLog,
+				"fabs": ir.OpFAbs, "floor": ir.OpFloor,
+			}[ex.Builtin]
+			if op == ir.OpInvalid {
+				return ir.NoReg, fmt.Errorf("lower: unknown builtin %q", ex.Builtin)
+			}
+			return lw.b.Unop(op, ir.Float, x), nil
+		}
+	}
+	idx, ok := lw.indexes[ex.Name]
+	if !ok {
+		return ir.NoReg, fmt.Errorf("lower: call to unknown function %q", ex.Name)
+	}
+	args := make([]ir.Reg, len(ex.Args))
+	for i, a := range ex.Args {
+		r, err := lw.expr(a)
+		if err != nil {
+			return ir.NoReg, err
+		}
+		// Array arguments pass the base pointer through unchanged;
+		// scalars may need widening to the parameter type. We cannot
+		// see the callee's ir.Func yet (it may not be lowered), so we
+		// rely on the checker having validated types and only insert
+		// the int->float widening the checker allowed.
+		if n, isName := a.(*lang.NameExpr); !(isName && n.IsArray) {
+			r = lw.convert(r, irType(a.ResultType()), irType(paramType(lw, ex.Name, i)))
+		}
+		args[i] = r
+	}
+	ret := irType(ex.ResultType())
+	return lw.b.Call(idx, ret, args...), nil
+}
+
+// paramType looks up the declared type of parameter i of the named
+// function via the signature table captured during lowering.
+func paramType(lw *lowerer, fn string, i int) lang.TypeKind {
+	if sig, ok := lw.sigTable[fn]; ok && i < len(sig.Params) {
+		return sig.Params[i].Type
+	}
+	return lang.TypeVoid
+}
+
+func (lw *lowerer) binary(ex *lang.BinaryExpr) (ir.Reg, error) {
+	if ex.Op == lang.AndAnd || ex.Op == lang.OrOr {
+		return lw.shortCircuit(ex)
+	}
+	x, err := lw.expr(ex.X)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	y, err := lw.expr(ex.Y)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	xt := irType(ex.X.ResultType())
+	yt := irType(ex.Y.ResultType())
+	floatOperands := xt == ir.Float || yt == ir.Float
+	if floatOperands {
+		x = lw.convert(x, xt, ir.Float)
+		y = lw.convert(y, yt, ir.Float)
+	}
+	type opPair struct{ i, f ir.Op }
+	table := map[lang.Kind]opPair{
+		lang.Plus:    {ir.OpAdd, ir.OpFAdd},
+		lang.Minus:   {ir.OpSub, ir.OpFSub},
+		lang.Star:    {ir.OpMul, ir.OpFMul},
+		lang.Slash:   {ir.OpDiv, ir.OpFDiv},
+		lang.Percent: {ir.OpRem, ir.OpInvalid},
+		lang.EqEq:    {ir.OpEq, ir.OpFEq},
+		lang.NotEq:   {ir.OpNe, ir.OpFNe},
+		lang.Lt:      {ir.OpLt, ir.OpFLt},
+		lang.Le:      {ir.OpLe, ir.OpFLe},
+		lang.Gt:      {ir.OpGt, ir.OpFGt},
+		lang.Ge:      {ir.OpGe, ir.OpFGe},
+	}
+	pair, ok := table[ex.Op]
+	if !ok {
+		return ir.NoReg, fmt.Errorf("lower: unknown binary op %v", ex.Op)
+	}
+	op := pair.i
+	if floatOperands {
+		op = pair.f
+	}
+	resT := irType(ex.ResultType())
+	// Comparisons always produce Int regardless of operand type.
+	if op.IsCompare() {
+		resT = ir.Int
+	}
+	return lw.b.Binop(op, resT, x, y), nil
+}
+
+// shortCircuit lowers && and || with control flow into a result
+// register, preserving C evaluation semantics.
+func (lw *lowerer) shortCircuit(ex *lang.BinaryExpr) (ir.Reg, error) {
+	res := lw.b.F.NewReg(ir.Int)
+	x, err := lw.expr(ex.X)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	evalY := lw.b.NewBlock("sc.rhs")
+	short := lw.b.NewBlock("sc.short")
+	join := lw.b.NewBlock("sc.join")
+	if ex.Op == lang.AndAnd {
+		lw.b.CondBr(x, evalY, short)
+	} else {
+		lw.b.CondBr(x, short, evalY)
+	}
+	lw.b.SetBlock(short)
+	var c ir.Reg
+	if ex.Op == lang.AndAnd {
+		c = lw.b.ConstInt(0)
+	} else {
+		c = lw.b.ConstInt(1)
+	}
+	lw.b.Mov(res, c)
+	lw.b.Br(join)
+
+	lw.b.SetBlock(evalY)
+	y, err := lw.expr(ex.Y)
+	if err != nil {
+		return ir.NoReg, err
+	}
+	zero := lw.b.ConstInt(0)
+	norm := lw.b.Binop(ir.OpNe, ir.Int, y, zero)
+	lw.b.Mov(res, norm)
+	lw.b.Br(join)
+
+	lw.b.SetBlock(join)
+	return res, nil
+}

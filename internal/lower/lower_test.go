@@ -1,0 +1,311 @@
+package lower
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rskip/internal/ir"
+	"rskip/internal/machine"
+)
+
+// runInt compiles src, runs fn with integer args, and returns the
+// integer result.
+func runInt(t *testing.T, src, fn string, args ...int64) int64 {
+	t.Helper()
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v\n%s", err, src)
+	}
+	fi := mod.FuncByName(fn)
+	if fi < 0 {
+		t.Fatalf("no function %q", fn)
+	}
+	m := machine.New(mod, machine.Config{TraceFn: -1})
+	raw := make([]uint64, len(args))
+	for i, a := range args {
+		raw[i] = uint64(a)
+	}
+	res, err := m.Run(fi, raw)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return int64(res.Ret)
+}
+
+func runFloat(t *testing.T, src, fn string, args ...float64) float64 {
+	t.Helper()
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v\n%s", err, src)
+	}
+	fi := mod.FuncByName(fn)
+	m := machine.New(mod, machine.Config{TraceFn: -1})
+	raw := make([]uint64, len(args))
+	for i, a := range args {
+		raw[i] = math.Float64bits(a)
+	}
+	res, err := m.Run(fi, raw)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return math.Float64frombits(res.Ret)
+}
+
+func TestArithmetic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 / 3", 3},
+		{"10 % 3", 1},
+		{"-5 + 2", -3},
+		{"7 - 10", -3},
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"2 <= 2", 1},
+		{"3 > 2", 1},
+		{"3 >= 4", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 && 2", 1},
+		{"1 && 0", 0},
+		{"0 || 3", 1},
+		{"0 || 0", 0},
+		{"int(3.9)", 3},
+		{"int(-3.9)", -3},
+	}
+	for _, tt := range tests {
+		got := runInt(t, "int f() { return "+tt.expr+"; }", "f")
+		if got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	tests := []struct {
+		expr string
+		want float64
+	}{
+		{"1.5 + 2.25", 3.75},
+		{"2.0 * 3.5", 7},
+		{"7.0 / 2.0", 3.5},
+		{"-2.5", -2.5},
+		{"sqrt(9.0)", 3},
+		{"fabs(-4.5)", 4.5},
+		{"floor(2.9)", 2},
+		{"fmin(1.0, 2.0)", 1},
+		{"fmax(1.0, 2.0)", 2},
+		{"pow(2.0, 10.0)", 1024},
+		{"float(3)", 3},
+		{"1 + 0.5", 1.5}, // int widens
+		{"exp(0.0)", 1},
+		{"log(1.0)", 0},
+	}
+	for _, tt := range tests {
+		got := runFloat(t, "float f() { return "+tt.expr+"; }", "f")
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// g() traps on division by zero; && must not evaluate it when the
+	// left side is false.
+	src := `
+int g(int x) { return 1 / x; }
+int f(int x) { return x != 0 && g(x) > 0; }
+`
+	if got := runInt(t, src, "f", 0); got != 0 {
+		t.Errorf("short-circuit && evaluated rhs: got %d", got)
+	}
+	if got := runInt(t, src, "f", 1); got != 1 {
+		t.Errorf("&& true case: got %d", got)
+	}
+	src2 := `
+int g(int x) { return 1 / x; }
+int f(int x) { return x == 0 || g(x) > 0; }
+`
+	if got := runInt(t, src2, "f", 0); got != 1 {
+		t.Errorf("short-circuit || evaluated rhs: got %d", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+int fib(int n) {
+	int a = 0;
+	int b = 1;
+	for (int i = 0; i < n; i = i + 1) {
+		int tmp = a + b;
+		a = b;
+		b = tmp;
+	}
+	return a;
+}
+int collatz(int n) {
+	int steps = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		steps = steps + 1;
+	}
+	return steps;
+}
+int breaker(int n) {
+	int s = 0;
+	for (int i = 0; i < 100; i = i + 1) {
+		if (i == n) { break; }
+		if (i % 2 == 1) { continue; }
+		s = s + i;
+	}
+	return s;
+}
+`
+	if got := runInt(t, src, "fib", 10); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+	if got := runInt(t, src, "collatz", 27); got != 111 {
+		t.Errorf("collatz(27) = %d, want 111", got)
+	}
+	if got := runInt(t, src, "breaker", 7); got != 2+4+6 {
+		t.Errorf("breaker(7) = %d, want 12", got)
+	}
+}
+
+func TestLocalArraysAndCalls(t *testing.T) {
+	src := `
+int sum(int a[], int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+	return s;
+}
+int f(int n) {
+	int t[32];
+	for (int i = 0; i < n; i = i + 1) { t[i] = i * i; }
+	return sum(t, n);
+}
+`
+	if got := runInt(t, src, "f", 5); got != 0+1+4+9+16 {
+		t.Errorf("f(5) = %d, want 30", got)
+	}
+}
+
+func TestNestedCallsAndRecursionStack(t *testing.T) {
+	// Each call allocates a fresh local array; values must not leak
+	// between frames (stack discipline).
+	src := `
+int inner(int x) {
+	int t[4];
+	t[0] = x;
+	t[1] = x * 2;
+	return t[0] + t[1];
+}
+int f(int x) {
+	int t[4];
+	t[0] = 100;
+	int r = inner(x);
+	return r + t[0];
+}
+`
+	if got := runInt(t, src, "f", 3); got != 3+6+100 {
+		t.Errorf("f(3) = %d, want 109", got)
+	}
+}
+
+func TestMemoryArguments(t *testing.T) {
+	src := `
+void scale(float a[], int n, float k) {
+	for (int i = 0; i < n; i = i + 1) { a[i] = a[i] * k; }
+}
+`
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(mod, machine.Config{TraceFn: -1})
+	base := m.Mem.Alloc(4)
+	m.Mem.CopyFloats(base, []float64{1, 2, 3, 4})
+	_, err = m.Run(0, []uint64{uint64(base), 4, math.Float64bits(2.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Mem.ReadFloats(base, 4)
+	want := []float64{2.5, 5, 7.5, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("a[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	if got := runInt(t, "int f(int x) { if (x > 0) { return 1; } }", "f", -1); got != 0 {
+		t.Errorf("fall-off return = %d, want 0", got)
+	}
+	got := runFloat(t, "float f(float x) { if (x > 0.0) { return 1.0; } }", "f", -1)
+	if got != 0 {
+		t.Errorf("fall-off float return = %g, want 0", got)
+	}
+}
+
+func TestDeclZeroInit(t *testing.T) {
+	if got := runInt(t, "int f() { int x; return x; }", "f"); got != 0 {
+		t.Errorf("uninitialized int = %d, want 0", got)
+	}
+	if got := runFloat(t, "float f() { float x; return x; }", "f"); got != 0 {
+		t.Errorf("uninitialized float = %g, want 0", got)
+	}
+}
+
+func TestCompileRejectsBadSource(t *testing.T) {
+	for _, src := range []string{
+		"int f() { return y; }",
+		"int f( {",
+		"void f() { return 1; }",
+	} {
+		if _, err := Compile("bad", src); err == nil {
+			t.Errorf("Compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestLoweredModuleVerifies(t *testing.T) {
+	src := `
+float helper(float x) { return x * x; }
+void kernel(float a[], float b[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		float s = 0.0;
+		for (int j = 0; j < 4; j = j + 1) {
+			if (i + j < n) { s = s + helper(a[i + j]); }
+		}
+		b[i] = s;
+	}
+}
+`
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, mod)
+	}
+	text := mod.String()
+	for _, want := range []string{"func helper", "func kernel", "condbr", "store"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("module text missing %q", want)
+		}
+	}
+}
+
+func TestUnreachableCodeDropped(t *testing.T) {
+	// Statements after return are silently dropped, not miscompiled.
+	if got := runInt(t, "int f() { return 1; return 2; }", "f"); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}

@@ -1,0 +1,90 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"rskip/internal/lang"
+)
+
+const pragmaSrc = `
+void kernel(int a[], int out[], int n) {
+	#pragma rskip ar(0)
+	for (int i = 0; i < n; i = i + 1) {
+		int s = 0;
+		for (int j = 0; j < 6; j = j + 1) { s = s + a[i + j]; }
+		out[i] = s;
+	}
+}
+`
+
+func TestPragmaParses(t *testing.T) {
+	prog, err := lang.Parse(pragmaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forStmt := prog.Funcs[0].Body.Stmts[0].(*lang.ForStmt)
+	if forStmt.ARPragma == nil || *forStmt.ARPragma != 0 {
+		t.Fatalf("pragma not attached: %+v", forStmt.ARPragma)
+	}
+}
+
+func TestPragmaFlowsToModule(t *testing.T) {
+	mod, err := Compile("t", pragmaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Pragmas) != 1 {
+		t.Fatalf("got %d pragmas, want 1", len(mod.Pragmas))
+	}
+	p := mod.Pragmas[0]
+	if p.AR != 0 || p.Func != 0 {
+		t.Errorf("pragma = %+v", p)
+	}
+	if ar, ok := mod.PragmaFor(p.Func, p.Header); !ok || ar != 0 {
+		t.Errorf("PragmaFor lookup failed")
+	}
+	if _, ok := mod.PragmaFor(p.Func, p.Header+1); ok {
+		t.Errorf("PragmaFor matched the wrong header")
+	}
+}
+
+func TestPragmaNonZeroValue(t *testing.T) {
+	src := strings.Replace(pragmaSrc, "ar(0)", "ar(0.5)", 1)
+	mod, err := Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Pragmas) != 1 || mod.Pragmas[0].AR != 0.5 {
+		t.Fatalf("pragmas = %+v", mod.Pragmas)
+	}
+}
+
+func TestPragmaErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`void f() {
+			#pragma rskip ar(nope)
+			for (int i = 0; i < 2; i = i + 1) { }
+		}`, "malformed pragma"},
+		{`void f() {
+			#pragma rskip ar(-1)
+			for (int i = 0; i < 2; i = i + 1) { }
+		}`, "non-negative"},
+		{`void f() {
+			#pragma rskip ar(0)
+			int x = 1;
+		}`, "must precede a for"},
+		{`void f() {
+			#directive
+			for (int i = 0; i < 2; i = i + 1) { }
+		}`, "unknown directive"},
+	}
+	for _, tt := range cases {
+		_, err := lang.Parse(tt.src)
+		if err == nil || !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("Parse error %v does not contain %q", err, tt.want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package lower
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+	"rskip/internal/transform"
+)
+
+// TestTestdataFiles compiles the shipped .mc sources and checks the
+// candidate analysis agrees with each file's intent.
+func TestTestdataFiles(t *testing.T) {
+	cases := []struct {
+		file       string
+		candidates int
+		pragmas    int
+	}{
+		{"smoother.mc", 2, 1},
+		{"reject.mc", 0, 0},
+	}
+	for _, tt := range cases {
+		t.Run(tt.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", tt.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := Compile(tt.file, string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if got := len(analysis.FindCandidates(mod, analysis.Options{})); got != tt.candidates {
+				t.Errorf("candidates = %d, want %d", got, tt.candidates)
+			}
+			if got := len(mod.Pragmas); got != tt.pragmas {
+				t.Errorf("pragmas = %d, want %d", got, tt.pragmas)
+			}
+			rsk, err := transform.ApplyRSkip(mod, analysis.Options{})
+			if err != nil {
+				t.Fatalf("rskip transform: %v", err)
+			}
+			if err := ir.Verify(rsk); err != nil {
+				t.Fatal(err)
+			}
+			// The pragma'd loop must carry its override.
+			overrides := 0
+			for _, li := range rsk.Loops {
+				if li.HasAROverride {
+					overrides++
+					if li.AROverride != 0 {
+						t.Errorf("override AR = %g, want 0", li.AROverride)
+					}
+				}
+			}
+			if overrides != tt.pragmas {
+				t.Errorf("overrides = %d, want %d", overrides, tt.pragmas)
+			}
+		})
+	}
+}

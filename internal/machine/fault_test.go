@@ -1,0 +1,206 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"rskip/internal/ir"
+)
+
+// faultHarness builds a module whose kernel stores a computed value so
+// faults have somewhere visible to land, with every block in-region.
+func faultHarness(t *testing.T) (*ir.Module, int) {
+	t.Helper()
+	mod := compile(t, `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int s = 0;
+		for (int j = 0; j < 4; j = j + 1) { s = s + a[i + j] * 3; }
+		out[i] = s;
+	}
+}`)
+	return mod, mod.FuncByName("kernel")
+}
+
+func runWithFault(t *testing.T, mod *ir.Module, fi int, plan *FaultPlan) (RunResult, []int64, error) {
+	t.Helper()
+	region := map[int]bool{}
+	for bi := range mod.Funcs[fi].Blocks {
+		region[bi] = true
+	}
+	m := New(mod, Config{
+		RegionBlocks: map[int]map[int]bool{fi: region},
+		Fault:        plan,
+		MaxInstrs:    1 << 22,
+		TraceFn:      -1,
+	})
+	n := int64(16)
+	a := m.Mem.Alloc(n + 4)
+	for i := int64(0); i < n+4; i++ {
+		m.Mem.SetInt(a+i, 100+i)
+	}
+	out := m.Mem.Alloc(n)
+	res, err := m.Run(fi, []uint64{uint64(a), uint64(out), uint64(n)})
+	var vals []int64
+	if err == nil {
+		vals = m.Mem.ReadInts(out, int(n))
+	}
+	return res, vals, err
+}
+
+func TestFaultFreeBaseline(t *testing.T) {
+	mod, fi := faultHarness(t)
+	res, vals, err := runWithFault(t, mod, fi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Region == 0 {
+		t.Fatal("region not counted")
+	}
+	want := int64((100 + 101 + 102 + 103) * 3)
+	if vals[0] != want {
+		t.Fatalf("out[0] = %d, want %d", vals[0], want)
+	}
+}
+
+func TestFaultResultBitCorrupts(t *testing.T) {
+	mod, fi := faultHarness(t)
+	_, golden, err := runWithFault(t, mod, fi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep a few targets; at least one must corrupt the output (the
+	// fault model would be toothless otherwise) and every run must
+	// either finish or fail with a classified error.
+	corrupted := 0
+	for target := uint64(0); target < 60; target += 3 {
+		plan := &FaultPlan{Kind: FaultResultBit, Target: target, Bit: 7}
+		_, vals, err := runWithFault(t, mod, fi, plan)
+		if err != nil {
+			var se *SegfaultError
+			var te *TrapError
+			var he *HangError
+			if !errors.As(err, &se) && !errors.As(err, &te) && !errors.As(err, &he) {
+				t.Fatalf("unclassified error: %v", err)
+			}
+			continue
+		}
+		for i := range golden {
+			if vals[i] != golden[i] {
+				corrupted++
+				break
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Error("no injected result-bit fault corrupted the output")
+	}
+}
+
+func TestFaultFiredReporting(t *testing.T) {
+	mod, fi := faultHarness(t)
+	res, _, err := runWithFault(t, mod, fi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target inside the region: fires.
+	region := map[int]bool{}
+	for bi := range mod.Funcs[fi].Blocks {
+		region[bi] = true
+	}
+	mk := func(target uint64) *Machine {
+		return New(mod, Config{
+			RegionBlocks: map[int]map[int]bool{fi: region},
+			Fault:        &FaultPlan{Kind: FaultRegFile, Target: target, Bit: 3, Pick: 1},
+			TraceFn:      -1,
+		})
+	}
+	m := mk(res.Region / 2)
+	a := m.Mem.Alloc(20)
+	out := m.Mem.Alloc(16)
+	if _, err := m.Run(fi, []uint64{uint64(a), uint64(out), 16}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.FaultFired() {
+		t.Error("in-region fault did not fire")
+	}
+	// Target past the region's end: never fires (masked).
+	m2 := mk(res.Region * 10)
+	a2 := m2.Mem.Alloc(20)
+	out2 := m2.Mem.Alloc(16)
+	if _, err := m2.Run(fi, []uint64{uint64(a2), uint64(out2), 16}); err != nil {
+		t.Fatal(err)
+	}
+	if m2.FaultFired() {
+		t.Error("past-region fault fired")
+	}
+}
+
+func TestFaultOpcodeTrap(t *testing.T) {
+	mod, fi := faultHarness(t)
+	// Bit%8 == 7 selects the illegal-encoding manifestation.
+	plan := &FaultPlan{Kind: FaultOpcode, Target: 10, Bit: 7}
+	_, _, err := runWithFault(t, mod, fi, plan)
+	var te *TrapError
+	if !errors.As(err, &te) {
+		t.Fatalf("want TrapError from opcode fault, got %v", err)
+	}
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	mod, fi := faultHarness(t)
+	plan := &FaultPlan{Kind: FaultSourceBit, Target: 33, Bit: 12, Pick: 1}
+	_, v1, e1 := runWithFault(t, mod, fi, plan)
+	_, v2, e2 := runWithFault(t, mod, fi, plan)
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("non-deterministic error: %v vs %v", e1, e2)
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("non-deterministic fault outcome")
+		}
+	}
+}
+
+func TestFlipBitFloatMapping(t *testing.T) {
+	// Float strikes follow the FP32 relative-weight mapping: low
+	// mantissa bits produce tiny relative errors, the sign bit flips
+	// the sign.
+	f := &frame{
+		fn:   &ir.Func{NumRegs: 1, RegType: []ir.Type{ir.Float}},
+		regs: []uint64{f2b(1.5)},
+	}
+	m := &Machine{fault: faultState{plan: FaultPlan{Bit: 31}}}
+	m.flipBit(f, 0)
+	if b2f(f.regs[0]) != -1.5 {
+		t.Errorf("sign-bit flip: got %g, want -1.5", b2f(f.regs[0]))
+	}
+	f.regs[0] = f2b(1.5)
+	m.fault.plan.Bit = 0 // lowest FP32 mantissa bit → ~6e-8 relative
+	m.flipBit(f, 0)
+	rel := (b2f(f.regs[0]) - 1.5) / 1.5
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 1e-6 || rel == 0 {
+		t.Errorf("low mantissa flip relative error %g, want tiny but nonzero", rel)
+	}
+}
+
+func TestRegTagOfClassification(t *testing.T) {
+	b := ir.NewBuilder("k", nil, ir.Void)
+	v := b.ConstInt(1)
+	b.F.Blocks[0].Instrs[0].Tag = ir.TagValue
+	a := b.ConstInt(2)
+	b.F.Blocks[0].Instrs[1].Tag = ir.TagAddress
+	_ = a
+	b.Ret(ir.NoReg)
+	mod := &ir.Module{Name: "t", Funcs: []*ir.Func{b.F}}
+	m := New(mod, Config{TraceFn: -1})
+	if got := m.regTagOf(0, v); got != ir.TagValue {
+		t.Errorf("value reg tag = %v", got)
+	}
+	if got := m.regTagOf(0, a); got != ir.TagAddress {
+		t.Errorf("address reg tag = %v", got)
+	}
+}

@@ -1,0 +1,294 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"rskip/internal/ir"
+)
+
+// Hooks is the run-time management bridge. The rskip transform plants
+// OpRTLoopEnter/OpRTObserve/OpRTLoopExit in PP loop versions; the
+// machine forwards them here. Implementations live in internal/rtm.
+type Hooks interface {
+	// LoopEnter announces entry into PP loop id with its invariant
+	// live-in register values (raw bits).
+	LoopEnter(m *Machine, id int, invariants []uint64) error
+	// Observe delivers one loop iteration's produced value and its
+	// destination address. iter is the iteration ordinal starting at 0.
+	Observe(m *Machine, id int, iter int64, value uint64, addr int64) error
+	// LoopExit flushes the final (possibly uncut) phase.
+	LoopExit(m *Machine, id int) error
+}
+
+// TrapError reports an abnormal termination (illegal instruction,
+// divide by zero, bad conversion) — the paper's "Core dump" class.
+type TrapError struct{ Reason string }
+
+func (e *TrapError) Error() string { return "machine: trap: " + e.Reason }
+
+// HangError reports that execution exceeded the instruction budget —
+// the paper's "Hang" class.
+type HangError struct{ Limit uint64 }
+
+func (e *HangError) Error() string {
+	return fmt.Sprintf("machine: execution exceeded %d instructions", e.Limit)
+}
+
+// DetectError reports a SWIFT Check2 mismatch: the detection-only
+// scheme signals the fault instead of recovering.
+type DetectError struct{ Func string }
+
+func (e *DetectError) Error() string {
+	return "machine: fault detected by check in " + e.Func
+}
+
+// Counters aggregates execution statistics.
+type Counters struct {
+	Dyn      uint64           // dynamic instructions, including runtime-library charges
+	Region   uint64           // dynamic IR instructions inside the detected-loop region
+	ByTag    [6]uint64        // per protection-role tag
+	Runtime  uint64           // instructions charged by runtime hooks
+	Internal uint64           // instructions executed inside internal (value-slice) functions
+	Ops      map[ir.Op]uint64 // per-opcode dynamic counts (IR instructions)
+}
+
+// Config parameterizes a machine.
+type Config struct {
+	MemWords   int64 // memory size in words (default 1<<22)
+	IssueWidth int   // superscalar width (default 4)
+	MaxInstrs  uint64
+	Hooks      Hooks
+	// RegionFuncs marks function indexes whose execution counts
+	// entirely as "inside the detected loops" for fault injection and
+	// region accounting (value-slice callees, recompute slices).
+	RegionFuncs map[int]bool
+	// RegionBlocks marks individual blocks (per function index) as
+	// detected-loop region — the candidate loops inside kernels whose
+	// other code stays outside the region. Calls made from region
+	// blocks execute in-region transitively.
+	RegionBlocks map[int]map[int]bool
+	Fault        *FaultPlan
+	// TraceFn, when >= 0 with a non-nil CallTracer, reports every
+	// completed call to that function index — the trainer uses it to
+	// sample memo-function input/output pairs. Set TraceFn to -1 when
+	// unused.
+	TraceFn    int
+	CallTracer func(args []uint64, ret uint64)
+	// Trace, when non-nil, receives one line per executed instruction
+	// (capped by TraceLimit, default 10000) — the compiler-debugging
+	// view of a run.
+	Trace      io.Writer
+	TraceLimit uint64
+}
+
+// DefaultMaxInstrs bounds runaway executions (corrupted branches).
+const DefaultMaxInstrs = 4 << 30
+
+// Machine executes one module instance.
+type Machine struct {
+	Mod *ir.Module
+	Mem *Memory
+	C   Counters
+	cfg Config
+	pl  pipeline
+	fr  []frame
+	// loadOverride redirects loads of a single address during
+	// re-computation of read-modify-write loops (the paper's
+	// "temporary space" for loops like lud's a[j*size+i]).
+	overrideActive bool
+	overrideAddr   int64
+	overrideVal    uint64
+
+	fault        faultState
+	regTags      map[int][]ir.InstrTag // per-function register-tag cache for fault attribution
+	faultFrameFn int                   // function index of the currently executing frame
+	traced       uint64                // trace lines emitted
+	lastRet      uint64                // return value of the most recently returned frame
+}
+
+// inRegionNow reports whether the frame currently executes inside the
+// detected-loop region: inherited from its call site, forced by its
+// function, or positioned in a region block.
+func (m *Machine) inRegionNow(f *frame) bool {
+	if f.inRegion {
+		return true
+	}
+	if rb := m.cfg.RegionBlocks[f.fi]; rb != nil && rb[f.block] {
+		return true
+	}
+	return false
+}
+
+type frame struct {
+	fn        *ir.Func
+	fi        int
+	regs      []uint64
+	ready     []uint64
+	block, ip int
+	stackMark int64
+	retDst    ir.Reg
+	inRegion  bool
+	savedArgs []uint64 // captured for CallTracer when this is the traced fn
+}
+
+// New creates a machine for the module.
+func New(mod *ir.Module, cfg Config) *Machine {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 22
+	}
+	if cfg.IssueWidth == 0 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = DefaultMaxInstrs
+	}
+	m := &Machine{
+		Mod: mod,
+		Mem: NewMemory(cfg.MemWords),
+		cfg: cfg,
+	}
+	m.pl.init(cfg.IssueWidth)
+	m.C.Ops = make(map[ir.Op]uint64)
+	if cfg.Fault != nil {
+		m.fault = faultState{plan: *cfg.Fault, armed: true}
+	}
+	return m
+}
+
+// RunResult reports one execution.
+type RunResult struct {
+	Ret     uint64
+	Instrs  uint64
+	Cycles  uint64
+	Region  uint64
+	Counter Counters
+}
+
+// IPC returns instructions per cycle.
+func (r RunResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instrs) / float64(r.Cycles)
+}
+
+// Run executes function fnIdx with raw-bits arguments until it
+// returns. Errors are SegfaultError, TrapError, HangError or
+// DetectError; callers classify them into the paper's outcome classes.
+func (m *Machine) Run(fnIdx int, args []uint64) (RunResult, error) {
+	if err := m.pushFrame(fnIdx, args, ir.NoReg); err != nil {
+		return RunResult{}, err
+	}
+	err := m.runToDepth(0)
+	res := RunResult{
+		Ret:     m.lastRet,
+		Instrs:  m.C.Dyn,
+		Cycles:  m.pl.total(),
+		Region:  m.C.Region,
+		Counter: m.C,
+	}
+	return res, err
+}
+
+func (m *Machine) pushFrame(fnIdx int, args []uint64, retDst ir.Reg) error {
+	fn := m.Mod.Funcs[fnIdx]
+	if len(args) != len(fn.Params) {
+		return fmt.Errorf("machine: calling %s with %d args, want %d",
+			fn.Name, len(args), len(fn.Params))
+	}
+	f := frame{
+		fn:        fn,
+		fi:        fnIdx,
+		regs:      make([]uint64, fn.NumRegs),
+		ready:     make([]uint64, fn.NumRegs),
+		stackMark: m.Mem.StackMark(),
+		retDst:    retDst,
+	}
+	copy(f.regs, args)
+	if m.cfg.CallTracer != nil && fnIdx == m.cfg.TraceFn {
+		f.savedArgs = append([]uint64(nil), args...)
+	}
+	// Parameters become ready when the call issues; approximate with
+	// the current cycle.
+	now := m.pl.now()
+	for i := range args {
+		f.ready[i] = now
+	}
+	f.inRegion = m.cfg.RegionFuncs[fnIdx]
+	if !f.inRegion && len(m.fr) > 0 {
+		f.inRegion = m.inRegionNow(&m.fr[len(m.fr)-1])
+	}
+	m.fr = append(m.fr, f)
+	return nil
+}
+
+func (m *Machine) popFrame() {
+	f := &m.fr[len(m.fr)-1]
+	m.Mem.popStackTo(f.stackMark)
+	m.fr = m.fr[:len(m.fr)-1]
+}
+
+// runToDepth steps until the frame stack shrinks to the given depth.
+func (m *Machine) runToDepth(depth int) error {
+	for len(m.fr) > depth {
+		if err := m.step(); err != nil {
+			// Unwind so nested invocations leave a consistent stack.
+			for len(m.fr) > depth {
+				m.popFrame()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Charge accounts runtime-library work against the instruction and
+// cycle counters. Hooks call it for every predictor operation so the
+// cost of prediction is fully visible in Fig. 7b/7c.
+func (m *Machine) Charge(c Cost) {
+	n := c.Instrs()
+	m.C.Dyn += n
+	m.C.Runtime += n
+	m.C.ByTag[ir.TagRuntime] += n
+	now := m.pl.now()
+	for i := 0; i < c.IntOps; i++ {
+		m.pl.issue(now, 1)
+	}
+	for i := 0; i < c.Branches; i++ {
+		m.pl.issue(now, 1)
+	}
+	for i := 0; i < c.MemOps; i++ {
+		m.pl.issue(now, 3)
+	}
+	for i := 0; i < c.FpOps; i++ {
+		m.pl.issue(now, 3)
+	}
+}
+
+// CallRecompute re-executes a PP loop's outlined value slice for one
+// iteration: the paper's "further investigation" after a suspected
+// fault (and the recovery path's re-computation). When useOverride is
+// set, loads of overrideAddr observe overrideVal — the buffered
+// pre-store value of read-modify-write loops.
+func (m *Machine) CallRecompute(loop *ir.LoopInfo, iter int64, invariants []uint64,
+	useOverride bool, overrideAddr int64, overrideVal uint64) (uint64, error) {
+
+	args := make([]uint64, 0, 1+len(invariants))
+	args = append(args, uint64(iter))
+	args = append(args, invariants...)
+	savedActive, savedAddr, savedVal := m.overrideActive, m.overrideAddr, m.overrideVal
+	if useOverride {
+		m.overrideActive, m.overrideAddr, m.overrideVal = true, overrideAddr, overrideVal
+	}
+	depth := len(m.fr)
+	if err := m.pushFrame(loop.RecomputeFn, args, ir.NoReg); err != nil {
+		return 0, err
+	}
+	err := m.runToDepth(depth)
+	m.overrideActive, m.overrideAddr, m.overrideVal = savedActive, savedAddr, savedVal
+	if err != nil {
+		return 0, err
+	}
+	return m.lastRet, nil
+}

@@ -1,0 +1,183 @@
+// Package machine executes RSkip IR directly: a word-addressable
+// segmented memory, a register-file interpreter, an in-order
+// superscalar timing model that yields cycles and IPC, exact dynamic
+// instruction counting, a runtime bridge that services the
+// prediction-based-protection hooks, and single-event-upset fault
+// injection. It is this repository's stand-in for the paper's native
+// x86 execution (performance) and gem5/ARMv7 simulation (reliability).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Memory is a flat word-addressable memory (one 64-bit word per
+// address). The heap grows upward from zero via Alloc; the stack
+// segment for local arrays grows downward from the top of the dense
+// arena. Addresses beyond the dense arena but below MappedLimit model
+// the large mapped-but-unrelated address space of a real process
+// (lazily paged): corrupted pointers usually land there and read
+// zeros or scribble harmlessly instead of faulting, matching the low
+// Segfault rates of the paper's gem5/ARMv7 campaigns. Only accesses
+// past MappedLimit (or negative) raise a segmentation fault.
+// Memory contents are assumed ECC-protected (faults are never injected
+// here), matching the paper's fault model.
+type Memory struct {
+	words    []uint64
+	pages    map[int64][]uint64
+	heapEnd  int64 // heap occupies [0, heapEnd)
+	stackPtr int64 // stack occupies [stackPtr, len(words))
+}
+
+// MappedLimit bounds the simulated process's mapped address space in
+// words; accesses at or beyond it fault.
+const MappedLimit = int64(1) << 28
+
+// pageSize is the sparse-page granule in words.
+const pageSize = int64(4096)
+
+// SegfaultError reports an out-of-segment memory access.
+type SegfaultError struct {
+	Addr int64
+	Op   string
+}
+
+func (e *SegfaultError) Error() string {
+	return fmt.Sprintf("machine: segmentation fault: %s at address %d", e.Op, e.Addr)
+}
+
+// NewMemory returns a memory of the given size in words.
+func NewMemory(words int64) *Memory {
+	m := &Memory{words: make([]uint64, words)}
+	m.stackPtr = words
+	return m
+}
+
+// Alloc reserves n words on the heap and returns the base address.
+func (m *Memory) Alloc(n int64) int64 {
+	if n < 0 || m.heapEnd+n > m.stackPtr {
+		panic(fmt.Sprintf("machine: heap allocation of %d words exceeds memory", n))
+	}
+	base := m.heapEnd
+	m.heapEnd += n
+	return base
+}
+
+// LoadWord reads the raw word at addr.
+func (m *Memory) LoadWord(addr int64) (uint64, error) {
+	if addr >= 0 && addr < int64(len(m.words)) {
+		return m.words[addr], nil
+	}
+	if addr < 0 || addr >= MappedLimit {
+		return 0, &SegfaultError{Addr: addr, Op: "load"}
+	}
+	if pg, ok := m.pages[addr/pageSize]; ok {
+		return pg[addr%pageSize], nil
+	}
+	return 0, nil
+}
+
+// StoreWord writes the raw word at addr.
+func (m *Memory) StoreWord(addr int64, v uint64) error {
+	if addr >= 0 && addr < int64(len(m.words)) {
+		m.words[addr] = v
+		return nil
+	}
+	if addr < 0 || addr >= MappedLimit {
+		return &SegfaultError{Addr: addr, Op: "store"}
+	}
+	if m.pages == nil {
+		m.pages = make(map[int64][]uint64)
+	}
+	pg, ok := m.pages[addr/pageSize]
+	if !ok {
+		pg = make([]uint64, pageSize)
+		m.pages[addr/pageSize] = pg
+	}
+	pg[addr%pageSize] = v
+	return nil
+}
+
+// pushStack reserves n words of stack and returns the new base; used
+// by alloca. Returns an error when the stack would collide with the
+// heap.
+func (m *Memory) pushStack(n int64) (int64, error) {
+	if m.stackPtr-n < m.heapEnd {
+		return 0, &SegfaultError{Addr: m.stackPtr - n, Op: "stack-alloc"}
+	}
+	m.stackPtr -= n
+	return m.stackPtr, nil
+}
+
+// popStackTo restores the stack pointer to a previously saved mark.
+func (m *Memory) popStackTo(mark int64) { m.stackPtr = mark }
+
+// StackMark returns the current stack pointer for later restoration.
+func (m *Memory) StackMark() int64 { return m.stackPtr }
+
+// Convenience typed accessors for hosts (input generators, checkers).
+
+// SetFloat stores a float at addr.
+func (m *Memory) SetFloat(addr int64, v float64) {
+	if err := m.StoreWord(addr, math.Float64bits(v)); err != nil {
+		panic(err)
+	}
+}
+
+// GetFloat loads a float from addr.
+func (m *Memory) GetFloat(addr int64) float64 {
+	w, err := m.LoadWord(addr)
+	if err != nil {
+		panic(err)
+	}
+	return math.Float64frombits(w)
+}
+
+// SetInt stores an integer at addr.
+func (m *Memory) SetInt(addr int64, v int64) {
+	if err := m.StoreWord(addr, uint64(v)); err != nil {
+		panic(err)
+	}
+}
+
+// GetInt loads an integer from addr.
+func (m *Memory) GetInt(addr int64) int64 {
+	w, err := m.LoadWord(addr)
+	if err != nil {
+		panic(err)
+	}
+	return int64(w)
+}
+
+// CopyFloats bulk-stores a float slice starting at base.
+func (m *Memory) CopyFloats(base int64, vs []float64) {
+	for i, v := range vs {
+		m.SetFloat(base+int64(i), v)
+	}
+}
+
+// CopyInts bulk-stores an int slice starting at base.
+func (m *Memory) CopyInts(base int64, vs []int64) {
+	for i, v := range vs {
+		m.SetInt(base+int64(i), v)
+	}
+}
+
+// ReadFloats bulk-loads n floats starting at base.
+func (m *Memory) ReadFloats(base int64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = m.GetFloat(base + int64(i))
+	}
+	return out
+}
+
+// ReadInts bulk-loads n ints starting at base.
+func (m *Memory) ReadInts(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = m.GetInt(base + int64(i))
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"rskip/internal/ir"
+)
+
+// evalBinop builds `func f(a, b T) T { return a <op> b }` directly in
+// IR and executes it.
+func evalBinop(t *testing.T, op ir.Op, typ ir.Type, a, b uint64) uint64 {
+	t.Helper()
+	bld := ir.NewBuilder("f", []ir.Param{{Name: "a", Type: typ}, {Name: "b", Type: typ}}, typ)
+	r := bld.Binop(op, typ, 0, 1)
+	bld.Ret(r)
+	mod := &ir.Module{Name: "t", Funcs: []*ir.Func{bld.F}}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	m := New(mod, Config{TraceFn: -1})
+	res, err := m.Run(0, []uint64{a, b})
+	if err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+	return res.Ret
+}
+
+func evalUnop(t *testing.T, op ir.Op, in, out ir.Type, a uint64) uint64 {
+	t.Helper()
+	bld := ir.NewBuilder("f", []ir.Param{{Name: "a", Type: in}}, out)
+	r := bld.Unop(op, out, 0)
+	bld.Ret(r)
+	mod := &ir.Module{Name: "t", Funcs: []*ir.Func{bld.F}}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	m := New(mod, Config{TraceFn: -1})
+	res, err := m.Run(0, []uint64{a})
+	if err != nil {
+		t.Fatalf("%v: %v", op, err)
+	}
+	return res.Ret
+}
+
+func TestIntegerOps(t *testing.T) {
+	i := func(v int64) uint64 { return uint64(v) }
+	cases := []struct {
+		op      ir.Op
+		a, b, w int64
+	}{
+		{ir.OpAdd, 7, -3, 4},
+		{ir.OpSub, 7, 10, -3},
+		{ir.OpMul, -4, 6, -24},
+		{ir.OpDiv, -13, 4, -3},
+		{ir.OpRem, -13, 4, -1},
+		{ir.OpAnd, 0b1100, 0b1010, 0b1000},
+		{ir.OpOr, 0b1100, 0b1010, 0b1110},
+		{ir.OpXor, 0b1100, 0b1010, 0b0110},
+		{ir.OpShl, 3, 4, 48},
+		{ir.OpShr, 48, 4, 3},
+		{ir.OpEq, 5, 5, 1},
+		{ir.OpNe, 5, 5, 0},
+		{ir.OpLt, -2, 1, 1},
+		{ir.OpLe, 1, 1, 1},
+		{ir.OpGt, 1, 2, 0},
+		{ir.OpGe, 2, 2, 1},
+	}
+	for _, tt := range cases {
+		if got := evalBinop(t, tt.op, ir.Int, i(tt.a), i(tt.b)); got != i(tt.w) {
+			t.Errorf("%v(%d, %d) = %d, want %d", tt.op, tt.a, tt.b, int64(got), tt.w)
+		}
+	}
+	if got := evalUnop(t, ir.OpNeg, ir.Int, ir.Int, i(9)); int64(got) != -9 {
+		t.Errorf("neg(9) = %d", int64(got))
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	f := func(v float64) uint64 { return math.Float64bits(v) }
+	fv := func(b uint64) float64 { return math.Float64frombits(b) }
+	cases := []struct {
+		op      ir.Op
+		a, b, w float64
+	}{
+		{ir.OpFAdd, 1.5, 2.25, 3.75},
+		{ir.OpFSub, 1.5, 2.0, -0.5},
+		{ir.OpFMul, -2, 3.5, -7},
+		{ir.OpFDiv, 7, 2, 3.5},
+		{ir.OpPow, 2, 10, 1024},
+		{ir.OpFMin, 2, -1, -1},
+		{ir.OpFMax, 2, -1, 2},
+	}
+	for _, tt := range cases {
+		if got := fv(evalBinop(t, tt.op, ir.Float, f(tt.a), f(tt.b))); got != tt.w {
+			t.Errorf("%v(%g, %g) = %g, want %g", tt.op, tt.a, tt.b, got, tt.w)
+		}
+	}
+	cmp := []struct {
+		op   ir.Op
+		a, b float64
+		w    uint64
+	}{
+		{ir.OpFEq, 1, 1, 1},
+		{ir.OpFNe, 1, 2, 1},
+		{ir.OpFLt, 1, 2, 1},
+		{ir.OpFLe, 2, 2, 1},
+		{ir.OpFGt, 1, 2, 0},
+		{ir.OpFGe, 2, 3, 0},
+	}
+	for _, tt := range cmp {
+		// Comparisons produce Int; evalBinop declares the result type
+		// as the operand type, so build by hand.
+		bld := ir.NewBuilder("f", []ir.Param{{Name: "a", Type: ir.Float}, {Name: "b", Type: ir.Float}}, ir.Int)
+		r := bld.Binop(tt.op, ir.Int, 0, 1)
+		bld.Ret(r)
+		mod := &ir.Module{Name: "t", Funcs: []*ir.Func{bld.F}}
+		m := New(mod, Config{TraceFn: -1})
+		res, err := m.Run(0, []uint64{f(tt.a), f(tt.b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != tt.w {
+			t.Errorf("%v(%g, %g) = %d, want %d", tt.op, tt.a, tt.b, res.Ret, tt.w)
+		}
+	}
+	unary := []struct {
+		op   ir.Op
+		a, w float64
+	}{
+		{ir.OpFNeg, 2.5, -2.5},
+		{ir.OpSqrt, 16, 4},
+		{ir.OpFAbs, -3.25, 3.25},
+		{ir.OpFloor, 2.9, 2},
+		{ir.OpExp, 0, 1},
+		{ir.OpLog, 1, 0},
+	}
+	for _, tt := range unary {
+		if got := fv(evalUnop(t, tt.op, ir.Float, ir.Float, f(tt.a))); got != tt.w {
+			t.Errorf("%v(%g) = %g, want %g", tt.op, tt.a, got, tt.w)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	minus7 := int64(-7)
+	if got := evalUnop(t, ir.OpIToF, ir.Int, ir.Float, uint64(minus7)); math.Float64frombits(got) != -7 {
+		t.Errorf("itof(-7) = %g", math.Float64frombits(got))
+	}
+	if got := evalUnop(t, ir.OpFToI, ir.Float, ir.Int, math.Float64bits(-7.9)); int64(got) != -7 {
+		t.Errorf("ftoi(-7.9) = %d (truncation toward zero expected)", int64(got))
+	}
+}
+
+func TestVote3Semantics(t *testing.T) {
+	build := func() *ir.Module {
+		bld := ir.NewBuilder("f", []ir.Param{
+			{Name: "a", Type: ir.Int}, {Name: "b", Type: ir.Int}, {Name: "c", Type: ir.Int},
+		}, ir.Int)
+		dst := bld.F.NewReg(ir.Int)
+		bld.Raw(ir.Instr{Op: ir.OpVote3, Dst: dst, Args: []ir.Reg{0, 1, 2}})
+		bld.Ret(dst)
+		return &ir.Module{Name: "t", Funcs: []*ir.Func{bld.F}}
+	}
+	mod := build()
+	run := func(a, b, c uint64) uint64 {
+		m := New(mod, Config{TraceFn: -1})
+		res, err := m.Run(0, []uint64{a, b, c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ret
+	}
+	if run(5, 5, 5) != 5 {
+		t.Error("unanimous vote failed")
+	}
+	if run(9, 5, 5) != 5 {
+		t.Error("corrupted master not outvoted")
+	}
+	if run(5, 9, 5) != 5 {
+		t.Error("corrupted first shadow not outvoted")
+	}
+	if run(5, 5, 9) != 5 {
+		t.Error("corrupted second shadow not outvoted")
+	}
+	// Three-way disagreement keeps the master (no majority exists).
+	if run(1, 2, 3) != 1 {
+		t.Error("three-way disagreement should keep the first copy")
+	}
+}
+
+func TestCheck2Semantics(t *testing.T) {
+	bld := ir.NewBuilder("f", []ir.Param{
+		{Name: "a", Type: ir.Int}, {Name: "b", Type: ir.Int},
+	}, ir.Int)
+	bld.Raw(ir.Instr{Op: ir.OpCheck2, Args: []ir.Reg{0, 1}})
+	bld.Ret(0)
+	mod := &ir.Module{Name: "t", Funcs: []*ir.Func{bld.F}}
+	m := New(mod, Config{TraceFn: -1})
+	if _, err := m.Run(0, []uint64{4, 4}); err != nil {
+		t.Errorf("matching check raised %v", err)
+	}
+	m2 := New(mod, Config{TraceFn: -1})
+	if _, err := m2.Run(0, []uint64{4, 5}); err == nil {
+		t.Error("mismatching check did not signal detection")
+	}
+}

@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExecutionTrace(t *testing.T) {
+	mod := compile(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}`)
+	var sb strings.Builder
+	m := New(mod, Config{Trace: &sb, TraceFn: -1})
+	if _, err := m.Run(0, []uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"f b0#0", "condbr", "add", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 20 {
+		t.Errorf("suspiciously short trace: %d lines", lines)
+	}
+}
+
+func TestTraceLimit(t *testing.T) {
+	mod := compile(t, `
+int f(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i = i + 1) { s = s + i; }
+	return s;
+}`)
+	var sb strings.Builder
+	m := New(mod, Config{Trace: &sb, TraceLimit: 10, TraceFn: -1})
+	if _, err := m.Run(0, []uint64{1000}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "trace truncated") {
+		t.Error("long trace was not truncated")
+	}
+	if n := strings.Count(out, "\n"); n > 12 {
+		t.Errorf("truncated trace still has %d lines", n)
+	}
+}

@@ -1,0 +1,220 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pts(vs ...float64) []Point {
+	out := make([]Point, len(vs))
+	for i, v := range vs {
+		out[i] = Point{Iter: int64(i), V: v}
+	}
+	return out
+}
+
+func feed(it *Interp, points []Point) (phases [][]Point) {
+	for _, p := range points {
+		if ph, cut := it.Observe(p); cut {
+			phases = append(phases, ph)
+		}
+	}
+	if ph := it.Flush(); len(ph) > 0 {
+		phases = append(phases, ph)
+	}
+	return phases
+}
+
+func TestSlopeChange(t *testing.T) {
+	cases := []struct {
+		prev, cur, value, want float64
+	}{
+		{1, 1, 10, 0},
+		{1, 2, 10, 1},   // |2-1|/|1|
+		{2, 1, 10, 0.5}, // |1-2|/|2|
+		{1, -1, 10, 2},  // sign flip
+		{0, 0, 10, 0},   // flat trend stays flat
+		{-2, -2, 10, 0},
+		{0.5, -160, 200, 321}, // a jump after a shallow slope reads huge
+	}
+	for _, tt := range cases {
+		if got := SlopeChange(tt.prev, tt.cur, tt.value); math.Abs(got-tt.want) > 1e-6*tt.want+1e-9 {
+			t.Errorf("SlopeChange(%g, %g, %g) = %g, want %g", tt.prev, tt.cur, tt.value, got, tt.want)
+		}
+	}
+	// Plateau: slopes that are float noise relative to the value do not
+	// register as trend breaks.
+	if got := SlopeChange(1e-13, 5e-13, 1.0); got > 0.01 {
+		t.Errorf("plateau noise produced change %g", got)
+	}
+}
+
+func TestLinearSeriesOnePhase(t *testing.T) {
+	it := NewInterp(0.1)
+	phases := feed(it, pts(1, 2, 3, 4, 5, 6, 7, 8))
+	if len(phases) != 1 {
+		t.Fatalf("perfectly linear series split into %d phases", len(phases))
+	}
+	o := ScorePhase(phases[0], 0.01)
+	if o.Skippable != 6 || o.Exact != 2 {
+		t.Errorf("linear phase: skippable=%d exact=%d, want 6/2", o.Skippable, o.Exact)
+	}
+}
+
+func TestTrendBreakCuts(t *testing.T) {
+	// Figure 5's sketch: rising trend, then a sharp break at iter 4.
+	series := pts(1, 2, 3, 4, 1, -2, -5)
+	it := NewInterp(0.2)
+	phases := feed(it, series)
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2 (cut at the break): %+v", len(phases), phases)
+	}
+	if phases[0][len(phases[0])-1].Iter != 3 {
+		t.Errorf("first phase should end at iter 3, ends at %d",
+			phases[0][len(phases[0])-1].Iter)
+	}
+}
+
+func TestHigherTPExtendsPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := make([]Point, 200)
+	v := 0.0
+	for i := range series {
+		v += 1 + 0.3*rng.Float64() // noisy rising trend
+		series[i] = Point{Iter: int64(i), V: v}
+	}
+	low := feed(NewInterp(0.05), append([]Point(nil), series...))
+	high := feed(NewInterp(1.0), append([]Point(nil), series...))
+	if len(high) >= len(low) {
+		t.Errorf("higher TP should produce fewer phases: tp=1.0 %d phases, tp=0.05 %d phases",
+			len(high), len(low))
+	}
+}
+
+// Property: every observed point appears in exactly one phase as a
+// countable element (endpoints shared between phases are marked
+// Validated in the successor phase and skipped by scoring).
+func TestEveryPointValidatedOnce(t *testing.T) {
+	check := func(seed int64, tpRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := 0.05 + float64(tpRaw)/64.0
+		n := 20 + rng.Intn(200)
+		it := NewInterp(tp)
+		counted := 0
+		count := func(ph []Point) {
+			for _, p := range ph {
+				if !p.Validated {
+					counted++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			p := Point{Iter: int64(i), V: rng.NormFloat64() * 10}
+			if ph, cut := it.Observe(p); cut {
+				count(ph)
+			}
+		}
+		count(it.Flush())
+		return counted == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a phase's skippable points really are within AR of the
+// interpolant (ScorePhase and Predict agree).
+func TestScorePhaseConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		phase := make([]Point, n)
+		for i := range phase {
+			phase[i] = Point{Iter: int64(i * 2), V: rng.Float64()*100 - 50}
+		}
+		ar := 0.25
+		o := ScorePhase(phase, ar)
+		skippable := 0
+		first, last := phase[0], phase[n-1]
+		for i := 1; i < n-1; i++ {
+			if RelDiff(phase[i].V, Predict(first, last, phase[i].Iter)) <= ar {
+				skippable++
+			}
+		}
+		return o.Skippable == skippable && o.Skippable+o.Exact == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictEndpointsExact(t *testing.T) {
+	first := Point{Iter: 10, V: 3}
+	last := Point{Iter: 20, V: 13}
+	if Predict(first, last, 10) != 3 || Predict(first, last, 20) != 13 {
+		t.Error("interpolant must pass through endpoints")
+	}
+	if Predict(first, last, 15) != 8 {
+		t.Errorf("midpoint = %g, want 8", Predict(first, last, 15))
+	}
+	// Degenerate zero-length phase.
+	if Predict(first, first, 10) != 3 {
+		t.Error("degenerate phase prediction")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(10, 10) != 0 {
+		t.Error("identical values must have zero diff")
+	}
+	if got := RelDiff(12, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RelDiff(12,10) = %g, want 0.2", got)
+	}
+	if got := RelDiff(1, 0); got < 1e6 {
+		t.Errorf("diff against zero prediction should be huge, got %g", got)
+	}
+	if RelDiff(0, 0) != 0 {
+		t.Error("both zero should be zero diff")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	it := NewInterp(0.5)
+	feed(it, pts(1, 5, 2, 8, 3))
+	it.Reset()
+	if it.Pending() != 0 || len(it.Changes) != 0 {
+		t.Error("Reset left state behind")
+	}
+	phases := feed(it, pts(1, 2, 3))
+	if len(phases) != 1 {
+		t.Errorf("fresh series after Reset: %d phases", len(phases))
+	}
+}
+
+func TestFlushEmpty(t *testing.T) {
+	it := NewInterp(0.5)
+	if ph := it.Flush(); ph != nil {
+		t.Errorf("empty flush returned %v", ph)
+	}
+}
+
+func TestSeedCarriesValidatedFlag(t *testing.T) {
+	it := NewInterp(0.1)
+	// Break the trend so a cut happens; the next phase's first point
+	// must be marked Validated (it was the previous phase's endpoint).
+	var phases [][]Point
+	for _, p := range pts(1, 2, 3, 10, 20, 30, -5) {
+		if ph, cut := it.Observe(p); cut {
+			phases = append(phases, ph)
+		}
+	}
+	if len(phases) < 2 {
+		t.Fatalf("expected at least 2 cuts, got %d", len(phases))
+	}
+	second := phases[1]
+	if !second[0].Validated {
+		t.Error("phase seed point must carry the Validated flag")
+	}
+}

@@ -1,0 +1,236 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformQuantizerEdges(t *testing.T) {
+	q := UniformQuantizer([]float64{0, 10}, 4)
+	if q.Levels() != 4 {
+		t.Fatalf("levels = %d", q.Levels())
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {2.4, 0}, {2.6, 1}, {5.1, 2}, {7.6, 3}, {10, 3}, {99, 3},
+	}
+	for _, tt := range cases {
+		if got := q.Level(tt.v); got != tt.want {
+			t.Errorf("Level(%g) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestQuantizerDegenerate(t *testing.T) {
+	q := UniformQuantizer([]float64{5, 5, 5}, 8)
+	if q.Levels() != 1 || q.Level(5) != 0 || q.Level(100) != 0 {
+		t.Error("constant samples should collapse to one level")
+	}
+	h := HistogramQuantizer(nil, 4, 64)
+	if h.Levels() != 1 {
+		t.Error("empty samples should collapse to one level")
+	}
+}
+
+// Property: Level is monotone non-decreasing in the value.
+func TestLevelMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 500)
+	for i := range samples {
+		samples[i] = rng.NormFloat64() * 10
+	}
+	for _, q := range []*Quantizer{
+		UniformQuantizer(samples, 8),
+		HistogramQuantizer(samples, 8, 128),
+	} {
+		check := func(a, b float64) bool {
+			if a > b {
+				a, b = b, a
+			}
+			return q.Level(a) <= q.Level(b)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHistogramQuantizerFindsClusters(t *testing.T) {
+	// Three well-separated clusters must land in three distinct levels
+	// with boundaries inside the gaps.
+	rng := rand.New(rand.NewSource(7))
+	var samples []float64
+	centers := []float64{10, 50, 90}
+	for i := 0; i < 900; i++ {
+		samples = append(samples, centers[i%3]+rng.Float64()*2-1)
+	}
+	q := HistogramQuantizer(samples, 3, 256)
+	levels := map[int]bool{}
+	for _, c := range centers {
+		lo, hi := q.Level(c-1), q.Level(c+1)
+		if lo != hi {
+			t.Errorf("cluster %g straddles levels %d and %d", c, lo, hi)
+		}
+		levels[lo] = true
+	}
+	if len(levels) != 3 {
+		t.Errorf("clusters share levels: %v", levels)
+	}
+}
+
+func TestHistogramBeatsUniformOnClusteredData(t *testing.T) {
+	// Log-spaced clusters: uniform min/max wastes levels on the gaps.
+	rng := rand.New(rand.NewSource(11))
+	centers := []float64{0.1, 0.3, 1, 3, 10, 30}
+	n := 3000
+	in := make([][]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := centers[rng.Intn(len(centers))] * (1 + 0.01*(rng.Float64()*2-1))
+		in[i] = []float64{x}
+		out[i] = x * x
+	}
+	cut := n * 3 / 4
+	hist, err := BuildMemo(in[:cut], out[:cut], MemoConfig{AddressBits: 3, FineBins: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := BuildMemo(in[:cut], out[:cut], MemoConfig{AddressBits: 3, FineBins: 256, Uniform: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := hist.Accuracy(in[cut:], out[cut:], 0.05)
+	ua := uni.Accuracy(in[cut:], out[cut:], 0.05)
+	if ha <= ua {
+		t.Errorf("histogram accuracy %.3f should beat uniform %.3f on clustered data", ha, ua)
+	}
+	if ha < 0.95 {
+		t.Errorf("histogram accuracy %.3f too low for separable clusters", ha)
+	}
+}
+
+func TestBuildMemoLookupRoundTrip(t *testing.T) {
+	// A function of two clustered inputs: table hits must predict
+	// within tolerance; unseen regions must miss, not lie confidently.
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	in := make([][]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(1 + rng.Intn(4))
+		y := float64(10 * (1 + rng.Intn(3)))
+		in[i] = []float64{x, y}
+		out[i] = x*y + x
+	}
+	table, err := BuildMemo(in, out, MemoConfig{AddressBits: 6, FineBins: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := table.Lookup([]float64{2, 20})
+	if !ok {
+		t.Fatal("miss on a trained input")
+	}
+	if RelDiff(42, v) > 0.05 {
+		t.Errorf("Lookup(2,20) = %g, want ~42", v)
+	}
+	if acc := table.Accuracy(in, out, 0.05); acc < 0.99 {
+		t.Errorf("training accuracy %.3f on exactly-clustered data", acc)
+	}
+}
+
+func TestBuildMemoBitBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 1000
+	in := make([][]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100 // only input that matters
+		noise := rng.Float64()   // irrelevant input
+		in[i] = []float64{x, noise}
+		out[i] = 3 * x
+	}
+	table, err := BuildMemo(in, out, MemoConfig{AddressBits: 8, FineBins: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range table.Bits {
+		total += b
+	}
+	if total > 8 {
+		t.Errorf("bit budget exceeded: %v", table.Bits)
+	}
+	if table.Bits[0] <= table.Bits[1] {
+		t.Errorf("bit tuning gave the impactful input %d bits vs noise's %d",
+			table.Bits[0], table.Bits[1])
+	}
+}
+
+func TestBuildMemoErrors(t *testing.T) {
+	if _, err := BuildMemo(nil, nil, MemoConfig{}); err == nil {
+		t.Error("empty training set should error")
+	}
+	if _, err := BuildMemo([][]float64{{1}}, []float64{1, 2}, MemoConfig{}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := BuildMemo([][]float64{{}}, []float64{1}, MemoConfig{}); err == nil {
+		t.Error("zero-input function should error")
+	}
+}
+
+func TestMemoIndexWithinBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 500
+	in := make([][]float64, n)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		in[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 5}
+		out[i] = in[i][0] + in[i][1]
+	}
+	table, err := BuildMemo(in, out, MemoConfig{AddressBits: 6, FineBins: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b float64) bool {
+		idx := table.Index([]float64{a, b})
+		return idx >= 0 && idx < len(table.Values)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEdgesHelper(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	edges := quantileEdges(samples, 4)
+	if len(edges) != 4 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if !sort.Float64sAreSorted(edges) {
+		t.Errorf("quantile edges not sorted: %v", edges)
+	}
+}
+
+func TestEncodedInputs(t *testing.T) {
+	table := &MemoTable{Bits: []int{3, 0, 2, 0}}
+	if table.EncodedInputs() != 2 {
+		t.Errorf("EncodedInputs = %d, want 2", table.EncodedInputs())
+	}
+}
+
+func TestAccuracyEmptyTestSet(t *testing.T) {
+	table := &MemoTable{Bits: []int{1}, Quants: []*Quantizer{{Edges: []float64{0}}},
+		Values: []float64{0, 0}, Filled: []bool{false, false}}
+	if table.Accuracy(nil, nil, 0.1) != 0 {
+		t.Error("empty test set accuracy should be 0")
+	}
+	if v, ok := table.Lookup([]float64{1}); ok || v != 0 {
+		t.Error("cold cell must miss")
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantizer maps one input dimension to a small number of levels.
+// Edges[k] is the lower boundary of level k; a value v falls into the
+// last level whose edge is <= v (values below Edges[0] clamp to level
+// 0). Levels = len(Edges).
+type Quantizer struct {
+	Edges []float64
+}
+
+// Level returns the quantization level for v.
+func (q *Quantizer) Level(v float64) int {
+	// Binary search for the rightmost edge <= v.
+	lo, hi := 0, len(q.Edges)-1
+	if v < q.Edges[0] {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if q.Edges[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Levels returns the number of levels.
+func (q *Quantizer) Levels() int { return len(q.Edges) }
+
+// UniformQuantizer builds the prior work's quantizer: the [min,max]
+// range split into 'levels' equal-width levels (Samadi et al.'s
+// uniform assumption, kept for the §4.2 accuracy comparison).
+func UniformQuantizer(samples []float64, levels int) *Quantizer {
+	if levels < 1 {
+		levels = 1
+	}
+	mn, mx := minMax(samples)
+	if mx <= mn {
+		return &Quantizer{Edges: []float64{mn}}
+	}
+	edges := make([]float64, levels)
+	w := (mx - mn) / float64(levels)
+	for k := range edges {
+		edges[k] = mn + float64(k)*w
+	}
+	return &Quantizer{Edges: edges}
+}
+
+// HistogramQuantizer builds this paper's quantizer: a fine uniform
+// histogram whose adjacent least-crowded bins are merged until only
+// 'levels' remain, concentrating resolution where the training inputs
+// actually live.
+func HistogramQuantizer(samples []float64, levels, fineBins int) *Quantizer {
+	if levels < 1 {
+		levels = 1
+	}
+	if fineBins < levels {
+		fineBins = levels * 4
+	}
+	mn, mx := minMax(samples)
+	if mx <= mn || len(samples) == 0 {
+		return &Quantizer{Edges: []float64{mn}}
+	}
+	type bin struct {
+		lo    float64
+		count int
+		sum   float64
+	}
+	w := (mx - mn) / float64(fineBins)
+	bins := make([]bin, fineBins)
+	for k := range bins {
+		bins[k].lo = mn + float64(k)*w
+	}
+	for _, v := range samples {
+		k := int((v - mn) / w)
+		if k >= fineBins {
+			k = fineBins - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		bins[k].count++
+		bins[k].sum += v
+	}
+	// Gradually combine nearby less-crowded bins: the merge cost is the
+	// within-level variance increase (Ward's criterion),
+	// nA*nB/(nA+nB) * (meanA-meanB)^2, so empty and sparse bins merge
+	// freely while boundaries between populated value clusters survive —
+	// resolution concentrates where the inputs actually live.
+	mergeCost := func(a, b bin) float64 {
+		if a.count == 0 || b.count == 0 {
+			return 0
+		}
+		ma := a.sum / float64(a.count)
+		mb := b.sum / float64(b.count)
+		na, nb := float64(a.count), float64(b.count)
+		d := ma - mb
+		return na * nb / (na + nb) * d * d
+	}
+	for len(bins) > levels {
+		best, bestCost := 0, math.Inf(1)
+		for k := 0; k+1 < len(bins); k++ {
+			c := mergeCost(bins[k], bins[k+1])
+			if c < bestCost {
+				best, bestCost = k, c
+			}
+		}
+		bins[best].count += bins[best+1].count
+		bins[best].sum += bins[best+1].sum
+		bins = append(bins[:best+1], bins[best+2:]...)
+	}
+	edges := make([]float64, len(bins))
+	for k := range bins {
+		edges[k] = bins[k].lo
+	}
+	return &Quantizer{Edges: edges}
+}
+
+func minMax(vs []float64) (mn, mx float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	mn, mx = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// quantileEdges is a helper exposed for tests: the k/levels quantiles
+// of the sample distribution, which histogram merging approximates.
+func quantileEdges(samples []float64, levels int) []float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	edges := make([]float64, levels)
+	for k := range edges {
+		idx := k * len(s) / levels
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		edges[k] = s[idx]
+	}
+	return edges
+}

@@ -1,0 +1,49 @@
+package rtm
+
+import "rskip/internal/machine"
+
+// Runtime-library operation costs, charged to the machine so predictor
+// overhead is visible in execution time and instruction counts. The
+// constants are calibrated so blackscholes reproduces the paper's
+// DI : AM : re-computation cost ratio of roughly 1 : 1.84 : 4.18
+// (§2); BenchmarkCostRatio checks the calibration.
+
+// costObserve is charged per loop iteration: read the pre-store value,
+// buffer the point (value, address, iteration, pre-store word),
+// compute the slope change and compare it to TP, maintain the phase
+// bookkeeping.
+var costObserve = machine.Cost{IntOps: 2, FpOps: 4, MemOps: 5, Branches: 3}
+
+// costMemoSave is charged per iteration when memoization is armed for
+// the loop: the call inputs are stashed for possible later lookup.
+func costMemoSave(n int) machine.Cost { return machine.Cost{MemOps: n} }
+
+// costValidate is charged per interior point at a phase cut: reload
+// the buffered point, compute the linear prediction, and run the fuzzy
+// comparison.
+var costValidate = machine.Cost{IntOps: 2, FpOps: 6, MemOps: 1, Branches: 3}
+
+// costMemoLookup is charged per table probe: quantize each input
+// (binary search a handful of edges), form the address, load.
+func costMemoLookup(n int) machine.Cost {
+	return machine.Cost{IntOps: 2 * n, Branches: n, MemOps: 2 + n/2, FpOps: 2}
+}
+
+// costCutAdmin is charged once per phase cut for list management.
+var costCutAdmin = machine.Cost{IntOps: 2, MemOps: 1}
+
+// costAdjust is charged per observe/adjust cycle: build the histogram
+// signature and consult the QoS table.
+var costAdjust = machine.Cost{IntOps: 8, MemOps: 2, Branches: 4}
+
+// costRecoverFix is charged when recovery rewrites a corrupted element.
+var costRecoverFix = machine.Cost{MemOps: 1, Branches: 1}
+
+// PredictorCosts reports the per-element instruction cost of a
+// DI-skipped element and an AM-skipped element (which pays the failed
+// first-level prediction too), for the §2 cost-ratio experiment.
+func PredictorCosts(memoInputs int) (di, am machine.Cost) {
+	di = costObserve.Add(costValidate)
+	am = di.Add(costMemoSave(memoInputs)).Add(costMemoLookup(memoInputs))
+	return di, am
+}

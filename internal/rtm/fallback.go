@@ -1,0 +1,71 @@
+package rtm
+
+import (
+	"rskip/internal/machine"
+	"rskip/internal/predict"
+)
+
+// FallbackPredictor is a pluggable approximation model tried after
+// dynamic interpolation rejects an interior element, before the
+// built-in approximate memoization and re-computation (cheapest
+// first). The paper notes RSkip's "applicability can be broadened
+// with new approximation technique that has a wider target" — this is
+// that extension point.
+//
+// A fallback sees the full phase and the index of the element under
+// validation; it returns a predicted value and whether it has one.
+// Predictions are only ever used for validation, so an inaccurate
+// fallback costs time (extra re-computation on disagreement), never
+// correctness beyond the AR-bounded false-negative trade-off every
+// fuzzy validation makes.
+type FallbackPredictor interface {
+	// Name labels the predictor in statistics.
+	Name() string
+	// Predict estimates phase[idx]'s value, or reports it cannot.
+	Predict(loopID int, phase []predict.Point, idx int) (float64, bool)
+	// Cost is charged per probe.
+	Cost() machine.Cost
+}
+
+// NeighborPredictor predicts each element as its phase predecessor —
+// the "trend" estimator of the paper's Figure 2 motivation study.
+// Useful for step-wise data where values repeat exactly but slopes
+// flip at every step (which shreds interpolation phases).
+type NeighborPredictor struct{}
+
+// Name implements FallbackPredictor.
+func (NeighborPredictor) Name() string { return "neighbor" }
+
+// Predict implements FallbackPredictor.
+func (NeighborPredictor) Predict(_ int, phase []predict.Point, idx int) (float64, bool) {
+	if idx <= 0 || idx >= len(phase) {
+		return 0, false
+	}
+	return phase[idx-1].V, true
+}
+
+// Cost implements FallbackPredictor: one compare and one load.
+func (NeighborPredictor) Cost() machine.Cost {
+	return machine.Cost{FpOps: 1, MemOps: 1, Branches: 1}
+}
+
+// MeanPredictor predicts each element as the mean of the phase's
+// endpoints — a crude whole-phase estimator that tolerates a single
+// interior spike better than the chord when the phase is flat.
+type MeanPredictor struct{}
+
+// Name implements FallbackPredictor.
+func (MeanPredictor) Name() string { return "mean" }
+
+// Predict implements FallbackPredictor.
+func (MeanPredictor) Predict(_ int, phase []predict.Point, idx int) (float64, bool) {
+	if len(phase) < 2 || idx <= 0 || idx >= len(phase)-1 {
+		return 0, false
+	}
+	return (phase[0].V + phase[len(phase)-1].V) / 2, true
+}
+
+// Cost implements FallbackPredictor.
+func (MeanPredictor) Cost() machine.Cost {
+	return machine.Cost{FpOps: 2, Branches: 1}
+}

@@ -1,0 +1,85 @@
+package rtm
+
+import (
+	"testing"
+
+	"rskip/internal/machine"
+	"rskip/internal/predict"
+)
+
+func TestNeighborPredictor(t *testing.T) {
+	fb := NeighborPredictor{}
+	phase := []predict.Point{{V: 1}, {V: 2}, {V: 3}}
+	if v, ok := fb.Predict(0, phase, 1); !ok || v != 1 {
+		t.Errorf("Predict(1) = %g, %v", v, ok)
+	}
+	if _, ok := fb.Predict(0, phase, 0); ok {
+		t.Error("first element has no neighbor")
+	}
+	if _, ok := fb.Predict(0, phase, 3); ok {
+		t.Error("out of range must miss")
+	}
+	if fb.Cost().Instrs() == 0 || fb.Name() == "" {
+		t.Error("metadata missing")
+	}
+}
+
+func TestMeanPredictor(t *testing.T) {
+	fb := MeanPredictor{}
+	phase := []predict.Point{{V: 2}, {V: 100}, {V: 4}}
+	if v, ok := fb.Predict(0, phase, 1); !ok || v != 3 {
+		t.Errorf("Predict(1) = %g, %v", v, ok)
+	}
+	if _, ok := fb.Predict(0, phase, 0); ok {
+		t.Error("endpoints are not predictable")
+	}
+}
+
+// TestFallbackRescuesStepData builds a step signal: flat runs with
+// sudden jumps. The chord across a phase containing a step misses the
+// flat values, but the neighbor predictor nails them.
+func TestFallbackRescuesStepData(t *testing.T) {
+	rsk, _ := buildPP(t, rampSrc)
+	fi := rsk.FuncByName("kernel")
+	run := func(cfg Config) *LoopStats {
+		mgr := NewManager(rsk, cfg)
+		m := machine.New(rsk, mgr.MachineConfig(machine.Config{}))
+		n := 96
+		a := m.Mem.Alloc(int64(n + 4))
+		for i := 0; i < n+4; i++ {
+			// Steps: blocks of 6 equal values, each block jumping 40%.
+			m.Mem.SetFloat(a+int64(i), float64(10*(1+i/6)))
+		}
+		out := m.Mem.Alloc(int64(n))
+		if _, err := m.Run(fi, []uint64{uint64(a), uint64(out), uint64(n)}); err != nil {
+			t.Fatal(err)
+		}
+		var st *LoopStats
+		for _, s := range mgr.Stats {
+			st = s
+		}
+		return st
+	}
+	// Fixed-stride phases straddle the steps, so the chord misses the
+	// flat interiors on either side — exactly the case a neighbor
+	// predictor rescues. (Dynamic slicing cuts at the steps, making
+	// the failing points endpoints that fallbacks do not cover.)
+	baseCfg := DefaultConfig(0.1)
+	baseCfg.FixedStride = 8
+	base := run(baseCfg)
+	cfg := DefaultConfig(0.1)
+	cfg.FixedStride = 8
+	cfg.Fallbacks = []FallbackPredictor{NeighborPredictor{}}
+	with := run(cfg)
+	if with.SkippedFB == 0 {
+		t.Fatalf("neighbor fallback never accepted an element (base skip %.2f, with %.2f)",
+			base.SkipRate(), with.SkipRate())
+	}
+	if with.SkipRate() < base.SkipRate() {
+		t.Errorf("fallback lowered the skip rate: %.3f -> %.3f",
+			base.SkipRate(), with.SkipRate())
+	}
+	if with.Detected != 0 {
+		t.Error("fault-free run detected faults")
+	}
+}

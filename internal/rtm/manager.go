@@ -1,0 +1,433 @@
+package rtm
+
+import (
+	"fmt"
+	"math"
+
+	"rskip/internal/ir"
+	"rskip/internal/machine"
+	"rskip/internal/predict"
+)
+
+// Config parameterizes the run-time management system.
+type Config struct {
+	// AR is the acceptable range as a relative fraction (0.2 = AR20).
+	AR float64
+	// DefaultTP seeds the tuning parameter before any QoS adjustment.
+	DefaultTP float64
+	// Window is the observe/adjust period in elements (Figure 6); 0
+	// disables periodic adjustment.
+	Window int
+	// QoS holds per-loop signature→TP models from offline training.
+	QoS map[int]*QoSModel
+	// Memo holds per-loop memoization tables (deployed by training for
+	// loops whose value is a pure user call).
+	Memo map[int]*predict.MemoTable
+	// ForceCP runs the listed loops under emulated conventional
+	// protection: every element is re-computed and compared, no
+	// prediction. Used when PP is expected to have no benefit and for
+	// ablations.
+	ForceCP map[int]bool
+	// DisableMemo turns the second-level predictor off (the Fig. 8a
+	// DI-only configuration).
+	DisableMemo bool
+	// DisableDI routes every element straight to the second-level
+	// predictor / re-computation (AM-only ablation).
+	DisableDI bool
+	// FixedStride replaces redundancy-guided phase slicing with fixed
+	// K-element phases (the ablation of the paper's dynamic slicing).
+	FixedStride int
+	// Fallbacks are extra approximation models tried, in order, after
+	// dynamic interpolation and memoization reject an interior element
+	// and before re-computation (the §2 extensibility point).
+	Fallbacks []FallbackPredictor
+}
+
+// DefaultConfig returns the deployment defaults.
+func DefaultConfig(ar float64) Config {
+	return Config{AR: ar, DefaultTP: 0.25, Window: 32}
+}
+
+// LoopStats aggregates one loop's protection activity.
+type LoopStats struct {
+	Observed     int // elements subject to validation
+	SkippedDI    int // accepted by dynamic interpolation
+	SkippedAM    int // accepted by approximate memoization
+	SkippedFB    int // accepted by a plug-in fallback predictor
+	Recomputed   int // exactly validated by re-computation
+	Mispredicted int // recomputation matched the original (no fault)
+	Detected     int // recomputation mismatched: possible fault
+	Recovered    int // majority vote repaired the element
+	Unrecovered  int // three-way disagreement
+	Phases       int
+	Adjusts      int
+	// TPTrace/SigTrace record the tuning parameter and context
+	// signature chosen at each observe/adjust cycle (Figure 6's
+	// trajectory).
+	TPTrace    []float64
+	SigTrace   []string
+	AMProbes   int
+	AMWrong    int
+	DIDisabled bool
+	AMDisabled bool
+}
+
+// SkipRate returns the fraction of elements whose re-computation was
+// skipped — the paper's headline metric (Fig. 7a).
+func (s *LoopStats) SkipRate() float64 {
+	if s.Observed == 0 {
+		return 0
+	}
+	return float64(s.SkippedDI+s.SkippedAM+s.SkippedFB) / float64(s.Observed)
+}
+
+// DISkipRate returns the first-level predictor's contribution alone.
+func (s *LoopStats) DISkipRate() float64 {
+	if s.Observed == 0 {
+		return 0
+	}
+	return float64(s.SkippedDI) / float64(s.Observed)
+}
+
+type loopState struct {
+	info       *ir.LoopInfo
+	interp     *predict.Interp
+	invariants []uint64
+	fixed      []predict.Point // buffered points under FixedStride
+	sinceAdj   int
+	active     bool
+}
+
+// Manager implements machine.Hooks.
+type Manager struct {
+	cfg   Config
+	mod   *ir.Module
+	loops map[int]*loopState
+	Stats map[int]*LoopStats
+	// memoParamTypes caches the traced function's parameter types for
+	// raw-bits conversion.
+	memoFn         int
+	memoParamTypes []ir.Type
+	// pendingMemoArgs holds the most recent traced memo-function call's
+	// inputs, consumed by the next Observe.
+	pendingMemoArgs []float64
+}
+
+// NewManager creates a manager for the transformed module.
+func NewManager(mod *ir.Module, cfg Config) *Manager {
+	if cfg.DefaultTP == 0 {
+		cfg.DefaultTP = 0.25
+	}
+	m := &Manager{
+		cfg:    cfg,
+		mod:    mod,
+		loops:  map[int]*loopState{},
+		Stats:  map[int]*LoopStats{},
+		memoFn: -1,
+	}
+	for i := range mod.Loops {
+		li := &mod.Loops[i]
+		m.Stats[li.ID] = &LoopStats{}
+		if li.MemoFn >= 0 && cfg.Memo[li.ID] != nil && !cfg.DisableMemo {
+			m.memoFn = li.MemoFn
+			f := mod.Funcs[li.MemoFn]
+			m.memoParamTypes = make([]ir.Type, len(f.Params))
+			for pi, p := range f.Params {
+				m.memoParamTypes[pi] = p.Type
+			}
+		}
+	}
+	return m
+}
+
+// MachineConfig wires the manager into a machine configuration.
+func (m *Manager) MachineConfig(base machine.Config) machine.Config {
+	base.Hooks = m
+	base.TraceFn = -1
+	if m.memoFn >= 0 {
+		base.TraceFn = m.memoFn
+		base.CallTracer = m.traceMemoCall
+	}
+	return base
+}
+
+func (m *Manager) traceMemoCall(args []uint64, ret uint64) {
+	in := make([]float64, len(args))
+	for i, a := range args {
+		if i < len(m.memoParamTypes) && m.memoParamTypes[i] == ir.Float {
+			in[i] = math.Float64frombits(a)
+		} else {
+			in[i] = float64(int64(a))
+		}
+	}
+	m.pendingMemoArgs = in
+}
+
+// LoopEnter implements machine.Hooks.
+func (m *Manager) LoopEnter(mc *machine.Machine, id int, invariants []uint64) error {
+	info := m.mod.LoopByID(id)
+	if info == nil {
+		return fmt.Errorf("rtm: unknown loop id %d", id)
+	}
+	ls := m.loops[id]
+	if ls == nil {
+		ls = &loopState{info: info, interp: predict.NewInterp(m.tpFor(id, ""))}
+		m.loops[id] = ls
+	}
+	ls.interp.Reset()
+	ls.invariants = append(ls.invariants[:0], invariants...)
+	ls.sinceAdj = 0
+	ls.active = true
+	m.pendingMemoArgs = nil
+	return nil
+}
+
+// arFor returns the loop's effective acceptable range: the source
+// pragma's override when present (§3 footnote 5), the deployment
+// configuration otherwise.
+func (m *Manager) arFor(ls *loopState) float64 {
+	if ls.info.HasAROverride {
+		return ls.info.AROverride
+	}
+	return m.cfg.AR
+}
+
+func (m *Manager) tpFor(id int, sig string) float64 {
+	if q := m.cfg.QoS[id]; q != nil {
+		if tp := q.TPFor(sig); tp > 0 {
+			return tp
+		}
+	}
+	return m.cfg.DefaultTP
+}
+
+// toTrend converts raw stored bits into trend space.
+func toTrend(bits uint64, isFloat bool) float64 {
+	if isFloat {
+		return math.Float64frombits(bits)
+	}
+	return float64(int64(bits))
+}
+
+// Observe implements machine.Hooks: called just before the hot store.
+func (m *Manager) Observe(mc *machine.Machine, id int, iter int64, value uint64, addr int64) error {
+	ls := m.loops[id]
+	st := m.Stats[id]
+	if ls == nil || !ls.active {
+		return fmt.Errorf("rtm: observe for inactive loop %d", id)
+	}
+	mc.Charge(costObserve)
+	old, err := mc.Mem.LoadWord(addr) // pre-store value for recompute
+	if err != nil {
+		return err
+	}
+	p := predict.Point{
+		Iter: iter,
+		V:    toTrend(value, ls.info.ValueIsFloat),
+		Bits: value,
+		Addr: addr,
+		Old:  old,
+	}
+	memo := m.memoTable(id)
+	if memo != nil && !st.AMDisabled {
+		mc.Charge(costMemoSave(len(m.memoParamTypes)))
+		p.MemoIn = m.pendingMemoArgs
+		m.pendingMemoArgs = nil
+	}
+	if m.cfg.ForceCP[id] || st.DIDisabled {
+		// Conventional protection emulation: exact-validate right away.
+		return m.exactValidate(mc, ls, st, p, false)
+	}
+	if m.cfg.DisableDI {
+		return m.secondLevel(mc, ls, st, p)
+	}
+	if m.cfg.FixedStride > 0 {
+		ls.fixed = append(ls.fixed, p)
+		if len(ls.fixed) >= m.cfg.FixedStride {
+			phase := ls.fixed
+			ls.fixed = nil
+			st.Phases++
+			mc.Charge(costCutAdmin)
+			return m.validatePhase(mc, ls, st, phase)
+		}
+		return nil
+	}
+	phase, cut := ls.interp.Observe(p)
+	if cut {
+		mc.Charge(costCutAdmin)
+		st.Phases++
+		if err := m.validatePhase(mc, ls, st, phase); err != nil {
+			return err
+		}
+	}
+	// Periodic observe/adjust cycle (Figure 6).
+	ls.sinceAdj++
+	if m.cfg.Window > 0 && ls.sinceAdj >= m.cfg.Window {
+		ls.sinceAdj = 0
+		st.Adjusts++
+		mc.Charge(costAdjust)
+		sig := Signature(ls.interp.Changes)
+		ls.interp.Changes = ls.interp.Changes[:0]
+		ls.interp.TP = m.tpFor(id, sig)
+		st.SigTrace = append(st.SigTrace, sig)
+		st.TPTrace = append(st.TPTrace, ls.interp.TP)
+		m.checkDisable(st)
+	}
+	return nil
+}
+
+// checkDisable applies the QoS model's safety valves: predictors that
+// perform badly at run time are switched off (§5). The thresholds are
+// deliberately loose; the paper never observed DI disabling either.
+func (m *Manager) checkDisable(st *LoopStats) {
+	if st.Observed > 256 && !st.DIDisabled {
+		bad := float64(st.Mispredicted) / float64(st.Observed)
+		if bad > 0.95 {
+			st.DIDisabled = true
+		}
+	}
+	if st.AMProbes > 64 && !st.AMDisabled {
+		if float64(st.AMWrong)/float64(st.AMProbes) > 0.5 {
+			st.AMDisabled = true
+		}
+	}
+}
+
+// LoopExit implements machine.Hooks.
+func (m *Manager) LoopExit(mc *machine.Machine, id int) error {
+	ls := m.loops[id]
+	st := m.Stats[id]
+	if ls == nil || !ls.active {
+		return nil // exit block reached without entering (zero-trip or outer path)
+	}
+	ls.active = false
+	var phase []predict.Point
+	if m.cfg.FixedStride > 0 {
+		phase = ls.fixed
+		ls.fixed = nil
+	} else {
+		phase = ls.interp.Flush()
+	}
+	if len(phase) == 0 {
+		return nil
+	}
+	st.Phases++
+	return m.validatePhase(mc, ls, st, phase)
+}
+
+// validatePhase fuzzy-validates a completed phase: interiors against
+// the linear interpolant, endpoints (which interpolation cannot
+// estimate) through the second-level predictor or re-computation.
+func (m *Manager) validatePhase(mc *machine.Machine, ls *loopState, st *LoopStats, phase []predict.Point) error {
+	if len(phase) == 0 {
+		return nil
+	}
+	first, last := phase[0], phase[len(phase)-1]
+	for i, p := range phase {
+		if p.Validated {
+			continue // endpoint shared with the previous phase
+		}
+		interior := i > 0 && i < len(phase)-1
+		if interior {
+			mc.Charge(costValidate)
+			pred := predict.Predict(first, last, p.Iter)
+			if predict.RelDiff(p.V, pred) <= m.arFor(ls) {
+				st.Observed++
+				st.SkippedDI++
+				continue
+			}
+		}
+		if interior && m.tryFallbacks(mc, ls, st, phase, i) {
+			continue
+		}
+		if err := m.secondLevel(mc, ls, st, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryFallbacks probes the plug-in predictors for an interior element
+// dynamic interpolation rejected; an in-range prediction accepts the
+// element (fuzzy validation with the same AR semantics).
+func (m *Manager) tryFallbacks(mc *machine.Machine, ls *loopState, st *LoopStats, phase []predict.Point, idx int) bool {
+	for _, fb := range m.cfg.Fallbacks {
+		mc.Charge(fb.Cost())
+		v, ok := fb.Predict(ls.info.ID, phase, idx)
+		if !ok {
+			continue
+		}
+		if predict.RelDiff(phase[idx].V, v) <= m.arFor(ls) {
+			st.Observed++
+			st.SkippedFB++
+			return true
+		}
+	}
+	return false
+}
+
+// secondLevel tries approximate memoization, then falls back to exact
+// validation by re-computation.
+func (m *Manager) secondLevel(mc *machine.Machine, ls *loopState, st *LoopStats, p predict.Point) error {
+	memo := m.memoTable(ls.info.ID)
+	if memo != nil && !st.AMDisabled && p.MemoIn != nil {
+		mc.Charge(costMemoLookup(len(p.MemoIn)))
+		st.AMProbes++
+		if v, ok := memo.Lookup(p.MemoIn); ok {
+			if predict.RelDiff(p.V, v) <= m.arFor(ls) {
+				st.Observed++
+				st.SkippedAM++
+				return nil
+			}
+			st.AMWrong++
+		}
+	}
+	return m.exactValidate(mc, ls, st, p, true)
+}
+
+func (m *Manager) memoTable(id int) *predict.MemoTable {
+	if m.cfg.DisableMemo {
+		return nil
+	}
+	return m.cfg.Memo[id]
+}
+
+// exactValidate re-computes the element; a mismatch means a possible
+// fault, answered with a second re-computation and TMR-style majority
+// (§2's recovery via re-computation). fromPrediction marks elements
+// that reached here after a failed prediction (mispredictions).
+func (m *Manager) exactValidate(mc *machine.Machine, ls *loopState, st *LoopStats, p predict.Point, fromPrediction bool) error {
+	st.Observed++
+	st.Recomputed++
+	r1, err := mc.CallRecompute(ls.info, p.Iter, ls.invariants, true, p.Addr, p.Old)
+	if err != nil {
+		return err
+	}
+	if r1 == p.Bits {
+		if fromPrediction {
+			st.Mispredicted++
+		}
+		return nil
+	}
+	// Possible fault: second re-computation and majority vote.
+	st.Detected++
+	r2, err := mc.CallRecompute(ls.info, p.Iter, ls.invariants, true, p.Addr, p.Old)
+	if err != nil {
+		return err
+	}
+	mc.Charge(costRecoverFix)
+	switch {
+	case r1 == r2:
+		// The original copy was corrupted: repair memory.
+		if err := mc.Mem.StoreWord(p.Addr, r1); err != nil {
+			return err
+		}
+		st.Recovered++
+	case p.Bits == r2:
+		// The first re-computation was corrupted; the original stands.
+		st.Recovered++
+	default:
+		st.Unrecovered++
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Package rtm is RSkip's run-time management system: it services the
+// machine's prediction-protection hooks, drives dynamic interpolation
+// and approximate memoization, performs fuzzy validation against the
+// acceptable range, triggers re-computation and recovery for suspected
+// faults, and adapts the tuning parameter from context signatures
+// using the QoS model built during offline training.
+package rtm
+
+import (
+	"sort"
+	"strings"
+)
+
+// SigThresholds bound the slope-change histogram bins a context
+// signature summarizes: "flat trend", "gentle", "bumpy", "chaotic".
+var SigThresholds = []float64{0.05, 0.25, 1.0}
+
+// NumSigBins is the histogram size (len(SigThresholds)+1).
+const NumSigBins = 4
+
+// Signature summarizes recent slope changes into a context signature:
+// the histogram bins listed most-populated first, e.g. "3120". The
+// paper's example "312" encodes exactly this ranking.
+func Signature(changes []float64) string {
+	var counts [NumSigBins]int
+	for _, c := range changes {
+		counts[sigBin(c)]++
+	}
+	order := []int{0, 1, 2, 3}
+	sort.SliceStable(order, func(i, j int) bool {
+		return counts[order[i]] > counts[order[j]]
+	})
+	var sb strings.Builder
+	for _, b := range order {
+		sb.WriteByte(byte('0' + b))
+	}
+	return sb.String()
+}
+
+func sigBin(c float64) int {
+	for i, t := range SigThresholds {
+		if c <= t {
+			return i
+		}
+	}
+	return NumSigBins - 1
+}
+
+// QoSModel maps context signatures to the best tuning parameter the
+// trainer found; Default covers unseen signatures.
+type QoSModel struct {
+	Default float64
+	BySig   map[string]float64
+}
+
+// TPFor returns the tuning parameter for a signature.
+func (q *QoSModel) TPFor(sig string) float64 {
+	if q == nil {
+		return 0
+	}
+	if tp, ok := q.BySig[sig]; ok {
+		return tp
+	}
+	return q.Default
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.Row("alpha", "1")
+	tb.Row("a-much-longer-name", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: each data line has the value in the same column.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			t.Errorf("row too short for aligned column: %q", ln)
+		}
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Row("only-one")
+	if out := tb.String(); !strings.Contains(out, "only-one") {
+		t.Errorf("row lost: %q", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 10); got != "#####....." {
+		t.Errorf("Bar(0.5,10) = %q", got)
+	}
+	if got := Bar(0, 4); got != "...." {
+		t.Errorf("Bar(0) = %q", got)
+	}
+	if got := Bar(1, 4); got != "####" {
+		t.Errorf("Bar(1) = %q", got)
+	}
+	if got := Bar(-3, 4); got != "...." {
+		t.Errorf("negative clamps: %q", got)
+	}
+	if got := Bar(7, 4); got != "####" {
+		t.Errorf("overflow clamps: %q", got)
+	}
+	if got := Bar(math.NaN(), 4); got != "...." {
+		t.Errorf("NaN clamps: %q", got)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+	if Median([]float64{1, 2, 9}) != 2 {
+		t.Errorf("odd median wrong")
+	}
+	mn, mx := MinMax(xs)
+	if mn != 1 || mx != 4 {
+		t.Errorf("MinMax = %g %g", mn, mx)
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %g", g)
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty inputs should produce 0")
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Error("non-positive input should produce 0")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.5) != "50.00%" {
+		t.Errorf("Pct = %q", Pct(0.5))
+	}
+	if X(1.275) != "1.27x" && X(1.275) != "1.28x" {
+		t.Errorf("X = %q", X(1.275))
+	}
+}
+
+// Property: Mean is bounded by MinMax.
+func TestMeanBounded(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		mn, mx := MinMax(xs)
+		m := Mean(xs)
+		return m >= mn-1e-6 && m <= mx+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"rskip/internal/predict"
+	"rskip/internal/rtm"
+)
+
+// The paper's flow is train-once, deploy-many: the QoS model and memo
+// tables built by the offline phase ship with the executable. Profiles
+// serialize a Result as JSON so cmd/rskiprun and embedders can persist
+// a training run and reload it without retraining.
+
+// profileVersion guards against stale files as the format evolves.
+const profileVersion = 1
+
+type profileJSON struct {
+	Version int                    `json:"version"`
+	Loops   map[string]loopProfile `json:"loops"`
+}
+
+type loopProfile struct {
+	Samples      int                `json:"samples"`
+	QoSDefault   float64            `json:"qos_default_tp"`
+	QoSBySig     map[string]float64 `json:"qos_by_signature,omitempty"`
+	MemoAccuracy float64            `json:"memo_accuracy,omitempty"`
+	Memo         *memoProfile       `json:"memo,omitempty"`
+}
+
+type memoProfile struct {
+	Bits   []int       `json:"bits"`
+	Edges  [][]float64 `json:"edges"`
+	Values []float64   `json:"values"`
+	Filled []bool      `json:"filled"`
+}
+
+// Save writes the profile as JSON.
+func (r *Result) Save(w io.Writer) error {
+	p := profileJSON{Version: profileVersion, Loops: map[string]loopProfile{}}
+	for id, q := range r.QoS {
+		lp := loopProfile{
+			Samples:      r.Samples[id],
+			QoSDefault:   q.Default,
+			QoSBySig:     q.BySig,
+			MemoAccuracy: r.MemoAccuracy[id],
+		}
+		if t := r.Memo[id]; t != nil {
+			mp := &memoProfile{Bits: t.Bits, Values: t.Values, Filled: t.Filled}
+			for _, q := range t.Quants {
+				mp.Edges = append(mp.Edges, q.Edges)
+			}
+			lp.Memo = mp
+		}
+		p.Loops[fmt.Sprint(id)] = lp
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// SaveFile writes the profile to path.
+func (r *Result) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.Save(f)
+}
+
+// Load reads a profile written by Save.
+func Load(rd io.Reader) (*Result, error) {
+	var p profileJSON
+	if err := json.NewDecoder(rd).Decode(&p); err != nil {
+		return nil, fmt.Errorf("train: decoding profile: %w", err)
+	}
+	if p.Version != profileVersion {
+		return nil, fmt.Errorf("train: profile version %d, want %d", p.Version, profileVersion)
+	}
+	res := &Result{
+		QoS:          map[int]*rtm.QoSModel{},
+		Memo:         map[int]*predict.MemoTable{},
+		MemoBuilt:    map[int]*predict.MemoTable{},
+		MemoAccuracy: map[int]float64{},
+		Samples:      map[int]int{},
+	}
+	for key, lp := range p.Loops {
+		var id int
+		if _, err := fmt.Sscanf(key, "%d", &id); err != nil {
+			return nil, fmt.Errorf("train: bad loop id %q", key)
+		}
+		bySig := lp.QoSBySig
+		if bySig == nil {
+			bySig = map[string]float64{}
+		}
+		res.QoS[id] = &rtm.QoSModel{Default: lp.QoSDefault, BySig: bySig}
+		res.Samples[id] = lp.Samples
+		res.MemoAccuracy[id] = lp.MemoAccuracy
+		if lp.Memo != nil {
+			if len(lp.Memo.Bits) != len(lp.Memo.Edges) {
+				return nil, fmt.Errorf("train: memo profile for loop %d is inconsistent", id)
+			}
+			t := &predict.MemoTable{
+				Bits:   lp.Memo.Bits,
+				Values: lp.Memo.Values,
+				Filled: lp.Memo.Filled,
+			}
+			want := 1
+			for _, b := range lp.Memo.Bits {
+				want <<= b
+			}
+			if len(t.Values) != want || len(t.Filled) != want {
+				return nil, fmt.Errorf("train: memo table for loop %d has %d cells, want %d",
+					id, len(t.Values), want)
+			}
+			for _, edges := range lp.Memo.Edges {
+				if len(edges) == 0 {
+					return nil, fmt.Errorf("train: memo quantizer for loop %d has no edges", id)
+				}
+				t.Quants = append(t.Quants, &predict.Quantizer{Edges: edges})
+			}
+			res.Memo[id] = t
+			res.MemoBuilt[id] = t
+		}
+	}
+	return res, nil
+}
+
+// LoadFile reads a profile from path.
+func LoadFile(path string) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

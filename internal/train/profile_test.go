@@ -1,0 +1,106 @@
+package train
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rskip/internal/predict"
+	"rskip/internal/rtm"
+)
+
+func sampleResult() *Result {
+	table := &predict.MemoTable{
+		Bits: []int{1, 2},
+		Quants: []*predict.Quantizer{
+			{Edges: []float64{0, 5}},
+			{Edges: []float64{0, 1, 2, 3}},
+		},
+		Values: make([]float64, 8),
+		Filled: make([]bool, 8),
+	}
+	idx := table.Index([]float64{7, 3.5})
+	table.Values[idx] = 42.5
+	table.Filled[idx] = true
+	return &Result{
+		QoS: map[int]*rtm.QoSModel{
+			0: {Default: 0.25, BySig: map[string]float64{"0123": 1.0}},
+			1: {Default: 0.5, BySig: map[string]float64{}},
+		},
+		Memo:         map[int]*predict.MemoTable{0: table},
+		MemoAccuracy: map[int]float64{0: 0.97},
+		Samples:      map[int]int{0: 1000, 1: 500},
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	orig := sampleResult()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.QoS[0].Default != 0.25 || got.QoS[0].BySig["0123"] != 1.0 {
+		t.Errorf("QoS 0 mismatch: %+v", got.QoS[0])
+	}
+	if got.QoS[1].Default != 0.5 {
+		t.Errorf("QoS 1 mismatch: %+v", got.QoS[1])
+	}
+	if got.Samples[0] != 1000 || got.Samples[1] != 500 {
+		t.Errorf("samples mismatch: %+v", got.Samples)
+	}
+	if got.MemoAccuracy[0] != 0.97 {
+		t.Errorf("accuracy mismatch")
+	}
+	tab := got.Memo[0]
+	if tab == nil {
+		t.Fatal("memo table lost")
+	}
+	if v, ok := tab.Lookup([]float64{7, 3.5}); !ok || v != 42.5 {
+		t.Errorf("reloaded table Lookup = %g, %v; want 42.5, true", v, ok)
+	}
+	if _, ok := got.Memo[1]; ok {
+		t.Error("phantom memo table appeared")
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := sampleResult().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.QoS[0] == nil {
+		t.Fatal("file round trip lost data")
+	}
+}
+
+func TestProfileLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		``,
+		`not json`,
+		`{"version": 99, "loops": {}}`,
+		`{"version": 1, "loops": {"x": {}}}`,
+		// Inconsistent memo: 2 bits declared but 1 quantizer.
+		`{"version": 1, "loops": {"0": {"qos_default_tp": 0.2,
+		  "memo": {"bits": [1, 1], "edges": [[0]], "values": [0,0,0,0], "filled": [false,false,false,false]}}}}`,
+		// Wrong cell count.
+		`{"version": 1, "loops": {"0": {"qos_default_tp": 0.2,
+		  "memo": {"bits": [1], "edges": [[0,1]], "values": [0], "filled": [false]}}}}`,
+		// Empty quantizer edges.
+		`{"version": 1, "loops": {"0": {"qos_default_tp": 0.2,
+		  "memo": {"bits": [1], "edges": [[]], "values": [0,0], "filled": [false,false]}}}}`,
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("Load(%q): expected error", src)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package train
+
+import (
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+	"rskip/internal/lower"
+	"rskip/internal/machine"
+	"rskip/internal/transform"
+)
+
+func buildPP(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := lower.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsk, err := transform.ApplyRSkip(mod, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rsk
+}
+
+const rampSrc = `
+void kernel(float a[], float out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		float s = 0.0;
+		for (int j = 0; j < 4; j = j + 1) { s = s + a[i + j]; }
+		out[i] = s;
+	}
+}
+`
+
+func rampSetup(slope float64) func(mem *machine.Memory) []uint64 {
+	return func(mem *machine.Memory) []uint64 {
+		n := 96
+		a := mem.Alloc(int64(n + 4))
+		for i := 0; i < n+4; i++ {
+			mem.SetFloat(a+int64(i), 1+slope*float64(i))
+		}
+		out := mem.Alloc(int64(n))
+		return []uint64{uint64(a), uint64(out), uint64(n)}
+	}
+}
+
+func TestTrainingBuildsQoS(t *testing.T) {
+	rsk := buildPP(t, rampSrc)
+	kernel := rsk.FuncByName("kernel")
+	res, err := Run(rsk, kernel,
+		[]func(mem *machine.Memory) []uint64{rampSetup(0.5), rampSetup(1.0)},
+		Config{AR: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rsk.Loops[0].ID
+	if res.Samples[id] != 192 {
+		t.Errorf("sampled %d elements, want 192", res.Samples[id])
+	}
+	q := res.QoS[id]
+	if q == nil {
+		t.Fatal("no QoS model")
+	}
+	if q.Default <= 0 {
+		t.Errorf("default TP = %g", q.Default)
+	}
+	// Memo is not applicable here (no Figure 4a pattern).
+	if len(res.Memo) != 0 {
+		t.Errorf("unexpected memo tables: %v", res.Memo)
+	}
+}
+
+func TestTrainingMemoDeployment(t *testing.T) {
+	// A pure-call kernel over a small repeating input domain: the memo
+	// table must train accurately and be deployed.
+	src := `
+float price(float a, float b) {
+	return sqrt(a) * exp(b * 0.1) + log(a + b + 2.0) * a;
+}
+void kernel(float x[], float y[], float out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		float p = price(x[i], y[i]);
+		out[i] = p;
+	}
+}`
+	rsk := buildPP(t, src)
+	kernel := rsk.FuncByName("kernel")
+	setup := func(seed int64) func(mem *machine.Memory) []uint64 {
+		return func(mem *machine.Memory) []uint64 {
+			n := 512
+			x := mem.Alloc(int64(n))
+			y := mem.Alloc(int64(n))
+			for i := 0; i < n; i++ {
+				// Clustered domain: a few distinct values.
+				mem.SetFloat(x+int64(i), float64(1+(i*7+int(seed))%5))
+				mem.SetFloat(y+int64(i), float64(1+(i*3+int(seed))%4))
+			}
+			out := mem.Alloc(int64(n))
+			return []uint64{uint64(x), uint64(y), uint64(out), uint64(n)}
+		}
+	}
+	res, err := Run(rsk, kernel,
+		[]func(mem *machine.Memory) []uint64{setup(0), setup(1), setup(2)},
+		Config{AR: 0.2, MemoBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rsk.Loops[0].ID
+	if rsk.Loops[0].MemoFn < 0 {
+		t.Fatal("memo pattern not detected")
+	}
+	if acc := res.MemoAccuracy[id]; acc < 0.95 {
+		t.Errorf("memo accuracy %.3f on a 20-point domain", acc)
+	}
+	if res.Memo[id] == nil {
+		t.Error("accurate table was not deployed")
+	}
+}
+
+func TestTrainingQoSSweepPicksSensibleTP(t *testing.T) {
+	// A bumpy-but-trending input punishes timid TPs (they cut at every
+	// bump, drowning in endpoints); the sweep must find a tolerant one.
+	rsk := buildPP(t, rampSrc)
+	kernel := rsk.FuncByName("kernel")
+	bumpy := func(mem *machine.Memory) []uint64 {
+		n := 96
+		a := mem.Alloc(int64(n + 4))
+		for i := 0; i < n+4; i++ {
+			// A slow ramp carrying a small period-8 square wave: the
+			// windowed sums oscillate a few percent around a large mean,
+			// so timid TPs cut at every wavefront (mostly endpoints)
+			// while a tolerant TP rides one long phase whose interiors
+			// pass AR20 easily.
+			v := 100.0 + 0.05*float64(i)
+			if (i/4)%2 == 0 {
+				v += 3
+			} else {
+				v -= 3
+			}
+			mem.SetFloat(a+int64(i), v)
+		}
+		out := mem.Alloc(int64(n))
+		return []uint64{uint64(a), uint64(out), uint64(n)}
+	}
+	res, err := Run(rsk, kernel,
+		[]func(mem *machine.Memory) []uint64{bumpy},
+		Config{AR: 0.2, TPSweep: []float64{0.02, 0.25, 2.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.QoS[rsk.Loops[0].ID]
+	if q.Default == 0.02 {
+		t.Errorf("sweep picked the most timid TP %g for a bumpy trend", q.Default)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	rsk := buildPP(t, rampSrc)
+	series, counters, err := Collect(rsk, rsk.FuncByName("kernel"), rampSetup(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := rsk.Loops[0].ID
+	if len(series[id]) != 1 {
+		t.Fatalf("got %d invocations, want 1", len(series[id]))
+	}
+	pts := series[id][0]
+	if len(pts) != 96 {
+		t.Fatalf("got %d points, want 96", len(pts))
+	}
+	// Values are the 4-element window sums of the ramp.
+	for i, p := range pts {
+		want := 4 + float64(4*i+6)
+		if p.V != want {
+			t.Fatalf("point %d = %g, want %g", i, p.V, want)
+		}
+		if p.Iter != int64(i) {
+			t.Fatalf("iter %d recorded as %d", i, p.Iter)
+		}
+	}
+	if counters.Dyn == 0 {
+		t.Error("counters not recorded")
+	}
+}
+
+func TestTrainingFailsOnBrokenRun(t *testing.T) {
+	rsk := buildPP(t, rampSrc)
+	kernel := rsk.FuncByName("kernel")
+	bad := func(mem *machine.Memory) []uint64 {
+		// Invalid base address: the run must fail, and training must
+		// surface it.
+		return []uint64{uint64(machine.MappedLimit), uint64(machine.MappedLimit), 8}
+	}
+	if _, err := Run(rsk, kernel, []func(mem *machine.Memory) []uint64{bad}, Config{AR: 0.2}); err == nil {
+		t.Error("training on a crashing run must error")
+	}
+}

@@ -1,0 +1,120 @@
+package transform
+
+import (
+	"errors"
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+	"rskip/internal/machine"
+)
+
+func TestCFCPreservesSemantics(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	golden := runKernel(t, mod, nil, 12)
+	cfc := mod.Clone()
+	ApplySWIFTR(cfc)
+	ApplyCFC(cfc)
+	if err := ir.Verify(cfc); err != nil {
+		t.Fatalf("CFC output invalid: %v", err)
+	}
+	got := runKernel(t, cfc, nil, 12)
+	if !outputsEqual(golden, got) {
+		t.Fatal("CFC changed semantics")
+	}
+}
+
+func TestCFCOnArbitraryConditions(t *testing.T) {
+	// Conditions that are not 0/1 must still steer the signature right.
+	mod := compile(t, `
+int f(int x) {
+	int s = 0;
+	while (x) {
+		s = s + x;
+		x = x - 2;
+		if (x < 0) { break; }
+	}
+	return s;
+}`)
+	run := func(m *ir.Module, x int64) int64 {
+		mm := machine.New(m, machine.Config{TraceFn: -1})
+		res, err := mm.Run(0, []uint64{uint64(x)})
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		return int64(res.Ret)
+	}
+	cfc := mod.Clone()
+	ApplyCFC(cfc)
+	for _, x := range []int64{0, 1, 2, 7, 10} {
+		if run(mod, x) != run(cfc, x) {
+			t.Fatalf("CFC diverged for x=%d", x)
+		}
+	}
+}
+
+func TestCFCDetectsIllegalControlTransfer(t *testing.T) {
+	// Opcode faults that skip a terminator fall through to the next
+	// block; with CFC the landing block's signature check fires.
+	mod := compile(t, kernelSrc)
+	plain := mod.Clone()
+	ApplySWIFTR(plain)
+	cfc := mod.Clone()
+	ApplySWIFTR(cfc)
+	ApplyCFC(cfc)
+
+	countDetected := func(m *ir.Module) int {
+		fi := m.FuncByName("kernel")
+		region := map[int]bool{}
+		for bi := range m.Funcs[fi].Blocks {
+			region[bi] = true
+		}
+		detected := 0
+		for target := uint64(0); target < 600; target += 3 {
+			mm := machine.New(m, machine.Config{
+				RegionBlocks: map[int]map[int]bool{fi: region},
+				// Bit%8==0 selects the skip manifestation.
+				Fault:     &machine.FaultPlan{Kind: machine.FaultOpcode, Target: target, Bit: 8},
+				MaxInstrs: 1 << 22,
+				TraceFn:   -1,
+			})
+			a := mm.Mem.Alloc(20)
+			out := mm.Mem.Alloc(12)
+			_, err := mm.Run(fi, []uint64{uint64(a), uint64(out), 12})
+			var de *machine.DetectError
+			if errors.As(err, &de) {
+				detected++
+			}
+		}
+		return detected
+	}
+	plainDet := countDetected(plain)
+	cfcDet := countDetected(cfc)
+	if cfcDet <= plainDet {
+		t.Errorf("CFC detections (%d) should exceed plain SWIFT-R (%d) under skipped terminators",
+			cfcDet, plainDet)
+	}
+}
+
+func TestCFCSkipsInternalFunctions(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	rsk, err := ApplyRSkip(mod, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[int]int{}
+	for fi, f := range rsk.Funcs {
+		if f.Internal {
+			before[fi] = len(f.Blocks[0].Instrs)
+		}
+	}
+	ApplyCFC(rsk)
+	for fi, n := range before {
+		if len(rsk.Funcs[fi].Blocks[0].Instrs) != n {
+			t.Errorf("internal func %d was CFC-instrumented", fi)
+		}
+	}
+	if err := ir.Verify(rsk); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package transform implements RSkip's protection passes: SWIFT
+// (detection-only instruction duplication), SWIFT-R (TMR-based full
+// protection, the evaluation baseline), and the prediction-based
+// protection transform that versions candidate loops, outlines their
+// re-computation slices, and plants run-time management hooks.
+package transform
+
+import "rskip/internal/ir"
+
+// ApplySWIFT rewrites every non-internal function with detection-only
+// duplication: each value-producing instruction gains one shadow copy
+// and synchronization points (stores, branches, calls, returns)
+// compare master against shadow, signaling detection on mismatch.
+func ApplySWIFT(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if !f.Internal {
+			duplicateFunc(f, 1)
+		}
+	}
+}
+
+// ApplySWIFTR rewrites every non-internal function with TMR-based full
+// protection: two shadow copies and majority voting at synchronization
+// points, which both detects and repairs a single corrupted copy.
+func ApplySWIFTR(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if !f.Internal {
+			duplicateFunc(f, 2)
+		}
+	}
+}
+
+// duplicator carries the shadow register maps for one function.
+type duplicator struct {
+	f      *ir.Func
+	copies int
+	shadow []map[ir.Reg]ir.Reg
+	out    []ir.Instr
+}
+
+func duplicateFunc(f *ir.Func, copies int) {
+	d := &duplicator{f: f, copies: copies}
+	d.shadow = make([]map[ir.Reg]ir.Reg, copies)
+	for k := range d.shadow {
+		d.shadow[k] = map[ir.Reg]ir.Reg{}
+	}
+	for bi := range f.Blocks {
+		src := f.Blocks[bi].Instrs
+		d.out = make([]ir.Instr, 0, len(src)*(copies+1))
+		if bi == 0 {
+			// Parameters enter through a single (unprotected) copy;
+			// materialize their shadows immediately.
+			for pi := range f.Params {
+				d.refreshShadows(ir.Reg(pi))
+			}
+		}
+		for ii := range src {
+			d.instr(&src[ii])
+		}
+		f.Blocks[bi].Instrs = d.out
+	}
+}
+
+// shadowDef returns (allocating on demand) the k-th shadow register
+// for r, used as a destination.
+func (d *duplicator) shadowDef(k int, r ir.Reg) ir.Reg {
+	if s, ok := d.shadow[k][r]; ok {
+		return s
+	}
+	s := d.f.NewReg(d.f.TypeOf(r))
+	d.shadow[k][r] = s
+	return s
+}
+
+// shadowUse returns the k-th shadow of r for reading; registers whose
+// defining instructions were not duplicated (PP value slices) fall
+// back to the master copy.
+func (d *duplicator) shadowUse(k int, r ir.Reg) ir.Reg {
+	if s, ok := d.shadow[k][r]; ok {
+		return s
+	}
+	return r
+}
+
+func (d *duplicator) emit(in ir.Instr) { d.out = append(d.out, in) }
+
+// refreshShadows emits movs copying master r into every shadow,
+// re-synchronizing the copies (after calls, allocas, votes).
+func (d *duplicator) refreshShadows(r ir.Reg) {
+	if r == ir.NoReg {
+		return
+	}
+	for k := 0; k < d.copies; k++ {
+		d.emit(ir.Instr{Op: ir.OpMov, Dst: d.shadowDef(k, r),
+			Args: []ir.Reg{r}, Tag: ir.TagShadow})
+	}
+}
+
+// sync validates register r across all copies at a synchronization
+// point. With one shadow it emits a Check2 (detection); with two it
+// emits a majority vote that repairs the master and re-syncs the
+// shadows (recovery).
+func (d *duplicator) sync(r ir.Reg) {
+	if r == ir.NoReg {
+		return
+	}
+	if d.copies == 1 {
+		d.emit(ir.Instr{Op: ir.OpCheck2,
+			Args: []ir.Reg{r, d.shadowUse(0, r)}, Tag: ir.TagCheck})
+		return
+	}
+	d.emit(ir.Instr{Op: ir.OpVote3, Dst: r,
+		Args: []ir.Reg{r, d.shadowUse(0, r), d.shadowUse(1, r)}, Tag: ir.TagCheck})
+	for k := 0; k < d.copies; k++ {
+		d.emit(ir.Instr{Op: ir.OpMov, Dst: d.shadowDef(k, r),
+			Args: []ir.Reg{r}, Tag: ir.TagCheck})
+	}
+}
+
+// syncAll validates a deduplicated list of registers.
+func (d *duplicator) syncAll(regs ...ir.Reg) {
+	seen := map[ir.Reg]bool{}
+	for _, r := range regs {
+		if r == ir.NoReg || seen[r] {
+			continue
+		}
+		seen[r] = true
+		d.sync(r)
+	}
+}
+
+func (d *duplicator) instr(in *ir.Instr) {
+	// PP value slices and runtime hooks pass through unprotected: the
+	// prediction mechanism validates their results instead.
+	switch in.Op {
+	case ir.OpRTLoopEnter, ir.OpRTObserve, ir.OpRTLoopExit:
+		d.emit(*in)
+		return
+	}
+	if in.Tag == ir.TagValue && in.Op != ir.OpStore {
+		d.emit(*in)
+		return
+	}
+
+	switch {
+	case in.Op.IsPure():
+		d.emit(*in)
+		for k := 0; k < d.copies; k++ {
+			clone := *in
+			clone.Args = make([]ir.Reg, len(in.Args))
+			for i, a := range in.Args {
+				clone.Args[i] = d.shadowUse(k, a)
+			}
+			clone.Dst = d.shadowDef(k, in.Dst)
+			clone.Tag = ir.TagShadow
+			d.emit(clone)
+		}
+
+	case in.Op == ir.OpStore:
+		if in.Tag == ir.TagValue {
+			// PP hot store: the address is under conventional
+			// protection, the value is validated by prediction.
+			d.syncAll(in.Args[0])
+		} else {
+			d.syncAll(in.Args[0], in.Args[1])
+		}
+		d.emit(*in)
+
+	case in.Op == ir.OpAlloca:
+		d.emit(*in)
+		d.refreshShadows(in.Dst)
+
+	case in.Op == ir.OpCondBr:
+		d.syncAll(in.Args[0])
+		d.emit(*in)
+
+	case in.Op == ir.OpRet:
+		if len(in.Args) == 1 {
+			d.syncAll(in.Args[0])
+		}
+		d.emit(*in)
+
+	case in.Op == ir.OpBr:
+		d.emit(*in)
+
+	case in.Op == ir.OpCall:
+		d.syncAll(in.Args...)
+		d.emit(*in)
+		if in.Dst != ir.NoReg {
+			d.refreshShadows(in.Dst)
+		}
+
+	default:
+		// Pre-existing protection primitives (re-protection is not
+		// supported) and anything unrecognized pass through.
+		d.emit(*in)
+	}
+}

@@ -1,0 +1,142 @@
+package transform
+
+import (
+	"fmt"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+)
+
+// buildRecompute outlines one iteration of a candidate loop's body
+// into a standalone function:
+//
+//	func <kernel>$recompute<loop>(iter int, ivInit int, inv... ) value
+//
+// The function reconstructs the induction variable as
+// ivInit + iter*step, re-executes the body, and returns the value the
+// hot store would have written. The run-time management system calls
+// it for suspected faults ("further investigation") and again for
+// TMR-style recovery. It must be built from the *untransformed* loop,
+// before hooks and tags are inserted.
+func buildRecompute(m *ir.Module, c *analysis.Candidate, name string) *ir.Func {
+	src := m.Funcs[c.Func]
+	valType := ir.Int
+	if c.ValueFloat {
+		valType = ir.Float
+	}
+	params := make([]ir.Param, 0, 2+len(c.Invariants))
+	params = append(params,
+		ir.Param{Name: "iter", Type: ir.Int},
+		ir.Param{Name: "ivinit", Type: ir.Int})
+	for i, r := range c.Invariants {
+		params = append(params, ir.Param{
+			Name: fmt.Sprintf("inv%d", i), Type: src.TypeOf(r)})
+	}
+	nf := &ir.Func{Name: name, Params: params, Ret: valType, Internal: true}
+	for _, p := range params {
+		nf.NewReg(p.Type)
+	}
+
+	// Register mapping: IV and invariants come from parameters; every
+	// other source register gets a fresh local on first mention.
+	regMap := map[ir.Reg]ir.Reg{}
+	for i, r := range c.Invariants {
+		regMap[r] = ir.Reg(2 + i)
+	}
+	mapReg := func(r ir.Reg) ir.Reg {
+		if r == ir.NoReg {
+			return ir.NoReg
+		}
+		if nr, ok := regMap[r]; ok {
+			return nr
+		}
+		nr := nf.NewReg(src.TypeOf(r))
+		regMap[r] = nr
+		return nr
+	}
+
+	// Block layout: 0 = entry, 1..n = region blocks, last = done stub.
+	blockMap := map[int]int{}
+	nf.Blocks = append(nf.Blocks, ir.Block{Name: "entry"})
+	for _, b := range sortedKeys(c.Region) {
+		blockMap[b] = len(nf.Blocks)
+		nf.Blocks = append(nf.Blocks, ir.Block{Name: src.Blocks[b].Name})
+	}
+	done := len(nf.Blocks)
+	nf.Blocks = append(nf.Blocks, ir.Block{Name: "done"})
+
+	// Entry: iv = ivInit + iter*step; br body.
+	ivReg := nf.NewReg(ir.Int)
+	regMap[c.IV] = ivReg
+	stepReg := nf.NewReg(ir.Int)
+	mulReg := nf.NewReg(ir.Int)
+	entry := &nf.Blocks[0]
+	entry.Instrs = append(entry.Instrs,
+		ir.Instr{Op: ir.OpConstInt, Dst: stepReg, Imm: c.Step},
+		ir.Instr{Op: ir.OpMul, Dst: mulReg, Args: []ir.Reg{0, stepReg}},
+		ir.Instr{Op: ir.OpAdd, Dst: ivReg, Args: []ir.Reg{1, mulReg}},
+		ir.Instr{Op: ir.OpBr, Blocks: []int{blockMap[c.BodyEntry]}},
+	)
+
+	mapTarget := func(t int) int {
+		if nt, ok := blockMap[t]; ok {
+			return nt
+		}
+		return done // edges to header/latch/exits end the iteration
+	}
+
+	for _, ob := range sortedKeys(c.Region) {
+		nb := &nf.Blocks[blockMap[ob]]
+		for ii := range src.Blocks[ob].Instrs {
+			in := src.Blocks[ob].Instrs[ii]
+			if ob == c.StoreBlock && ii == c.StoreIdx {
+				// The hot store becomes the return.
+				nb.Instrs = append(nb.Instrs, ir.Instr{
+					Op: ir.OpRet, Args: []ir.Reg{mapReg(in.Args[1])}})
+				break // anything after the store is dead in the slice
+			}
+			clone := in
+			clone.Args = make([]ir.Reg, len(in.Args))
+			for i, a := range in.Args {
+				clone.Args[i] = mapReg(a)
+			}
+			if in.Op.HasDst() && in.Dst != ir.NoReg {
+				clone.Dst = mapReg(in.Dst)
+			}
+			clone.Blocks = make([]int, len(in.Blocks))
+			for i, t := range in.Blocks {
+				clone.Blocks[i] = mapTarget(t)
+			}
+			clone.Tag = ir.TagNone
+			nb.Instrs = append(nb.Instrs, clone)
+		}
+		// Blocks cut short by the return already terminate; others keep
+		// their (retargeted) terminators.
+	}
+
+	// Done stub: executing it means the iteration ended without hitting
+	// the hot store, which cannot happen for a valid candidate (its
+	// store block dominates the latch); return a zero to stay total.
+	dn := &nf.Blocks[done]
+	zero := nf.NewReg(valType)
+	if c.ValueFloat {
+		dn.Instrs = append(dn.Instrs, ir.Instr{Op: ir.OpConstFloat, Dst: zero})
+	} else {
+		dn.Instrs = append(dn.Instrs, ir.Instr{Op: ir.OpConstInt, Dst: zero})
+	}
+	dn.Instrs = append(dn.Instrs, ir.Instr{Op: ir.OpRet, Args: []ir.Reg{zero}})
+	return nf
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

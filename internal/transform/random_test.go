@@ -1,0 +1,146 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rskip/internal/ir"
+	"rskip/internal/machine"
+)
+
+// randomProgram builds a random but well-formed module: straight-line
+// integer arithmetic over the parameters with a loop around it and a
+// store of the final value, exercising the duplicator across arbitrary
+// dataflow shapes.
+func randomProgram(rng *rand.Rand) *ir.Module {
+	b := ir.NewBuilder("kernel", []ir.Param{
+		{Name: "out", Type: ir.Ptr},
+		{Name: "a", Type: ir.Int},
+		{Name: "b", Type: ir.Int},
+		{Name: "n", Type: ir.Int},
+	}, ir.Int)
+
+	// i = 0
+	iv := b.F.NewReg(ir.Int)
+	zero := b.ConstInt(0)
+	b.Mov(iv, zero)
+	cond := b.NewBlock("cond")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	b.Br(cond)
+
+	b.SetBlock(cond)
+	three := b.ConstInt(3)
+	c := b.Binop(ir.OpLt, ir.Int, iv, three)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	// Random arithmetic DAG over {a, b, iv, constants}.
+	avail := []ir.Reg{1, 2, iv}
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor}
+	n := 3 + rng.Intn(12)
+	for k := 0; k < n; k++ {
+		if rng.Intn(4) == 0 {
+			avail = append(avail, b.ConstInt(int64(rng.Intn(64))))
+			continue
+		}
+		op := ops[rng.Intn(len(ops))]
+		x := avail[rng.Intn(len(avail))]
+		y := avail[rng.Intn(len(avail))]
+		avail = append(avail, b.Binop(op, ir.Int, x, y))
+	}
+	val := avail[len(avail)-1]
+	addr := b.Binop(ir.OpAdd, ir.Ptr, 0, iv)
+	b.Store(addr, val)
+	one := b.ConstInt(1)
+	next := b.Binop(ir.OpAdd, ir.Int, iv, one)
+	b.Mov(iv, next)
+	b.Br(cond)
+
+	b.SetBlock(exit)
+	b.Ret(val)
+	return &ir.Module{Name: "rand", Funcs: []*ir.Func{b.F}}
+}
+
+func runRandom(t *testing.T, mod *ir.Module, a, b int64) (uint64, []int64) {
+	t.Helper()
+	m := machine.New(mod, machine.Config{TraceFn: -1})
+	out := m.Mem.Alloc(8)
+	res, err := m.Run(0, []uint64{uint64(out), uint64(a), uint64(b), 3})
+	if err != nil {
+		t.Fatalf("random program failed: %v\n%s", err, mod)
+	}
+	return res.Ret, m.Mem.ReadInts(out, 3)
+}
+
+// TestDuplicationEquivalenceOnRandomPrograms is the transform's core
+// property: SWIFT and SWIFT-R never change fault-free semantics, for
+// arbitrary dataflow.
+func TestDuplicationEquivalenceOnRandomPrograms(t *testing.T) {
+	check := func(seed int64, rawA, rawB int32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := randomProgram(rng)
+		if err := ir.Verify(mod); err != nil {
+			t.Fatalf("generator produced invalid IR: %v", err)
+		}
+		a, bv := int64(rawA), int64(rawB)
+		ret0, mem0 := runRandom(t, mod, a, bv)
+
+		sw := mod.Clone()
+		ApplySWIFT(sw)
+		if err := ir.Verify(sw); err != nil {
+			t.Fatalf("SWIFT invalid: %v", err)
+		}
+		ret1, mem1 := runRandom(t, sw, a, bv)
+
+		tmr := mod.Clone()
+		ApplySWIFTR(tmr)
+		if err := ir.Verify(tmr); err != nil {
+			t.Fatalf("SWIFT-R invalid: %v", err)
+		}
+		ret2, mem2 := runRandom(t, tmr, a, bv)
+
+		if ret0 != ret1 || ret0 != ret2 {
+			return false
+		}
+		for i := range mem0 {
+			if mem0[i] != mem1[i] || mem0[i] != mem2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizerEquivalenceOnRandomPrograms: the scalar optimizer is
+// semantics-preserving on arbitrary dataflow too.
+func TestOptimizerEquivalenceOnRandomPrograms(t *testing.T) {
+	check := func(seed int64, rawA, rawB int32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := randomProgram(rng)
+		a, bv := int64(rawA), int64(rawB)
+		ret0, mem0 := runRandom(t, mod, a, bv)
+		opt := mod.Clone()
+		Optimize(opt)
+		if err := ir.Verify(opt); err != nil {
+			t.Fatalf("optimized IR invalid: %v", err)
+		}
+		ret1, mem1 := runRandom(t, opt, a, bv)
+		if ret0 != ret1 {
+			return false
+		}
+		for i := range mem0 {
+			if mem0[i] != mem1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+package transform
+
+import (
+	"fmt"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+)
+
+// ApplyRSkip transforms the module into its prediction-protected form:
+//
+//  1. detect candidate loops (analysis.FindCandidates);
+//  2. for each, outline a recompute slice, plant run-time management
+//     hooks (LoopEnter with invariants, Observe before the hot store,
+//     LoopExit on loop exits) and tag the value slice;
+//  3. leave value slices and their callees unprotected (prediction
+//     validates them), and
+//  4. apply SWIFT-R to everything else — induction variables, address
+//     computation, loop control, and all non-candidate code.
+//
+// The returned module carries ir.LoopInfo metadata consumed by the
+// run-time management system.
+func ApplyRSkip(src *ir.Module, opt analysis.Options) (*ir.Module, error) {
+	m := src.Clone()
+	nextID := 0
+	// Re-analyze after each rewrite: insertions shift instruction
+	// indexes, and examineLoop rejects already-transformed loops, so
+	// the fixpoint terminates.
+	for {
+		cands := analysis.FindCandidates(m, opt)
+		if len(cands) == 0 {
+			break
+		}
+		c := cands[0]
+		if err := transformCandidate(m, &c, nextID); err != nil {
+			return nil, err
+		}
+		nextID++
+	}
+	if err := isolateValueCallees(m); err != nil {
+		return nil, err
+	}
+	if err := checkValueInterface(m); err != nil {
+		return nil, err
+	}
+	ApplySWIFTR(m)
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("transform: rskip produced invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+// Candidates reports the candidate loops the transform would protect,
+// for diagnostics (cmd/rskipc) and the Table 1 inventory.
+func Candidates(m *ir.Module, opt analysis.Options) []analysis.Candidate {
+	return analysis.FindCandidates(m, opt)
+}
+
+func transformCandidate(m *ir.Module, c *analysis.Candidate, id int) error {
+	f := m.Funcs[c.Func]
+	name := fmt.Sprintf("%s$recompute%d", f.Name, id)
+	rec := buildRecompute(m, c, name)
+	recIdx := len(m.Funcs)
+	m.Funcs = append(m.Funcs, rec)
+
+	// Detect the memoizable pattern: the stored value is (a move of)
+	// a direct user-call result, i.e. Figure 4a.
+	memoFn := findMemoCallee(f, c)
+
+	// Tag the value slice and the hot-store address chain before any
+	// instruction insertion shifts indexes.
+	tagCandidate(f, c)
+
+	// Allocate the per-invocation iteration counter.
+	iterReg := f.NewReg(ir.Int)
+	oneReg := f.NewReg(ir.Int)
+
+	// Preheader: iter = 0; one = 1; rt.enter #id iv, invs...
+	pre := &f.Blocks[c.Preheader]
+	enterArgs := append([]ir.Reg{c.IV}, c.Invariants...)
+	insertBefore(pre, len(pre.Instrs)-1,
+		ir.Instr{Op: ir.OpConstInt, Dst: iterReg, Imm: 0},
+		ir.Instr{Op: ir.OpConstInt, Dst: oneReg, Imm: 1},
+		ir.Instr{Op: ir.OpRTLoopEnter, Imm: int64(id), Args: enterArgs, Tag: ir.TagRuntime},
+	)
+
+	// Hot store block: rt.observe #id iter, value, addr — placed just
+	// before the store so the hook can buffer the pre-store value of
+	// read-modify-write locations.
+	sb := &f.Blocks[c.StoreBlock]
+	insertBefore(sb, c.StoreIdx,
+		ir.Instr{Op: ir.OpRTObserve, Imm: int64(id),
+			Args: []ir.Reg{iterReg, c.ValueReg, c.AddrReg}, Tag: ir.TagRuntime},
+	)
+
+	// Latch: iter = iter + 1 (protected by duplication like any other
+	// induction update).
+	la := &f.Blocks[c.Latch]
+	insertBefore(la, 0,
+		ir.Instr{Op: ir.OpAdd, Dst: iterReg, Args: []ir.Reg{iterReg, oneReg}},
+	)
+
+	// Loop exits: rt.exit #id flushes the final phase.
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	loops := analysis.FindLoops(cfg, idom)
+	for li := range loops {
+		if loops[li].Header != c.Header {
+			continue
+		}
+		for _, ex := range loops[li].Exits {
+			eb := &f.Blocks[ex]
+			insertBefore(eb, 0,
+				ir.Instr{Op: ir.OpRTLoopExit, Imm: int64(id), Tag: ir.TagRuntime})
+		}
+		break
+	}
+
+	li := ir.LoopInfo{
+		ID:            id,
+		Func:          c.Func,
+		Name:          c.Name(m),
+		RecomputeFn:   recIdx,
+		SelfRead:      true, // pre-store values are always buffered
+		MemoFn:        memoFn,
+		NumInvariants: 1 + len(c.Invariants),
+		ValueIsFloat:  c.ValueFloat,
+	}
+	if ar, ok := m.PragmaFor(c.Func, c.Header); ok {
+		li.HasAROverride = true
+		li.AROverride = ar
+	}
+	m.Loops = append(m.Loops, li)
+	return nil
+}
+
+// insertBefore splices instructions into a block ahead of index idx.
+func insertBefore(b *ir.Block, idx int, ins ...ir.Instr) {
+	out := make([]ir.Instr, 0, len(b.Instrs)+len(ins))
+	out = append(out, b.Instrs[:idx]...)
+	out = append(out, ins...)
+	out = append(out, b.Instrs[idx:]...)
+	b.Instrs = out
+}
+
+// tagCandidate marks region instructions: the hot-store address chain
+// stays conventionally protected (TagAddress), everything else in the
+// region becomes the prediction-covered value slice (TagValue),
+// including the hot store itself (whose address operand the duplicator
+// still votes).
+func tagCandidate(f *ir.Func, c *analysis.Candidate) {
+	// Backward slice of the address register: scan the store block
+	// upward, then follow the immediate-dominator chain within the
+	// region.
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	wanted := map[ir.Reg]bool{c.AddrReg: true}
+	type mark struct{ b, i int }
+	var addr []mark
+	scan := func(b, from int) {
+		for ii := from; ii >= 0; ii-- {
+			in := &f.Blocks[b].Instrs[ii]
+			if !in.Op.HasDst() || in.Dst == ir.NoReg || !wanted[in.Dst] {
+				continue
+			}
+			addr = append(addr, mark{b, ii})
+			delete(wanted, in.Dst)
+			if !in.Op.IsPure() {
+				continue
+			}
+			for _, a := range in.Args {
+				if a != c.IV && !isInvariant(c, a) {
+					wanted[a] = true
+				}
+			}
+		}
+	}
+	scan(c.StoreBlock, c.StoreIdx-1)
+	for b := idom[c.StoreBlock]; len(wanted) > 0 && c.Region[b]; b = idom[b] {
+		scan(b, len(f.Blocks[b].Instrs)-1)
+		if b == idom[b] {
+			break
+		}
+	}
+
+	isAddr := map[mark]bool{}
+	for _, mk := range addr {
+		isAddr[mk] = true
+	}
+	for b := range c.Region {
+		for ii := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[ii]
+			switch {
+			case isAddr[mark{b, ii}]:
+				in.Tag = ir.TagAddress
+			default:
+				in.Tag = ir.TagValue
+			}
+		}
+	}
+	// The hot store carries TagValue: the duplicator votes only its
+	// address operand.
+	f.Blocks[c.StoreBlock].Instrs[c.StoreIdx].Tag = ir.TagValue
+}
+
+func isInvariant(c *analysis.Candidate, r ir.Reg) bool {
+	for _, inv := range c.Invariants {
+		if inv == r {
+			return true
+		}
+	}
+	return false
+}
+
+// findMemoCallee recognizes Figure 4a (the stored value is a direct
+// user-call result) and returns the callee index for the approximate
+// memoization table, or -1.
+func findMemoCallee(f *ir.Func, c *analysis.Candidate) int {
+	target := c.ValueReg
+	// Follow at most a few move steps backward through the region.
+	for hop := 0; hop < 4; hop++ {
+		var def *ir.Instr
+		ndefs := 0
+		for b := range c.Region {
+			for ii := range f.Blocks[b].Instrs {
+				in := &f.Blocks[b].Instrs[ii]
+				if in.Op.HasDst() && in.Dst == target {
+					def = in
+					ndefs++
+				}
+			}
+		}
+		if ndefs != 1 || def == nil {
+			return -1
+		}
+		switch def.Op {
+		case ir.OpCall:
+			return def.Callee
+		case ir.OpMov:
+			target = def.Args[0]
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+// isolateValueCallees marks functions reachable only from value slices
+// (and recompute slices) as internal so the duplication pass leaves
+// them unprotected — their results are prediction-validated. Functions
+// called from both protected and value contexts are cloned: the value
+// context gets an unprotected copy.
+func isolateValueCallees(m *ir.Module) error {
+	type ctx struct{ value, protected bool }
+	use := map[int]*ctx{}
+	record := func(callee int, value bool) {
+		c := use[callee]
+		if c == nil {
+			c = &ctx{}
+			use[callee] = c
+		}
+		if value {
+			c.value = true
+		} else {
+			c.protected = true
+		}
+	}
+	for _, f := range m.Funcs {
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				record(in.Callee, f.Internal || in.Tag == ir.TagValue)
+			}
+		}
+	}
+	// Propagate value-context reachability transitively.
+	for changed := true; changed; {
+		changed = false
+		for fi, f := range m.Funcs {
+			c := use[fi]
+			inValue := f.Internal || (c != nil && c.value)
+			if !inValue {
+				continue
+			}
+			for bi := range f.Blocks {
+				for ii := range f.Blocks[bi].Instrs {
+					in := &f.Blocks[bi].Instrs[ii]
+					if in.Op != ir.OpCall {
+						continue
+					}
+					cc := use[in.Callee]
+					if cc == nil || !cc.value {
+						record(in.Callee, true)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Clone shared functions, retargeting value-context call sites.
+	cloneOf := map[int]int{}
+	for fi, c := range use {
+		if !c.value {
+			continue
+		}
+		if c.protected {
+			clone := m.Funcs[fi].Clone()
+			clone.Name += "$unprot"
+			clone.Internal = true
+			cloneOf[fi] = len(m.Funcs)
+			m.Funcs = append(m.Funcs, clone)
+		} else {
+			m.Funcs[fi].Internal = true
+		}
+	}
+	if len(cloneOf) == 0 {
+		return nil
+	}
+	for _, f := range m.Funcs {
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if nc, ok := cloneOf[in.Callee]; ok && (f.Internal || in.Tag == ir.TagValue) {
+					in.Callee = nc
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkValueInterface verifies the value slices only feed protected
+// code through the hot store's value operand and the observe hook; any
+// other flow would leave a protected consumer reading an unvalidated
+// register. Candidate detection should prevent this — the check guards
+// the invariant.
+func checkValueInterface(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.Internal {
+			continue
+		}
+		valueDefs := map[ir.Reg]bool{}
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				if in.Tag == ir.TagValue && in.Op.HasDst() && in.Dst != ir.NoReg {
+					valueDefs[in.Dst] = true
+				}
+			}
+		}
+		if len(valueDefs) == 0 {
+			continue
+		}
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				if in.Tag == ir.TagValue || in.Tag == ir.TagRuntime {
+					continue
+				}
+				for _, a := range in.Args {
+					if valueDefs[a] {
+						return fmt.Errorf(
+							"transform: %s: protected %s reads prediction-covered register %v",
+							f.Name, in.Op, a)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package transform
+
+import (
+	"bytes"
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+)
+
+// TestTransformedModuleSurvivesSerialization round-trips a fully
+// transformed (PP + SWIFT-R) module through the .rir format and checks
+// that the reloaded module behaves identically.
+func TestTransformedModuleSurvivesSerialization(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	rsk, err := ApplyRSkip(mod, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rsk.MarshalText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := ir.UnmarshalText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded.Loops) != len(rsk.Loops) {
+		t.Fatalf("loop metadata lost: %d vs %d", len(reloaded.Loops), len(rsk.Loops))
+	}
+	a := runKernel(t, rsk, nil, 12)
+	b := runKernel(t, reloaded, nil, 12)
+	if !outputsEqual(a, b) {
+		t.Fatal("reloaded module computes different outputs")
+	}
+	// Tags must survive (the fault campaign depends on them).
+	countTag := func(m *ir.Module, tag ir.InstrTag) int {
+		n := 0
+		for _, f := range m.Funcs {
+			for bi := range f.Blocks {
+				for ii := range f.Blocks[bi].Instrs {
+					if f.Blocks[bi].Instrs[ii].Tag == tag {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	for _, tag := range []ir.InstrTag{ir.TagValue, ir.TagShadow, ir.TagCheck, ir.TagRuntime} {
+		if countTag(rsk, tag) != countTag(reloaded, tag) {
+			t.Errorf("tag %v count changed across serialization", tag)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package rskip_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -147,7 +148,7 @@ func BenchmarkFig9aInjection(b *testing.B) {
 	var prot float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := fault.Campaign(p, core.RSkip, inst,
+		r, err := fault.Campaign(context.Background(), p, core.RSkip, inst,
 			fault.Config{N: 32, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)

@@ -1,17 +1,29 @@
 // Command rskipfi runs a statistical fault-injection campaign (§7.2)
 // for one benchmark across protection schemes and prints the outcome
-// distribution.
+// distribution with 95% Wilson confidence intervals.
+//
+// The campaign engine is resilient: Ctrl-C cancels cleanly (with
+// -checkpoint, progress is saved and a re-run resumes where it left
+// off to bit-identical counts), -timeout bounds each run by wall-clock
+// time, and -target-ci stops a scheme early once the protection-rate
+// interval is tight enough.
 //
 // Usage:
 //
 //	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
+//	        [-json] [-checkpoint path] [-timeout 30s] [-target-ci 2.0] [-workers N]
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
@@ -19,16 +31,83 @@ import (
 	"rskip/internal/stats"
 )
 
+// campaignJSON is the machine-readable form of one campaign, for
+// downstream tooling and bench trajectory files.
+type campaignJSON struct {
+	Bench        string                    `json:"bench"`
+	Scheme       string                    `json:"scheme"`
+	N            int                       `json:"n"`
+	Requested    int                       `json:"requested"`
+	EarlyStopped bool                      `json:"early_stopped,omitempty"`
+	Counts       map[string]int            `json:"counts"`
+	Rates        map[string]float64        `json:"rates"`
+	CI95         map[string][2]float64     `json:"ci95"`
+	Protection   float64                   `json:"protection_rate"`
+	ProtectionCI [2]float64                `json:"protection_ci95"`
+	Fired        int                       `json:"fired"`
+	FalseNeg     int                       `json:"false_neg"`
+	FalseNegRate float64                   `json:"false_neg_rate"`
+	Recovered    int                       `json:"recovered"`
+	Errors       map[string]map[string]int `json:"errors,omitempty"`
+}
+
+func toJSON(benchName, label string, r fault.Result) campaignJSON {
+	j := campaignJSON{
+		Bench: benchName, Scheme: label,
+		N: r.N, Requested: r.Requested, EarlyStopped: r.EarlyStopped,
+		Counts: map[string]int{}, Rates: map[string]float64{}, CI95: map[string][2]float64{},
+		Protection: r.ProtectionRate(),
+		Fired:      r.Fired, FalseNeg: r.FalseNeg, FalseNegRate: r.FalseNegRate(),
+		Recovered: r.Recovered,
+	}
+	plo, phi := r.ProtectionCI()
+	j.ProtectionCI = [2]float64{plo, phi}
+	for c := fault.Correct; c < fault.NumClasses; c++ {
+		j.Counts[c.String()] = r.Counts[c]
+		j.Rates[c.String()] = r.Rate(c)
+		lo, hi := r.CI(c)
+		j.CI95[c.String()] = [2]float64{lo, hi}
+	}
+	for cls, byMsg := range r.Errors {
+		if j.Errors == nil {
+			j.Errors = map[string]map[string]int{}
+		}
+		j.Errors[cls.String()] = byMsg
+	}
+	return j
+}
+
+// schemeCheckpoint derives a per-scheme checkpoint path from the base
+// flag so one -checkpoint value covers a multi-scheme sweep.
+func schemeCheckpoint(base string, s core.Scheme) string {
+	if base == "" {
+		return ""
+	}
+	slug := strings.ToLower(s.String())
+	return strings.TrimSuffix(base, ".json") + "." + slug + ".json"
+}
+
 func main() {
 	var (
 		benchName = flag.String("bench", "", "benchmark name")
-		n         = flag.Int("n", 1000, "number of injected faults per scheme")
+		n         = flag.Int("n", 1000, "number of injected faults per scheme (cap when -target-ci is set)")
 		ar        = flag.Float64("ar", 0.2, "acceptable range for the rskip scheme")
 		schemes   = flag.String("schemes", "unsafe,swiftr,rskip", "comma-separated schemes")
 		seed      = flag.Int64("seed", 20200222, "fault sampling seed")
 		trainN    = flag.Int("train", 3, "number of training inputs")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+		ckBase    = flag.String("checkpoint", "", "checkpoint file base path (per-scheme files derive from it); an interrupted sweep resumes from it")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = none; timed-out runs classify as Hang)")
+		targetCI  = flag.Float64("target-ci", 0, "adaptive sampling: stop once the 95% CI on the protection rate is this many percentage points wide or less (0 = off)")
+		batch     = flag.Int("batch", 0, "runs per adaptive/checkpoint batch (0 = default)")
+		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the sweep; with -checkpoint the progress
+	// survives for a resuming re-run.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
 
 	b, err := bench.ByName(*benchName)
 	if err != nil {
@@ -50,8 +129,9 @@ func main() {
 	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
 
 	t := stats.NewTable(
-		fmt.Sprintf("fault injection — %s, %d faults per scheme (single bit flips inside the detected loops)", b.Name, *n),
-		"scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "false neg", "recovered")
+		fmt.Sprintf("fault injection — %s, up to %d faults per scheme (single bit flips inside the detected loops; 95%% Wilson CIs)", b.Name, *n),
+		"scheme", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]", "false neg", "recovered")
+	var jsonRows []campaignJSON
 	for _, name := range strings.Split(*schemes, ",") {
 		var s core.Scheme
 		switch strings.TrimSpace(name) {
@@ -66,7 +146,20 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown scheme %q", name))
 		}
-		r, err := fault.Campaign(p, s, inst, fault.Config{N: *n, Seed: *seed})
+		fcfg := fault.Config{
+			N: *n, Seed: *seed, Workers: *workers, Batch: *batch,
+			RunTimeout: *timeout, TargetCI: *targetCI,
+			CheckpointPath: schemeCheckpoint(*ckBase, s),
+		}
+		r, err := fault.Campaign(ctx, p, s, inst, fcfg)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "rskipfi: interrupted after %d/%d %s runs", r.N, r.Requested, s)
+			if fcfg.CheckpointPath != "" {
+				fmt.Fprintf(os.Stderr, "; progress saved to %s — re-run the same command to resume", fcfg.CheckpointPath)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(130)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -74,17 +167,38 @@ func main() {
 		if s == core.RSkip {
 			label = fmt.Sprintf("RSkip AR%.0f", *ar*100)
 		}
-		t.Row(label,
+		if *jsonOut {
+			jsonRows = append(jsonRows, toJSON(b.Name, label, r))
+			continue
+		}
+		runs := fmt.Sprintf("%d", r.N)
+		if r.EarlyStopped {
+			runs += "*"
+		}
+		plo, phi := r.ProtectionCI()
+		t.Row(label, runs,
 			fmt.Sprintf("%.1f%%", r.Rate(fault.Correct)),
 			fmt.Sprintf("%.1f%%", r.Rate(fault.SDC)),
 			fmt.Sprintf("%.1f%%", r.Rate(fault.Segfault)),
 			fmt.Sprintf("%.1f%%", r.Rate(fault.CoreDump)),
 			fmt.Sprintf("%.1f%%", r.Rate(fault.Hang)),
 			fmt.Sprintf("%.1f%%", r.Rate(fault.Detected)),
+			fmt.Sprintf("%.1f%% [%.1f, %.1f]", r.ProtectionRate(), plo, phi),
 			fmt.Sprintf("%.1f%%", r.FalseNegRate()),
 			fmt.Sprintf("%d", r.Recovered))
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRows); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Print(t.String())
+	if *targetCI > 0 {
+		fmt.Println("* adaptive sampling stopped early at the target CI width")
+	}
 }
 
 func fatal(err error) {

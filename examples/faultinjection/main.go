@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, s := range []core.Scheme{core.Unsafe, core.SWIFTR} {
-		r, err := fault.Campaign(base, s, inst, fault.Config{N: injections, Seed: 7})
+		r, err := fault.Campaign(context.Background(), base, s, inst, fault.Config{N: injections, Seed: 7})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func main() {
 		if err := p.Train(seeds, bench.ScaleFI); err != nil {
 			log.Fatal(err)
 		}
-		r, err := fault.Campaign(p, core.RSkip, inst, fault.Config{N: injections, Seed: 7})
+		r, err := fault.Campaign(context.Background(), p, core.RSkip, inst, fault.Config{N: injections, Seed: 7})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -227,6 +227,11 @@ func (p *Program) LoadProfile(path string) error {
 type RunOpts struct {
 	Fault     *machine.FaultPlan
 	MaxInstrs uint64
+	// Cancel, when non-nil, stops the execution with a
+	// *machine.CancelError once the channel closes — pass a
+	// context.Done() to bound a run by wall-clock time or cancel a
+	// whole campaign.
+	Cancel <-chan struct{}
 	// Trace/TraceLimit dump executed instructions (debugging).
 	Trace      io.Writer
 	TraceLimit uint64
@@ -288,6 +293,7 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 	mcfg := machine.Config{
 		MaxInstrs:    opts.MaxInstrs,
 		Fault:        opts.Fault,
+		Cancel:       opts.Cancel,
 		RegionBlocks: p.RegionBlocks,
 		IssueWidth:   p.Cfg.IssueWidth,
 		TraceFn:      -1,

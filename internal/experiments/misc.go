@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -301,7 +302,7 @@ func (c *Context) Ablation() (string, error) {
 		if golden.Err != nil || o.Err != nil {
 			return "", fmt.Errorf("cfc ablation: %v %v", golden.Err, o.Err)
 		}
-		r, err := fault.Campaign(p, core.RSkip, instCF, fault.Config{N: n, Seed: c.Seed})
+		r, err := fault.Campaign(context.Background(), p, core.RSkip, instCF, fault.Config{N: n, Seed: c.Seed})
 		if err != nil {
 			return "", err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,7 @@ func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
 		}
 		for _, s := range []core.Scheme{core.Unsafe, core.SWIFTR} {
 			c.logf("fig9: %s %v", b.Name, s)
-			r, err := fault.Campaign(base, s, inst, fault.Config{N: n, Seed: c.Seed})
+			r, err := fault.Campaign(context.Background(), base, s, inst, fault.Config{N: n, Seed: c.Seed})
 			if err != nil {
 				return nil, "", fmt.Errorf("fig9: %s %v: %w", b.Name, s, err)
 			}
@@ -45,7 +46,7 @@ func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
 			if err != nil {
 				return nil, "", err
 			}
-			r, err := fault.Campaign(p, core.RSkip, inst, fault.Config{N: n, Seed: c.Seed})
+			r, err := fault.Campaign(context.Background(), p, core.RSkip, inst, fault.Config{N: n, Seed: c.Seed})
 			if err != nil {
 				return nil, "", fmt.Errorf("fig9: %s %s: %w", b.Name, ARLabel(ar), err)
 			}
@@ -58,11 +59,13 @@ func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
 func renderFig9(rows []ReliabilityRow) string {
 	var sb strings.Builder
 	t := stats.NewTable(
-		"Figure 9a — fault injection outcomes (%) (paper avg: UNSAFE 76.68 Correct/20.72 SDC/2.13 Seg; SWIFT-R 97.24/1.08/1.40; AR20 95.67/2.23/1.63; AR50 94.51/3.37; AR80 93.42/4.30; AR100 92.52/5.29; CoreDump+Hang <0.3 everywhere)",
-		"benchmark", "scheme", "Correct", "SDC", "Segfault", "Core dump", "Hang")
+		"Figure 9a — fault injection outcomes (%) with 95% Wilson CIs on the protection rate (paper avg: UNSAFE 76.68 Correct/20.72 SDC/2.13 Seg; SWIFT-R 97.24/1.08/1.40; AR20 95.67/2.23/1.63; AR50 94.51/3.37; AR80 93.42/4.30; AR100 92.52/5.29; CoreDump+Hang <0.3 everywhere)",
+		"benchmark", "scheme", "Correct", "95% CI", "SDC", "Segfault", "Core dump", "Hang")
 	for _, r := range rows {
+		lo, hi := r.R.ProtectionCI()
 		t.Row(r.Bench, r.Scheme,
 			fmt.Sprintf("%.1f", r.R.ProtectionRate()),
+			fmt.Sprintf("[%.1f, %.1f]", lo, hi),
 			fmt.Sprintf("%.1f", r.R.Rate(fault.SDC)),
 			fmt.Sprintf("%.1f", r.R.Rate(fault.Segfault)),
 			fmt.Sprintf("%.1f", r.R.Rate(fault.CoreDump)),
@@ -132,7 +135,8 @@ func appendAverages(t *stats.Table, rows []ReliabilityRow) {
 	for _, s := range order {
 		a := byScheme[s]
 		f := func(v float64) string { return fmt.Sprintf("%.2f", v/float64(a.n)) }
-		t.Row("average", s, f(a.prot), f(a.sdc), f(a.seg), f(a.core), f(a.hang))
+		// Per-benchmark averages are not binomial counts; no CI cell.
+		t.Row("average", s, f(a.prot), "", f(a.sdc), f(a.seg), f(a.core), f(a.hang))
 	}
 }
 

@@ -6,17 +6,24 @@
 // detection-only scheme's "Detected". It also measures false
 // negatives — faults on prediction-covered value slices that fuzzy
 // validation accepted.
+//
+// Campaigns are built to survive their own experiment: they honor
+// context cancellation, bound each run by an optional wall-clock
+// deadline, contain interpreter panics as CoreDump outcomes instead
+// of killing the process, persist progress as JSON checkpoints that
+// resume bit-identically, and can stop early once the protection-rate
+// confidence interval is tight enough (adaptive sampling).
 package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"runtime"
-	"sync"
+	"time"
 
-	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/machine"
+	"rskip/internal/stats"
 )
 
 // Class is a fault-injection outcome.
@@ -27,8 +34,8 @@ const (
 	Correct  Class = iota // output bitwise equal to the fault-free run
 	SDC                   // silent data corruption
 	Segfault              // illegal memory access
-	CoreDump              // trap / abnormal termination
-	Hang                  // exceeded the instruction budget
+	CoreDump              // trap / abnormal termination (including contained interpreter panics)
+	Hang                  // exceeded the instruction budget or the per-run deadline
 	Detected              // SWIFT-only: detection signaled (no recovery)
 	NumClasses
 )
@@ -39,7 +46,8 @@ func (c Class) String() string { return classNames[c] }
 
 // Config parameterizes a campaign.
 type Config struct {
-	// N is the number of injected faults (the paper uses 1,000).
+	// N is the number of injected faults (the paper uses 1,000). With
+	// TargetCI set it is the cap on adaptive sampling.
 	N int
 	// Seed drives the fault-plan sampling.
 	Seed int64
@@ -51,6 +59,70 @@ type Config struct {
 	// Mix sets the sampling weights of the three fault kinds; zero
 	// uses DefaultMix.
 	Mix Mix
+	// RunTimeout, when positive, bounds each injected run by
+	// wall-clock time; a run that exceeds it is classified Hang. Note
+	// that wall-clock deadlines make outcomes timing-dependent — leave
+	// zero when bit-exact reproducibility matters (the instruction
+	// budget already catches runaway executions deterministically).
+	RunTimeout time.Duration
+	// TargetCI, when positive, enables adaptive sampling: the engine
+	// injects in Batch-sized rounds and stops as soon as the width of
+	// the 95% Wilson confidence interval on the protection rate drops
+	// to TargetCI percentage points or below (capped at N runs).
+	TargetCI float64
+	// Batch is the number of runs between early-stop checks and
+	// checkpoint saves (default 100).
+	Batch int
+	// CheckpointPath, when non-empty, persists campaign progress to
+	// this file after every batch. If the file already holds a
+	// checkpoint of the same campaign (same benchmark, scheme, N,
+	// seed, mix and hang factor), completed runs are not re-executed —
+	// the campaign resumes where it left off and produces final counts
+	// bit-identical to an uninterrupted run.
+	CheckpointPath string
+
+	// runHook, when set, runs at the start of each injection with the
+	// run index — test instrumentation for forcing panics and
+	// cancelling campaigns mid-flight.
+	runHook func(i int)
+}
+
+// Validate rejects configurations that would otherwise degenerate
+// silently (negative counts, meaningless mixes). Campaign calls it;
+// it is exported so tools can fail fast before building programs.
+func (cfg *Config) Validate() error {
+	if cfg.N < 0 {
+		return fmt.Errorf("fault: config: N = %d, want >= 0", cfg.N)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("fault: config: Workers = %d, want >= 0", cfg.Workers)
+	}
+	if cfg.Batch < 0 {
+		return fmt.Errorf("fault: config: Batch = %d, want >= 0", cfg.Batch)
+	}
+	if cfg.RunTimeout < 0 {
+		return fmt.Errorf("fault: config: RunTimeout = %v, want >= 0", cfg.RunTimeout)
+	}
+	if cfg.TargetCI < 0 || math.IsNaN(cfg.TargetCI) {
+		return fmt.Errorf("fault: config: TargetCI = %v, want >= 0", cfg.TargetCI)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{
+		{"RegFile", cfg.Mix.RegFile},
+		{"Result", cfg.Mix.Result},
+		{"Source", cfg.Mix.Source},
+		{"Opcode", cfg.Mix.Opcode},
+	} {
+		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
+			return fmt.Errorf("fault: config: Mix.%s = %v, want a finite weight >= 0", w.name, w.v)
+		}
+	}
+	if cfg.Mix != (Mix{}) && cfg.Mix.RegFile+cfg.Mix.Result+cfg.Mix.Source+cfg.Mix.Opcode == 0 {
+		return fmt.Errorf("fault: config: Mix weights sum to zero; leave Mix zero for DefaultMix or give at least one positive weight")
+	}
+	return nil
 }
 
 // Mix weights the fault kinds. Register-file strikes dominate real
@@ -68,8 +140,13 @@ var DefaultMix = Mix{RegFile: 0.80, Result: 0.10, Source: 0.05, Opcode: 0.05}
 // Result summarizes one campaign.
 type Result struct {
 	Scheme core.Scheme
-	N      int
-	Counts [NumClasses]int
+	// N is the number of completed (classified) runs. It equals
+	// Requested unless the campaign was cancelled mid-flight or
+	// adaptive sampling stopped early.
+	N int
+	// Requested is the configured injection count (the cap).
+	Requested int
+	Counts    [NumClasses]int
 	// Fired counts runs where the fault actually struck (the region
 	// was reached); unfired faults are masked by construction.
 	Fired int
@@ -80,14 +157,29 @@ type Result struct {
 	// Recovered counts runs where the run-time management repaired an
 	// element (RSkip) — diagnostics beyond the paper's figures.
 	Recovered int
+	// EarlyStopped reports that TargetCI adaptive sampling reached its
+	// precision target before Requested runs.
+	EarlyStopped bool
+	// Errors is the per-class error taxonomy of abnormal runs: for
+	// each class, how many runs terminated with each distinct error
+	// string. Contained worker panics appear under CoreDump with a
+	// "panic: ..." message.
+	Errors map[Class]map[string]int
 }
 
-// Rate returns the percentage of runs in the class.
+// Rate returns the percentage of completed runs in the class.
 func (r *Result) Rate(c Class) float64 {
 	if r.N == 0 {
 		return 0
 	}
 	return 100 * float64(r.Counts[c]) / float64(r.N)
+}
+
+// CI returns the 95% Wilson confidence interval (in percent) for the
+// class's underlying outcome probability.
+func (r *Result) CI(c Class) (lo, hi float64) {
+	wl, wh := stats.Wilson(r.Counts[c], r.N, stats.Z95)
+	return 100 * wl, 100 * wh
 }
 
 // ProtectionRate is the paper's headline reliability metric: the
@@ -97,83 +189,19 @@ func (r *Result) ProtectionRate() float64 {
 	return r.Rate(Correct) + r.Rate(Detected)
 }
 
+// ProtectionCI returns the 95% Wilson confidence interval (in
+// percent) on the protection rate.
+func (r *Result) ProtectionCI() (lo, hi float64) {
+	wl, wh := stats.Wilson(r.Counts[Correct]+r.Counts[Detected], r.N, stats.Z95)
+	return 100 * wl, 100 * wh
+}
+
 // FalseNegRate returns false negatives as a percentage of runs.
 func (r *Result) FalseNegRate() float64 {
 	if r.N == 0 {
 		return 0
 	}
 	return 100 * float64(r.FalseNeg) / float64(r.N)
-}
-
-// Campaign runs N fault injections of the scheme on the instance.
-func Campaign(p *core.Program, s core.Scheme, inst bench.Instance, cfg Config) (Result, error) {
-	if cfg.N == 0 {
-		cfg.N = 1000
-	}
-	if cfg.HangFactor == 0 {
-		cfg.HangFactor = 50
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Mix == (Mix{}) {
-		cfg.Mix = DefaultMix
-	}
-
-	// Fault-free profile run of this scheme: golden output, region
-	// size, instruction budget.
-	profile := p.Run(s, inst, core.RunOpts{})
-	if profile.Err != nil {
-		return Result{}, fmt.Errorf("fault: fault-free %s run failed: %w", s, profile.Err)
-	}
-	if profile.Result.Region == 0 {
-		return Result{}, fmt.Errorf("fault: no detected-loop region executed under %s", s)
-	}
-	golden := profile.Output
-	budget := profile.Result.Instrs * cfg.HangFactor
-
-	// Pre-draw all fault plans so the campaign is deterministic
-	// regardless of worker scheduling.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	plans := make([]machine.FaultPlan, cfg.N)
-	for i := range plans {
-		plans[i] = machine.FaultPlan{
-			Kind:   drawKind(rng, cfg.Mix),
-			Target: uint64(rng.Int63n(int64(profile.Result.Region))),
-			Bit:    uint(rng.Intn(64)),
-			Pick:   rng.Intn(1 << 20),
-		}
-	}
-
-	res := Result{Scheme: s, N: cfg.N}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.N; i++ {
-		plan := plans[i]
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			o := p.Run(s, inst, core.RunOpts{Fault: &plan, MaxInstrs: budget})
-			cls, fn, rec := classify(&o, golden)
-			mu.Lock()
-			res.Counts[cls]++
-			if o.FaultFired {
-				res.Fired++
-			}
-			if fn {
-				res.FalseNeg++
-			}
-			if rec {
-				res.Recovered++
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	return res, nil
 }
 
 func drawKind(rng *rand.Rand, m Mix) machine.FaultKind {
@@ -211,6 +239,12 @@ func classify(o *core.Outcome, golden []uint64) (Class, bool, bool) {
 			return Detected, false, recovered
 		}
 		return CoreDump, false, recovered
+	}
+	// A fault that changes the output's length is corruption, not a
+	// reason to crash the campaign.
+	if len(o.Output) != len(golden) {
+		fn := o.FaultFired && o.FaultInValueSlice && detections == 0
+		return SDC, fn, recovered
 	}
 	for i := range golden {
 		if o.Output[i] != golden[i] {

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rskip/internal/core"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// RunRecord is the classified outcome of one injection. Because every
+// fault plan is pre-drawn from Config.Seed by run index, a record is a
+// pure function of its index — which is what makes a campaign
+// resumable: aggregating saved records with freshly executed ones
+// yields counts bit-identical to an uninterrupted run.
+type RunRecord struct {
+	Done      bool   `json:"done,omitempty"`
+	Class     Class  `json:"class,omitempty"`
+	Fired     bool   `json:"fired,omitempty"`
+	FalseNeg  bool   `json:"false_neg,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
+	// Err is the abnormal-termination message (empty for Correct and
+	// SDC); contained panics record "panic: <value>".
+	Err string `json:"err,omitempty"`
+}
+
+// Checkpoint is the JSON-persisted progress of one campaign.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	// Key fingerprints the campaign identity (benchmark, scheme, N,
+	// seed, mix, hang factor); a checkpoint only resumes a campaign
+	// with the same key.
+	Key string `json:"key"`
+	N   int    `json:"n"`
+	// Done is the number of completed records (redundant with Records
+	// but convenient for humans inspecting the file).
+	Done    int         `json:"done"`
+	Records []RunRecord `json:"records"`
+}
+
+// checkpointKey fingerprints everything that determines the fault
+// plans and their outcomes (modulo wall-clock effects).
+func checkpointKey(p *core.Program, s core.Scheme, cfg Config) string {
+	return fmt.Sprintf("bench=%s|cfg=%s|scheme=%s|n=%d|seed=%d|mix=%g/%g/%g/%g|hang=%d",
+		p.Bench.Name, p.Cfg.Key(), s, cfg.N, cfg.Seed,
+		cfg.Mix.RegFile, cfg.Mix.Result, cfg.Mix.Source, cfg.Mix.Opcode,
+		cfg.HangFactor)
+}
+
+// LoadCheckpoint reads a campaign checkpoint. A missing file is not an
+// error — it returns (nil, nil) so callers can treat it as a fresh
+// start.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading checkpoint: %w", err)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("fault: parsing checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("fault: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	return &ck, nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename) so a
+// crash mid-save never corrupts resumable progress.
+func (ck *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("fault: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ck-*.json")
+	if err != nil {
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("fault: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fault: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// validateFor checks that the checkpoint belongs to this campaign.
+func (ck *Checkpoint) validateFor(key string, n int) error {
+	if ck.Key != key {
+		return fmt.Errorf("fault: checkpoint was recorded for a different campaign:\n  have %s\n  want %s", ck.Key, key)
+	}
+	if ck.N != n || len(ck.Records) != n {
+		return fmt.Errorf("fault: checkpoint covers %d runs (%d records), want %d", ck.N, len(ck.Records), n)
+	}
+	return nil
+}

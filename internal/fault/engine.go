@@ -1,0 +1,294 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+)
+
+// defaultBatch is the number of runs between early-stop checks and
+// checkpoint saves.
+const defaultBatch = 100
+
+// Campaign runs up to cfg.N fault injections of the scheme on the
+// instance. It is resilient by construction:
+//
+//   - Cancelling ctx stops the campaign promptly (in-flight runs are
+//     interrupted through the machine's cancellation channel); the
+//     partial Result — N reports how many runs completed — is
+//     returned alongside an error wrapping ctx.Err().
+//   - A panic inside a worker's interpreter run is contained and
+//     classified CoreDump, with the panic value recorded in
+//     Result.Errors; the campaign keeps going.
+//   - With cfg.CheckpointPath set, progress persists after every
+//     batch, and an interrupted campaign resumes from its checkpoint
+//     to bit-identical final counts.
+//   - With cfg.TargetCI set, the campaign stops early once the 95%
+//     Wilson interval on the protection rate is tight enough.
+func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.Instance, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.N == 0 {
+		cfg.N = 1000
+	}
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 50
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = defaultBatch
+	}
+
+	// Fault-free profile run of this scheme: golden output, region
+	// size, instruction budget.
+	profile, err := runProfile(p, s, inst)
+	if err != nil {
+		return Result{}, err
+	}
+
+	e := &engine{
+		p: p, s: s, inst: inst, cfg: cfg,
+		golden:  profile.Output,
+		budget:  profile.Result.Instrs * cfg.HangFactor,
+		records: make([]RunRecord, cfg.N),
+	}
+
+	// Pre-draw all fault plans so the campaign is deterministic
+	// regardless of worker scheduling — and resumable by index.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e.plans = make([]machine.FaultPlan, cfg.N)
+	for i := range e.plans {
+		e.plans[i] = machine.FaultPlan{
+			Kind:   drawKind(rng, cfg.Mix),
+			Target: uint64(rng.Int63n(int64(profile.Result.Region))),
+			Bit:    uint(rng.Intn(64)),
+			Pick:   rng.Intn(1 << 20),
+		}
+	}
+
+	key := checkpointKey(p, s, cfg)
+	if cfg.CheckpointPath != "" {
+		ck, err := LoadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return Result{}, err
+		}
+		if ck != nil {
+			if err := ck.validateFor(key, cfg.N); err != nil {
+				return Result{}, err
+			}
+			copy(e.records, ck.Records)
+		}
+	}
+
+	stop := cfg.N // index bound of the aggregated (and attempted) runs
+	earlyStopped := false
+	var runErr error
+batches:
+	for lo := 0; lo < cfg.N; lo += cfg.Batch {
+		hi := lo + cfg.Batch
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		batchErr := e.runBatch(ctx, lo, hi)
+		if cfg.CheckpointPath != "" {
+			ck := &Checkpoint{Version: checkpointVersion, Key: key, N: cfg.N,
+				Done: countDone(e.records), Records: e.records}
+			if serr := ck.Save(cfg.CheckpointPath); serr != nil && batchErr == nil {
+				batchErr = serr
+			}
+		}
+		if batchErr != nil {
+			runErr = batchErr
+			break batches
+		}
+		if cfg.TargetCI > 0 {
+			agg := e.aggregate(hi)
+			if lo2, hi2 := agg.ProtectionCI(); hi2-lo2 <= cfg.TargetCI {
+				stop = hi
+				earlyStopped = hi < cfg.N
+				break batches
+			}
+		}
+	}
+
+	res := e.aggregate(stop)
+	res.EarlyStopped = earlyStopped
+	if runErr != nil {
+		return res, fmt.Errorf("fault: campaign interrupted after %d/%d runs: %w", res.N, cfg.N, runErr)
+	}
+	return res, nil
+}
+
+// runProfile executes the fault-free reference run with the same
+// panic containment the campaign gives injected runs — a scheme whose
+// clean run crashes the interpreter should surface as an error, not
+// kill the process.
+func runProfile(p *core.Program, s core.Scheme, inst bench.Instance) (o core.Outcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("fault: fault-free %s run panicked: %v", s, v)
+		}
+	}()
+	o = p.Run(s, inst, core.RunOpts{})
+	if o.Err != nil {
+		return o, fmt.Errorf("fault: fault-free %s run failed: %w", s, o.Err)
+	}
+	if o.Result.Region == 0 {
+		return o, fmt.Errorf("fault: no detected-loop region executed under %s", s)
+	}
+	return o, nil
+}
+
+// engine holds the immutable campaign state shared by workers.
+type engine struct {
+	p       *core.Program
+	s       core.Scheme
+	inst    bench.Instance
+	cfg     Config
+	golden  []uint64
+	budget  uint64
+	plans   []machine.FaultPlan
+	records []RunRecord
+}
+
+// runBatch executes every not-yet-done run in [lo, hi) on a worker
+// pool. It returns ctx.Err() if cancelled; records written by
+// in-flight workers before the cancellation are kept (they are valid
+// completed runs and will not be re-executed on resume).
+func (e *engine) runBatch(ctx context.Context, lo, hi int) error {
+	workers := e.cfg.Workers
+	if n := hi - lo; workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if rec, ok := e.runOne(ctx, i); ok {
+					e.records[i] = rec
+				}
+			}
+		}()
+	}
+feed:
+	for i := lo; i < hi; i++ {
+		if e.records[i].Done {
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runOne executes and classifies injection i. The recover barrier
+// turns an interpreter panic into a CoreDump record — the simulated
+// machine's own failure modes are part of the fault model, not a
+// tooling hazard. ok=false means the run did not complete (campaign
+// cancelled) and must not be recorded.
+func (e *engine) runOne(ctx context.Context, i int) (rec RunRecord, ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			rec = RunRecord{Done: true, Class: CoreDump, Err: fmt.Sprintf("panic: %v", v)}
+			ok = true
+		}
+	}()
+	if ctx.Err() != nil {
+		return RunRecord{}, false
+	}
+	if e.cfg.runHook != nil {
+		e.cfg.runHook(i)
+	}
+	rctx := ctx
+	if e.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, e.cfg.RunTimeout)
+		defer cancel()
+	}
+	plan := e.plans[i]
+	o := e.p.Run(e.s, e.inst, core.RunOpts{Fault: &plan, MaxInstrs: e.budget, Cancel: rctx.Done()})
+	if _, cancelled := o.Err.(*machine.CancelError); cancelled {
+		if ctx.Err() != nil {
+			// Campaign-level cancellation: the run is incomplete.
+			return RunRecord{}, false
+		}
+		// Per-run deadline exceeded: a wall-clock hang.
+		return RunRecord{Done: true, Class: Hang, Fired: o.FaultFired,
+			Err: fmt.Sprintf("run exceeded deadline %v", e.cfg.RunTimeout)}, true
+	}
+	cls, fn, recov := classify(&o, e.golden)
+	r := RunRecord{Done: true, Class: cls, Fired: o.FaultFired, FalseNeg: fn, Recovered: recov}
+	if o.Err != nil {
+		r.Err = o.Err.Error()
+	}
+	return r, true
+}
+
+// aggregate folds records[:stop] into a Result. Because each record
+// is a pure function of its index, the aggregate is independent of
+// worker count, interruption and resume history.
+func (e *engine) aggregate(stop int) Result {
+	res := Result{Scheme: e.s, Requested: e.cfg.N}
+	for i := 0; i < stop; i++ {
+		rec := &e.records[i]
+		if !rec.Done {
+			continue
+		}
+		res.N++
+		res.Counts[rec.Class]++
+		if rec.Fired {
+			res.Fired++
+		}
+		if rec.FalseNeg {
+			res.FalseNeg++
+		}
+		if rec.Recovered {
+			res.Recovered++
+		}
+		if rec.Err != "" {
+			if res.Errors == nil {
+				res.Errors = map[Class]map[string]int{}
+			}
+			byMsg := res.Errors[rec.Class]
+			if byMsg == nil {
+				byMsg = map[string]int{}
+				res.Errors[rec.Class] = byMsg
+			}
+			byMsg[rec.Err]++
+		}
+	}
+	return res
+}
+
+func countDone(recs []RunRecord) int {
+	n := 0
+	for i := range recs {
+		if recs[i].Done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"rskip/internal/bench"
@@ -27,7 +28,7 @@ func buildTrained(t *testing.T, name string, ar float64) (*core.Program, bench.I
 
 func TestCampaignBasics(t *testing.T) {
 	p, inst := buildTrained(t, "conv1d", 0.2)
-	r, err := Campaign(p, core.Unsafe, inst, Config{N: 120, Seed: 1})
+	r, err := Campaign(context.Background(), p, core.Unsafe, inst, Config{N: 120, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestCampaignBasics(t *testing.T) {
 
 func TestCampaignDeterministic(t *testing.T) {
 	p, inst := buildTrained(t, "conv1d", 0.2)
-	a, err := Campaign(p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 4})
+	a, err := Campaign(context.Background(), p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Campaign(p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 1})
+	b, err := Campaign(context.Background(), p, core.SWIFTR, inst, Config{N: 80, Seed: 42, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,15 +70,15 @@ func TestProtectionOrdering(t *testing.T) {
 	// the same league as SWIFT-R (the paper's core claim).
 	p, inst := buildTrained(t, "sgemm", 0.2)
 	cfg := Config{N: 250, Seed: 3}
-	unsafe, err := Campaign(p, core.Unsafe, inst, cfg)
+	unsafe, err := Campaign(context.Background(), p, core.Unsafe, inst, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	swiftr, err := Campaign(p, core.SWIFTR, inst, cfg)
+	swiftr, err := Campaign(context.Background(), p, core.SWIFTR, inst, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rskip, err := Campaign(p, core.RSkip, inst, cfg)
+	rskip, err := Campaign(context.Background(), p, core.RSkip, inst, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestFalseNegativesGrowWithAR(t *testing.T) {
 	p20, inst := buildTrained(t, "conv1d", 0.2)
 	pWide, _ := buildTrained(t, "conv1d", 1.0)
 	cfg := Config{N: 300, Seed: 9}
-	narrow, err := Campaign(p20, core.RSkip, inst, cfg)
+	narrow, err := Campaign(context.Background(), p20, core.RSkip, inst, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wide, err := Campaign(pWide, core.RSkip, inst, cfg)
+	wide, err := Campaign(context.Background(), pWide, core.RSkip, inst, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFalseNegativesGrowWithAR(t *testing.T) {
 
 func TestSWIFTDetectionClass(t *testing.T) {
 	p, inst := buildTrained(t, "conv1d", 0.2)
-	r, err := Campaign(p, core.SWIFT, inst, Config{N: 200, Seed: 5})
+	r, err := Campaign(context.Background(), p, core.SWIFT, inst, Config{N: 200, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,6 +39,12 @@ func (m *Machine) step() error {
 	if m.C.Dyn > m.cfg.MaxInstrs {
 		return &HangError{Limit: m.cfg.MaxInstrs}
 	}
+	if m.cfg.Cancel != nil && m.C.Dyn >= m.cancelAt {
+		m.cancelAt = m.C.Dyn + cancelPollInterval
+		if m.cancelled() {
+			return &CancelError{}
+		}
+	}
 	if m.cfg.Trace != nil {
 		m.traceStep(f, in)
 	}

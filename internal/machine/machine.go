@@ -43,6 +43,15 @@ func (e *DetectError) Error() string {
 	return "machine: fault detected by check in " + e.Func
 }
 
+// CancelError reports that the run was stopped from outside through
+// Config.Cancel — a campaign cancellation or a per-run wall-clock
+// deadline. It is not one of the paper's outcome classes; callers
+// decide whether the run counts as a Hang (deadline) or is discarded
+// (cancellation).
+type CancelError struct{}
+
+func (e *CancelError) Error() string { return "machine: run cancelled" }
+
 // Counters aggregates execution statistics.
 type Counters struct {
 	Dyn      uint64           // dynamic instructions, including runtime-library charges
@@ -69,6 +78,11 @@ type Config struct {
 	// blocks execute in-region transitively.
 	RegionBlocks map[int]map[int]bool
 	Fault        *FaultPlan
+	// Cancel, when non-nil, stops the run with a CancelError once the
+	// channel closes. It is polled every cancelPollInterval dynamic
+	// instructions (and once at Run entry), so cancellation latency is
+	// bounded without a per-instruction select on the hot path.
+	Cancel <-chan struct{}
 	// TraceFn, when >= 0 with a non-nil CallTracer, reports every
 	// completed call to that function index — the trainer uses it to
 	// sample memo-function input/output pairs. Set TraceFn to -1 when
@@ -105,6 +119,24 @@ type Machine struct {
 	faultFrameFn int                   // function index of the currently executing frame
 	traced       uint64                // trace lines emitted
 	lastRet      uint64                // return value of the most recently returned frame
+	cancelAt     uint64                // Dyn threshold for the next Cancel poll
+}
+
+// cancelPollInterval bounds how many dynamic instructions execute
+// between polls of Config.Cancel.
+const cancelPollInterval = 1024
+
+// cancelled polls Config.Cancel without blocking.
+func (m *Machine) cancelled() bool {
+	if m.cfg.Cancel == nil {
+		return false
+	}
+	select {
+	case <-m.cfg.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // inRegionNow reports whether the frame currently executes inside the
@@ -177,6 +209,9 @@ func (r RunResult) IPC() float64 {
 // returns. Errors are SegfaultError, TrapError, HangError or
 // DetectError; callers classify them into the paper's outcome classes.
 func (m *Machine) Run(fnIdx int, args []uint64) (RunResult, error) {
+	if m.cancelled() {
+		return RunResult{}, &CancelError{}
+	}
 	if err := m.pushFrame(fnIdx, args, ir.NoReg); err != nil {
 		return RunResult{}, err
 	}

@@ -126,6 +126,34 @@ func TestHangDetection(t *testing.T) {
 	}
 }
 
+func TestCancelBeforeRun(t *testing.T) {
+	mod := compile(t, `int f() { return 1; }`)
+	done := make(chan struct{})
+	close(done)
+	m := New(mod, Config{TraceFn: -1, Cancel: done})
+	_, err := m.Run(0, nil)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CancelError, got %v", err)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	mod := compile(t, `int f() { while (1) { } return 0; }`)
+	done := make(chan struct{})
+	m := New(mod, Config{TraceFn: -1, Cancel: done})
+	go close(done)
+	_, err := m.Run(0, nil)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CancelError, got %v", err)
+	}
+	// The run stopped close to a poll boundary, not at the hang limit.
+	if m.C.Dyn >= DefaultMaxInstrs {
+		t.Errorf("run consumed the whole budget despite cancellation")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	mod := compile(t, `
 float f(float x, int n) {

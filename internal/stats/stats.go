@@ -140,6 +140,45 @@ func Median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// Z95 is the normal quantile for a two-sided 95% confidence level.
+const Z95 = 1.959963984540054
+
+// Wilson returns the Wilson score confidence interval for a binomial
+// proportion: k successes out of n trials at normal quantile z (use
+// Z95 for the conventional 95% level). Unlike the normal
+// approximation, the interval stays inside [0,1] and behaves sensibly
+// at k=0 and k=n — exactly the regime fault-injection outcome classes
+// live in (rare SDCs, near-100% protection rates). n<=0 returns the
+// vacuous interval [0,1].
+func Wilson(k, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	// Snap the closed ends exactly: at k=0 (k=n) the proportion itself
+	// is a bound and rounding must not pull it inside the interval.
+	if k == 0 || lo < 0 {
+		lo = 0
+	}
+	if k == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
 // Pct formats a fraction as a percentage with one decimal.
 func Pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
 

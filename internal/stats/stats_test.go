@@ -92,6 +92,65 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+func TestWilsonKnownValues(t *testing.T) {
+	// Classic textbook case: 10 successes in 10 trials at 95% gives
+	// [0.722, 1.0] (lower bound ≈ z²/(n+z²) complement).
+	lo, hi := Wilson(10, 10, Z95)
+	if math.Abs(lo-0.7225) > 0.005 || hi != 1 {
+		t.Errorf("Wilson(10,10) = [%g,%g], want [~0.722,1]", lo, hi)
+	}
+	// Symmetric case: k = n/2 centers the interval on 0.5.
+	lo, hi = Wilson(50, 100, Z95)
+	if math.Abs((lo+hi)/2-0.5) > 1e-9 {
+		t.Errorf("Wilson(50,100) not centered: [%g,%g]", lo, hi)
+	}
+	if math.Abs(lo-0.4038) > 0.005 || math.Abs(hi-0.5962) > 0.005 {
+		t.Errorf("Wilson(50,100) = [%g,%g], want ~[0.404,0.596]", lo, hi)
+	}
+	// Zero successes still excludes only the top of the range.
+	lo, hi = Wilson(0, 20, Z95)
+	if lo != 0 || hi < 0.1 || hi > 0.2 {
+		t.Errorf("Wilson(0,20) = [%g,%g]", lo, hi)
+	}
+}
+
+func TestWilsonDegenerate(t *testing.T) {
+	if lo, hi := Wilson(0, 0, Z95); lo != 0 || hi != 1 {
+		t.Errorf("n=0 should be vacuous, got [%g,%g]", lo, hi)
+	}
+	if lo, hi := Wilson(-5, 10, Z95); lo != 0 || hi >= 0.5 {
+		t.Errorf("negative k should clamp, got [%g,%g]", lo, hi)
+	}
+	if _, hi := Wilson(15, 10, Z95); hi != 1 {
+		t.Errorf("k>n should clamp, got hi=%g", hi)
+	}
+}
+
+// Property: the interval contains the point estimate, stays in [0,1],
+// and shrinks as n grows at fixed proportion.
+func TestWilsonProperties(t *testing.T) {
+	check := func(k8, n8 uint8) bool {
+		n := int(n8%200) + 1
+		k := int(k8) % (n + 1)
+		lo, hi := Wilson(k, n, Z95)
+		p := float64(k) / float64(n)
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		return lo <= p+1e-12 && p <= hi+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{10, 100, 1000} {
+		lo1, hi1 := Wilson(n/2, n, Z95)
+		lo2, hi2 := Wilson(n*5, n*10, Z95)
+		if hi2-lo2 >= hi1-lo1 {
+			t.Errorf("interval did not shrink from n=%d to n=%d", n, n*10)
+		}
+	}
+}
+
 // Property: Mean is bounded by MinMax.
 func TestMeanBounded(t *testing.T) {
 	check := func(raw []float64) bool {

@@ -136,7 +136,7 @@ func main() {
 		n  uint64
 	}
 	var mix []oc
-	for op, n := range o.Result.Counter.Ops {
+	for op, n := range o.Result.Counter.OpsMap() {
 		mix = append(mix, oc{op, n})
 	}
 	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })

@@ -1,0 +1,98 @@
+// Golden-counters differential test: the pre-decoded fast interpreter
+// and the seed reference interpreter must be indistinguishable — on
+// every kernel, under every protection scheme, with and without
+// injected faults, the dynamic-instruction counters, per-opcode
+// histogram, cycle counts, outputs and fault outcomes are bit for bit
+// identical. This is the contract that lets campaigns run on the fast
+// path while the reference interpreter stays the spec.
+package bench_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+)
+
+// runPair executes the same instance twice — fast and reference — and
+// reports any observable divergence.
+func runPair(t *testing.T, p *core.Program, s core.Scheme, inst bench.Instance, opts core.RunOpts) {
+	t.Helper()
+	fast := p.Run(s, inst, opts)
+	opts.Reference = true
+	ref := p.Run(s, inst, opts)
+
+	if fast.Result != ref.Result {
+		t.Errorf("RunResult diverged:\n fast %+v\n  ref %+v", fast.Result, ref.Result)
+	}
+	if fmt.Sprint(fast.Err) != fmt.Sprint(ref.Err) {
+		t.Errorf("error diverged: fast %v, ref %v", fast.Err, ref.Err)
+	}
+	if fast.FaultFired != ref.FaultFired || fast.FaultTag != ref.FaultTag || fast.FaultOp != ref.FaultOp {
+		t.Errorf("fault outcome diverged: fast fired=%v tag=%v op=%v, ref fired=%v tag=%v op=%v",
+			fast.FaultFired, fast.FaultTag, fast.FaultOp,
+			ref.FaultFired, ref.FaultTag, ref.FaultOp)
+	}
+	if len(fast.Output) != len(ref.Output) {
+		t.Fatalf("output length diverged: fast %d, ref %d", len(fast.Output), len(ref.Output))
+	}
+	for i := range fast.Output {
+		if fast.Output[i] != ref.Output[i] {
+			t.Fatalf("output[%d] diverged: fast %#x, ref %#x", i, fast.Output[i], ref.Output[i])
+		}
+	}
+	// The accounting invariant must hold on real runs, not just the
+	// unit test: every charged instruction lands in the histogram.
+	if got, want := fast.Result.Counter.OpTotal(), fast.Result.Counter.Dyn; got != want {
+		t.Errorf("opcode histogram does not reconcile: OpTotal = %d, Dyn = %d", got, want)
+	}
+}
+
+func TestGoldenCountersFastVsReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	kinds := []machine.FaultKind{
+		machine.FaultResultBit, machine.FaultSourceBit,
+		machine.FaultOpcode, machine.FaultRegFile,
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := core.Build(b, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+				t.Fatal(err)
+			}
+			inst := b.Gen(bench.TestSeed(1), bench.ScaleFI)
+			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip} {
+				clean := p.Run(s, inst, core.RunOpts{Reference: true})
+				t.Run(s.String()+"/clean", func(t *testing.T) {
+					runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI), core.RunOpts{})
+				})
+				region := clean.Result.Region
+				if region == 0 {
+					continue
+				}
+				budget := 3 * clean.Result.Instrs
+				for i, kind := range kinds {
+					plan := machine.FaultPlan{
+						Kind:   kind,
+						Target: region * uint64(i) / uint64(len(kinds)),
+						Bit:    uint(7 * (i + 1) % 64),
+						Pick:   i,
+					}
+					t.Run(fmt.Sprintf("%s/%v@%d", s, kind, plan.Target), func(t *testing.T) {
+						runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI),
+							core.RunOpts{Fault: &plan, MaxInstrs: budget})
+					})
+				}
+			}
+		})
+	}
+}

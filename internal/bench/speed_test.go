@@ -1,0 +1,83 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+)
+
+// buildFor compiles one benchmark for the speed benchmarks, failing
+// the benchmark on any build error.
+func buildFor(b *testing.B, name string) (*core.Program, bench.Instance) {
+	b.Helper()
+	bm, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.Build(bm, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, bm.Gen(bench.TestSeed(0), bench.ScaleFI)
+}
+
+// BenchmarkStep measures interpreter throughput as ns per simulated
+// dynamic instruction: one full kernel run per iteration (machine
+// construction, setup and teardown included — that is what a campaign
+// pays per injection). The fast/reference pair is the speedup the
+// pre-decoded interpreter buys over the seed per-instruction one.
+//
+// Profile the hot path with:
+//
+//	go test -bench BenchmarkStep/conv1d/fast -benchtime 3s \
+//	    -cpuprofile cpu.out ./internal/bench/ && go tool pprof cpu.out
+func BenchmarkStep(b *testing.B) {
+	for _, name := range []string{"conv1d", "sgemm", "blackscholes", "lud"} {
+		p, inst := buildFor(b, name)
+		for _, mode := range []struct {
+			label string
+			ref   bool
+		}{{"fast", false}, {"reference", true}} {
+			b.Run(name+"/"+mode.label, func(b *testing.B) {
+				var instrs uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o := p.Run(core.Unsafe, inst, core.RunOpts{Reference: mode.ref})
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+					instrs += o.Result.Instrs
+				}
+				b.StopTimer()
+				if instrs > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCampaign measures end-to-end fault-injection throughput —
+// plans drawn, machines built, faults injected, outcomes classified —
+// in runs per second. This is the number that decides whether a
+// million-run campaign is an overnight job or a coffee break.
+func BenchmarkCampaign(b *testing.B) {
+	p, inst := buildFor(b, "conv1d")
+	b.ResetTimer()
+	var runs int
+	for i := 0; i < b.N; i++ {
+		r, err := fault.Campaign(context.Background(), p, core.SWIFTR, inst,
+			fault.Config{N: 50, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs += r.N
+	}
+	b.StopTimer()
+	if runs > 0 {
+		b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+	}
+}

@@ -111,6 +111,11 @@ type Program struct {
 	RegionFuncs map[int]bool
 
 	Trained *train.Result
+
+	// codes holds the pre-decoded form of each variant, compiled once
+	// at Build time so concurrent campaign workers share it instead of
+	// re-decoding the module on every Run.
+	codes [4]*machine.Code
 }
 
 // Build compiles the benchmark and derives all protected variants.
@@ -166,6 +171,9 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 	}
 	for _, li := range rsk.Loops {
 		p.RegionFuncs[li.RecomputeFn] = true
+	}
+	for _, s := range []Scheme{Unsafe, SWIFT, SWIFTR, RSkip} {
+		p.codes[s] = machine.CompileCode(p.Module(s))
 	}
 	return p, nil
 }
@@ -235,6 +243,10 @@ type RunOpts struct {
 	// Trace/TraceLimit dump executed instructions (debugging).
 	Trace      io.Writer
 	TraceLimit uint64
+	// Reference runs the seed per-instruction interpreter instead of
+	// the pre-decoded fast path; used by the golden-counters
+	// differential test and speedup benchmarks.
+	Reference bool
 }
 
 // Outcome reports one execution.
@@ -297,6 +309,8 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		RegionBlocks: p.RegionBlocks,
 		IssueWidth:   p.Cfg.IssueWidth,
 		TraceFn:      -1,
+		Code:         p.codes[s],
+		Reference:    opts.Reference,
 	}
 	if opts.Trace != nil && opts.TraceLimit > 0 {
 		mcfg.Trace = opts.Trace
@@ -327,6 +341,7 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		mcfg = mgr.MachineConfig(mcfg)
 	}
 	m := machine.New(mod, mcfg)
+	defer m.Release()
 	args := inst.Setup(m.Mem)
 	res, err := m.Run(p.Kernel, args)
 	out := Outcome{Result: res, Err: err, FaultFired: m.FaultFired()}

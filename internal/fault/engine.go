@@ -219,14 +219,17 @@ func (e *engine) runOne(ctx context.Context, i int) (rec RunRecord, ok bool) {
 	if ctx.Err() != nil {
 		return RunRecord{}, false
 	}
-	if e.cfg.runHook != nil {
-		e.cfg.runHook(i)
-	}
 	rctx := ctx
 	if e.cfg.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		rctx, cancel = context.WithTimeout(ctx, e.cfg.RunTimeout)
 		defer cancel()
+	}
+	// The hook runs after the per-run deadline starts ticking, so a
+	// hook that sleeps past RunTimeout deterministically expires the
+	// deadline before the run begins.
+	if e.cfg.runHook != nil {
+		e.cfg.runHook(i)
 	}
 	plan := e.plans[i]
 	o := e.p.Run(e.s, e.inst, core.RunOpts{Fault: &plan, MaxInstrs: e.budget, Cancel: rctx.Done()})

@@ -96,6 +96,11 @@ const (
 	opMax // sentinel
 )
 
+// NumOps is the number of opcode values (including OpInvalid); dense
+// per-opcode tables (the machine's counters, cost tables) are indexed
+// [0, NumOps).
+const NumOps = int(opMax)
+
 var opNames = [...]string{
 	OpInvalid:     "invalid",
 	OpConstInt:    "const",

@@ -26,7 +26,7 @@ func (m *Machine) step() error {
 	// the instruction belongs to, before any branch retargets f.block.
 	n := uops(in.Op)
 	m.C.Dyn += n
-	m.C.Ops[in.Op] += n
+	m.C.ops[in.Op] += n
 	m.C.ByTag[in.Tag] += n
 	inRegion := m.inRegionNow(f)
 	if inRegion {
@@ -53,9 +53,15 @@ func (m *Machine) step() error {
 	// in-region dynamic instruction.
 	switch m.decideFault(inRegion, in) {
 	case faultRegFile:
-		hit := ir.Reg(m.fault.plan.Pick % f.fn.NumRegs)
-		m.fault.firedTag = m.regTagOf(f.fi, hit)
-		m.flipBit(f, hit)
+		// A function with no registers (a bare-return helper reached
+		// from a region call site) gives the strike nowhere to land:
+		// record the fault as fired but masked, like a hit on a dead
+		// register, instead of panicking on Pick % 0.
+		if f.fn.NumRegs > 0 {
+			hit := ir.Reg(m.fault.plan.Pick % f.fn.NumRegs)
+			m.fault.firedTag = m.regTagOf(f.fi, hit)
+			m.flipBit(f, hit)
+		}
 		return m.exec(f, in)
 	case faultPre:
 		if len(in.Args) > 0 {
@@ -297,15 +303,18 @@ func (m *Machine) exec(f *frame, in *ir.Instr) error {
 			for i, a := range in.Args {
 				inv[i] = f.regs[a]
 			}
+			m.hookOp = in.Op
 			return m.cfg.Hooks.LoopEnter(m, int(in.Imm), inv)
 		}
 	case ir.OpRTObserve:
 		if m.cfg.Hooks != nil {
+			m.hookOp = in.Op
 			return m.cfg.Hooks.Observe(m, int(in.Imm),
 				int64(f.regs[in.Args[0]]), f.regs[in.Args[1]], int64(f.regs[in.Args[2]]))
 		}
 	case ir.OpRTLoopExit:
 		if m.cfg.Hooks != nil {
+			m.hookOp = in.Op
 			return m.cfg.Hooks.LoopExit(m, int(in.Imm))
 		}
 

@@ -52,14 +52,56 @@ type CancelError struct{}
 
 func (e *CancelError) Error() string { return "machine: run cancelled" }
 
-// Counters aggregates execution statistics.
+// Counters aggregates execution statistics. The struct holds only
+// value types, so two Counters compare with == (the golden-counters
+// differential test relies on this) and copying a RunResult never
+// shares state with the machine.
+//
+// Accounting invariant: every dynamic instruction is attributed to
+// exactly one opcode row, including runtime-library work (charged
+// against the runtime-hook opcode that triggered it), so
+//
+//	OpTotal() == Dyn   and   sum(RT-hook rows) == Runtime
+//
+// hold at all times — the per-opcode breakdown reconciles with Dyn
+// without out-of-band knowledge.
 type Counters struct {
-	Dyn      uint64           // dynamic instructions, including runtime-library charges
-	Region   uint64           // dynamic IR instructions inside the detected-loop region
-	ByTag    [6]uint64        // per protection-role tag
-	Runtime  uint64           // instructions charged by runtime hooks
-	Internal uint64           // instructions executed inside internal (value-slice) functions
-	Ops      map[ir.Op]uint64 // per-opcode dynamic counts (IR instructions)
+	Dyn      uint64            // dynamic instructions, including runtime-library charges
+	Region   uint64            // dynamic IR instructions inside the detected-loop region
+	ByTag    [6]uint64         // per protection-role tag
+	Runtime  uint64            // instructions charged by runtime hooks
+	Internal uint64            // instructions executed inside internal (value-slice) functions
+	ops      [ir.NumOps]uint64 // per-opcode dynamic counts, indexed by opcode
+}
+
+// OpCount returns the dynamic instruction count attributed to op.
+func (c *Counters) OpCount(op ir.Op) uint64 {
+	if int(op) >= ir.NumOps {
+		return 0
+	}
+	return c.ops[op]
+}
+
+// OpTotal returns the sum of all per-opcode counts; it always equals
+// Dyn.
+func (c *Counters) OpTotal() uint64 {
+	var sum uint64
+	for _, n := range c.ops {
+		sum += n
+	}
+	return sum
+}
+
+// OpsMap returns the non-zero per-opcode counts as a map, for callers
+// that iterate the opcode breakdown (reports, tooling).
+func (c *Counters) OpsMap() map[ir.Op]uint64 {
+	out := make(map[ir.Op]uint64)
+	for op, n := range c.ops {
+		if n != 0 {
+			out[ir.Op(op)] = n
+		}
+	}
+	return out
 }
 
 // Config parameterizes a machine.
@@ -89,6 +131,17 @@ type Config struct {
 	// unused.
 	TraceFn    int
 	CallTracer func(args []uint64, ret uint64)
+	// Code, when non-nil, supplies the pre-decoded form of the module
+	// (CompileCode). Campaign-style callers that build one machine per
+	// run pass a shared Code so the decode cost is paid once; when nil
+	// (or built for a different module), New decodes on the spot.
+	Code *Code
+	// Reference selects the seed per-instruction interpreter instead
+	// of the pre-decoded fast path. Semantics are identical — the
+	// golden-counters differential test proves counters, outputs and
+	// fault outcomes match bit for bit — so the only reason to set it
+	// is that comparison itself (or benchmarking the speedup).
+	Reference bool
 	// Trace, when non-nil, receives one line per executed instruction
 	// (capped by TraceLimit, default 10000) — the compiler-debugging
 	// view of a run.
@@ -120,6 +173,10 @@ type Machine struct {
 	traced       uint64                // trace lines emitted
 	lastRet      uint64                // return value of the most recently returned frame
 	cancelAt     uint64                // Dyn threshold for the next Cancel poll
+
+	code   *Code    // pre-decoded module (shared, immutable)
+	region [][]bool // per-function per-block in-region flags (from cfg.RegionBlocks)
+	hookOp ir.Op    // runtime-hook opcode whose dispatch is in progress (Charge attribution)
 }
 
 // cancelPollInterval bounds how many dynamic instructions execute
@@ -177,15 +234,32 @@ func New(mod *ir.Module, cfg Config) *Machine {
 	}
 	m := &Machine{
 		Mod: mod,
-		Mem: NewMemory(cfg.MemWords),
+		Mem: newPooledMemory(cfg.MemWords),
 		cfg: cfg,
 	}
 	m.pl.init(cfg.IssueWidth)
-	m.C.Ops = make(map[ir.Op]uint64)
+	code := cfg.Code
+	if code == nil || code.mod != mod {
+		code = CompileCode(mod)
+	}
+	m.code = code
+	m.region = code.regionFlags(&m.cfg)
+	m.hookOp = ir.OpRTObserve
 	if cfg.Fault != nil {
 		m.fault = faultState{plan: *cfg.Fault, armed: true}
 	}
 	return m
+}
+
+// Release returns the machine's pooled resources (its memory arena)
+// for reuse by a future New. The machine and its Mem must not be used
+// afterwards. Calling Release is optional — an unreleased machine is
+// simply collected — but campaign-style callers that build one machine
+// per run save a full arena allocation and clear per run.
+func (m *Machine) Release() {
+	mem := m.Mem
+	m.Mem = nil
+	releaseMemory(mem)
 }
 
 // RunResult reports one execution.
@@ -232,14 +306,39 @@ func (m *Machine) pushFrame(fnIdx int, args []uint64, retDst ir.Reg) error {
 		return fmt.Errorf("machine: calling %s with %d args, want %d",
 			fn.Name, len(args), len(fn.Params))
 	}
-	f := frame{
-		fn:        fn,
-		fi:        fnIdx,
-		regs:      make([]uint64, fn.NumRegs),
-		ready:     make([]uint64, fn.NumRegs),
-		stackMark: m.Mem.StackMark(),
-		retDst:    retDst,
+	// Frames are pooled across calls: popFrame only shrinks len(m.fr),
+	// leaving the slot's register arrays in the backing array, so a
+	// push at the same depth reuses them (cleared — a fresh frame must
+	// observe zeroed registers) instead of allocating. Invoke-heavy
+	// runs — every suspected iteration calls an outlined recompute
+	// slice — would otherwise allocate two slices per call.
+	var f *frame
+	if cap(m.fr) > len(m.fr) {
+		m.fr = m.fr[:len(m.fr)+1]
+		f = &m.fr[len(m.fr)-1]
+	} else {
+		m.fr = append(m.fr, frame{})
+		f = &m.fr[len(m.fr)-1]
 	}
+	nr := fn.NumRegs
+	if cap(f.regs) >= nr && cap(f.ready) >= nr {
+		f.regs = f.regs[:nr]
+		f.ready = f.ready[:nr]
+		for i := range f.regs {
+			f.regs[i] = 0
+			f.ready[i] = 0
+		}
+	} else {
+		f.regs = make([]uint64, nr)
+		f.ready = make([]uint64, nr)
+	}
+	f.fn = fn
+	f.fi = fnIdx
+	f.block = 0
+	f.ip = 0
+	f.stackMark = m.Mem.StackMark()
+	f.retDst = retDst
+	f.savedArgs = nil
 	copy(f.regs, args)
 	if m.cfg.CallTracer != nil && fnIdx == m.cfg.TraceFn {
 		f.savedArgs = append([]uint64(nil), args...)
@@ -251,10 +350,9 @@ func (m *Machine) pushFrame(fnIdx int, args []uint64, retDst ir.Reg) error {
 		f.ready[i] = now
 	}
 	f.inRegion = m.cfg.RegionFuncs[fnIdx]
-	if !f.inRegion && len(m.fr) > 0 {
-		f.inRegion = m.inRegionNow(&m.fr[len(m.fr)-1])
+	if !f.inRegion && len(m.fr) > 1 {
+		f.inRegion = m.inRegionNow(&m.fr[len(m.fr)-2])
 	}
-	m.fr = append(m.fr, f)
 	return nil
 }
 
@@ -266,25 +364,33 @@ func (m *Machine) popFrame() {
 
 // runToDepth steps until the frame stack shrinks to the given depth.
 func (m *Machine) runToDepth(depth int) error {
-	for len(m.fr) > depth {
-		if err := m.step(); err != nil {
-			// Unwind so nested invocations leave a consistent stack.
-			for len(m.fr) > depth {
-				m.popFrame()
+	if m.cfg.Reference {
+		for len(m.fr) > depth {
+			if err := m.step(); err != nil {
+				// Unwind so nested invocations leave a consistent stack.
+				for len(m.fr) > depth {
+					m.popFrame()
+				}
+				return err
 			}
-			return err
 		}
+		return nil
 	}
-	return nil
+	return m.runFast(depth)
 }
 
 // Charge accounts runtime-library work against the instruction and
 // cycle counters. Hooks call it for every predictor operation so the
-// cost of prediction is fully visible in Fig. 7b/7c.
+// cost of prediction is fully visible in Fig. 7b/7c. The charge is
+// attributed to the runtime-hook opcode whose dispatch is in progress,
+// so the per-opcode histogram reconciles with Dyn (the RT-hook
+// instructions themselves carry zero μops — see uops — and runtime
+// work was previously invisible in the opcode breakdown).
 func (m *Machine) Charge(c Cost) {
 	n := c.Instrs()
 	m.C.Dyn += n
 	m.C.Runtime += n
+	m.C.ops[m.hookOp] += n
 	m.C.ByTag[ir.TagRuntime] += n
 	now := m.pl.now()
 	for i := 0; i < c.IntOps; i++ {

@@ -192,7 +192,7 @@ int f(int n) {
 	if rs.IPC() <= 0 || rs.IPC() > float64(4) {
 		t.Errorf("IPC out of range: %f", rs.IPC())
 	}
-	if rb.Counter.Ops[ir.OpAdd] == 0 {
+	if rb.Counter.OpCount(ir.OpAdd) == 0 {
 		t.Error("per-op counters empty")
 	}
 }

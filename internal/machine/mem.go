@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Memory is a flat word-addressable memory (one 64-bit word per
@@ -28,6 +29,16 @@ type Memory struct {
 	pages    map[int64][]uint64
 	heapEnd  int64 // heap occupies [0, heapEnd)
 	stackPtr int64 // stack occupies [stackPtr, len(words))
+
+	// Write watermarks for cheap arena recycling: every dense-arena
+	// store lands in [0, dirtyLoEnd) or [dirtyHiStart, len(words)) —
+	// the heap grows up from zero and the stack down from the top, so
+	// tracking the two halves separately keeps the union tight. reset
+	// clears only those spans instead of the whole arena (the default
+	// arena is 32 MiB; campaign runs touch a few KiB), which is what
+	// makes pooling memories across millions of runs worthwhile.
+	dirtyLoEnd   int64
+	dirtyHiStart int64
 }
 
 // MappedLimit bounds the simulated process's mapped address space in
@@ -51,7 +62,51 @@ func (e *SegfaultError) Error() string {
 func NewMemory(words int64) *Memory {
 	m := &Memory{words: make([]uint64, words)}
 	m.stackPtr = words
+	m.dirtyHiStart = words
 	return m
+}
+
+// defaultMemWords is Config.MemWords' default; only arenas of exactly
+// this size are pooled.
+const defaultMemWords = int64(1) << 22
+
+// memPool recycles default-sized memories between machines (campaign
+// runs build one machine per injection). Pooled memories are fully
+// reset — a Get behaves exactly like NewMemory(defaultMemWords).
+var memPool = sync.Pool{}
+
+func newPooledMemory(words int64) *Memory {
+	if words == defaultMemWords {
+		if v := memPool.Get(); v != nil {
+			return v.(*Memory)
+		}
+	}
+	return NewMemory(words)
+}
+
+func releaseMemory(m *Memory) {
+	if m == nil || int64(len(m.words)) != defaultMemWords {
+		return
+	}
+	m.reset()
+	memPool.Put(m)
+}
+
+// reset restores the memory to its freshly-allocated state, zeroing
+// only the spans the watermarks prove were written.
+func (m *Memory) reset() {
+	for i := range m.words[:m.dirtyLoEnd] {
+		m.words[i] = 0
+	}
+	hi := m.words[m.dirtyHiStart:]
+	for i := range hi {
+		hi[i] = 0
+	}
+	m.dirtyLoEnd = 0
+	m.dirtyHiStart = int64(len(m.words))
+	m.pages = nil
+	m.heapEnd = 0
+	m.stackPtr = int64(len(m.words))
 }
 
 // Alloc reserves n words on the heap and returns the base address.
@@ -81,6 +136,15 @@ func (m *Memory) LoadWord(addr int64) (uint64, error) {
 // StoreWord writes the raw word at addr.
 func (m *Memory) StoreWord(addr int64, v uint64) error {
 	if addr >= 0 && addr < int64(len(m.words)) {
+		// Watermarks move before the write so a panicking run still
+		// leaves them covering every written word.
+		if addr < int64(len(m.words))/2 {
+			if addr >= m.dirtyLoEnd {
+				m.dirtyLoEnd = addr + 1
+			}
+		} else if addr < m.dirtyHiStart {
+			m.dirtyHiStart = addr
+		}
 		m.words[addr] = v
 		return nil
 	}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"testing"
+
+	"rskip/internal/ir"
+)
+
+// buildZeroRegCallee returns a module whose function 1 has no
+// registers at all: a void helper that only returns. Real modules grow
+// such functions from outlining (a recompute slice whose body was
+// entirely hoisted); the fault injector must survive striking the
+// register file of a frame with nothing to strike.
+func buildZeroRegCallee(t *testing.T) *ir.Module {
+	t.Helper()
+	kb := ir.NewBuilder("kern", nil, ir.Int)
+	kb.Call(1, ir.Void)
+	kb.Ret(kb.ConstInt(0))
+
+	zb := ir.NewBuilder("empty", nil, ir.Void)
+	zb.Ret(ir.NoReg)
+	if zb.F.NumRegs != 0 {
+		t.Fatalf("helper has %d registers, want 0", zb.F.NumRegs)
+	}
+
+	mod := &ir.Module{Name: "zeroreg", Funcs: []*ir.Func{kb.F, zb.F}}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// A FaultRegFile strike while a zero-register function executes used
+// to panic with an integer divide by zero (Pick % NumRegs); it must
+// instead count as fired-but-masked — the strike had no register to
+// land on.
+func TestFaultRegFileZeroRegisterFunction(t *testing.T) {
+	for _, ref := range []bool{false, true} {
+		mod := buildZeroRegCallee(t)
+		m := New(mod, Config{
+			TraceFn:     -1,
+			Reference:   ref,
+			RegionFuncs: map[int]bool{1: true},
+			Fault:       &FaultPlan{Kind: FaultRegFile, Target: 0, Bit: 3, Pick: 7},
+		})
+		res, err := m.Run(0, nil)
+		if err != nil {
+			t.Fatalf("reference=%v: %v", ref, err)
+		}
+		if !m.FaultFired() {
+			t.Errorf("reference=%v: fault did not fire", ref)
+		}
+		if res.Ret != 0 {
+			t.Errorf("reference=%v: ret = %d, want 0", ref, res.Ret)
+		}
+	}
+}
+
+type chargingHooks struct{ cost Cost }
+
+func (h *chargingHooks) LoopEnter(m *Machine, id int, inv []uint64) error {
+	m.Charge(h.cost)
+	return nil
+}
+func (h *chargingHooks) Observe(m *Machine, id int, iter int64, value uint64, addr int64) error {
+	return nil
+}
+func (h *chargingHooks) LoopExit(m *Machine, id int) error { return nil }
+
+// Runtime-hook charges must land in the per-opcode histogram, not just
+// Dyn/Runtime/ByTag: the accounting invariant is OpTotal() == Dyn, so
+// the opcode breakdown reconciles without out-of-band knowledge. The
+// seed accounting dropped charges from the histogram, leaving OpTotal
+// short of Dyn by exactly Runtime.
+func TestChargeOpcodeAttribution(t *testing.T) {
+	b := ir.NewBuilder("kern", nil, ir.Int)
+	x := b.ConstInt(2)
+	y := b.Binop(ir.OpAdd, ir.Int, x, x)
+	b.Raw(ir.Instr{Op: ir.OpRTLoopEnter, Imm: 9})
+	b.Ret(y)
+	mod := &ir.Module{Name: "charge", Funcs: []*ir.Func{b.F}}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ref := range []bool{false, true} {
+		m := New(mod, Config{
+			TraceFn:   -1,
+			Reference: ref,
+			Hooks:     &chargingHooks{cost: Cost{IntOps: 4, MemOps: 2, Branches: 1}},
+		})
+		res, err := m.Run(0, nil)
+		if err != nil {
+			t.Fatalf("reference=%v: %v", ref, err)
+		}
+		c := &res.Counter
+		if c.Runtime != 7 {
+			t.Fatalf("reference=%v: Runtime = %d, want 7", ref, c.Runtime)
+		}
+		if got := c.OpCount(ir.OpRTLoopEnter); got != 7 {
+			t.Errorf("reference=%v: hook opcode row = %d, want the 7 charged instructions", ref, got)
+		}
+		if c.OpTotal() != c.Dyn {
+			t.Errorf("reference=%v: OpTotal = %d, Dyn = %d; histogram does not reconcile",
+				ref, c.OpTotal(), c.Dyn)
+		}
+	}
+}

@@ -15,6 +15,9 @@ type Quantizer struct {
 
 // Level returns the quantization level for v.
 func (q *Quantizer) Level(v float64) int {
+	if len(q.Edges) == 0 {
+		return 0
+	}
 	// Binary search for the rightmost edge <= v.
 	lo, hi := 0, len(q.Edges)-1
 	if v < q.Edges[0] {
@@ -79,6 +82,12 @@ func HistogramQuantizer(samples []float64, levels, fineBins int) *Quantizer {
 		bins[k].lo = mn + float64(k)*w
 	}
 	for _, v := range samples {
+		// Non-finite samples carry no range information and a single
+		// NaN would poison every bin mean (and so every merge cost)
+		// downstream.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		k := int((v - mn) / w)
 		if k >= fineBins {
 			k = fineBins - 1
@@ -123,12 +132,22 @@ func HistogramQuantizer(samples []float64, levels, fineBins int) *Quantizer {
 	return &Quantizer{Edges: edges}
 }
 
+// minMax returns the range of the finite samples. NaN and ±Inf
+// observations (a kernel dividing by zero on a degenerate input) are
+// ignored: a single NaN would otherwise propagate into every quantizer
+// edge and collapse all lookups to level 0, and an Inf would stretch
+// the range until every finite value shares one level.
 func minMax(vs []float64) (mn, mx float64) {
-	if len(vs) == 0 {
-		return 0, 0
-	}
-	mn, mx = vs[0], vs[0]
-	for _, v := range vs[1:] {
+	seen := false
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if !seen {
+			mn, mx = v, v
+			seen = true
+			continue
+		}
 		if v < mn {
 			mn = v
 		}

@@ -1,0 +1,85 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+// A single NaN training sample must not poison the quantizer: minMax
+// used to propagate it into every edge, after which Level collapsed to
+// 0 for all inputs and the memo table degenerated to one entry.
+func TestQuantizerIgnoresNaNSamples(t *testing.T) {
+	samples := []float64{math.NaN(), 0, 2.5, 5, 7.5, 10}
+	for name, q := range map[string]*Quantizer{
+		"uniform":   UniformQuantizer(samples, 4),
+		"histogram": HistogramQuantizer(samples, 4, 64),
+	} {
+		for _, e := range q.Edges {
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("%s: non-finite edge %v in %v", name, e, q.Edges)
+			}
+		}
+		if got := q.Level(10); got != q.Levels()-1 {
+			t.Errorf("%s: Level(10) = %d, want top level %d (edges %v)",
+				name, got, q.Levels()-1, q.Edges)
+		}
+		if q.Level(0) == q.Level(9) {
+			t.Errorf("%s: all lookups collapsed to one level (edges %v)",
+				name, q.Edges)
+		}
+	}
+}
+
+// An Inf sample (a kernel overflowing on a degenerate input) must not
+// stretch the range until every finite value shares level 0.
+func TestQuantizerIgnoresInfSamples(t *testing.T) {
+	samples := []float64{math.Inf(1), math.Inf(-1), 0, 2.5, 5, 7.5, 10}
+	for name, q := range map[string]*Quantizer{
+		"uniform":   UniformQuantizer(samples, 4),
+		"histogram": HistogramQuantizer(samples, 4, 64),
+	} {
+		for _, e := range q.Edges {
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("%s: non-finite edge %v in %v", name, e, q.Edges)
+			}
+		}
+		if q.Level(0) == q.Level(9) {
+			t.Errorf("%s: all lookups collapsed to one level (edges %v)",
+				name, q.Edges)
+		}
+	}
+}
+
+// All-non-finite samples degrade to the single-level degenerate
+// quantizer instead of producing NaN edges.
+func TestQuantizerAllNonFinite(t *testing.T) {
+	samples := []float64{math.NaN(), math.Inf(1)}
+	for name, q := range map[string]*Quantizer{
+		"uniform":   UniformQuantizer(samples, 4),
+		"histogram": HistogramQuantizer(samples, 4, 64),
+	} {
+		if q.Levels() != 1 {
+			t.Errorf("%s: levels = %d, want 1", name, q.Levels())
+		}
+		if math.IsNaN(q.Edges[0]) {
+			t.Errorf("%s: NaN edge", name)
+		}
+	}
+}
+
+// Level on an empty quantizer returns 0 instead of indexing Edges[0].
+func TestLevelEmptyEdges(t *testing.T) {
+	q := &Quantizer{}
+	if got := q.Level(3.7); got != 0 {
+		t.Errorf("Level on empty quantizer = %d, want 0", got)
+	}
+}
+
+// Level on a NaN lookup value clamps to level 0 rather than walking
+// the search off the edge array.
+func TestLevelNaNValue(t *testing.T) {
+	q := UniformQuantizer([]float64{0, 10}, 4)
+	if got := q.Level(math.NaN()); got < 0 || got >= q.Levels() {
+		t.Errorf("Level(NaN) = %d, out of range [0,%d)", got, q.Levels())
+	}
+}

@@ -4,6 +4,7 @@
 //
 //	rskipbench [-exp all|table1|fig2|fig7|fig8a|fig8b|fig9|costs|memo|frontier|ablation]
 //	           [-n 1000] [-train 3] [-quick] [-seed N]
+//	           [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
 //
 // Each experiment prints a text rendering of the corresponding table
 // or figure with the paper's reference numbers in the caption, so
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"rskip/internal/experiments"
+	"rskip/internal/obs"
 )
 
 func main() {
@@ -29,14 +31,34 @@ func main() {
 		quick  = flag.Bool("quick", false, "small inputs and campaigns (smoke run)")
 		seed   = flag.Int64("seed", 20200222, "fault sampling seed")
 		silent = flag.Bool("silent", false, "suppress progress notes")
+
+		tracePath = flag.String("trace", "", "write spans as JSON lines to this file")
+		traceTree = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
+		metrics   = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	cli, err := obs.SetupCLI(obs.CLIConfig{
+		TracePath: *tracePath, TraceTree: *traceTree,
+		MetricsPath: *metrics, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rskipbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rskipbench:", err)
+		}
+	}()
 
 	c := experiments.New()
 	c.FaultN = *n
 	c.TrainSeeds = *train
 	c.Quick = *quick
 	c.Seed = *seed
+	c.Obs = cli.O()
 	if !*silent {
 		c.Out = os.Stderr
 	}

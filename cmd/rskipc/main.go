@@ -7,9 +7,11 @@
 //
 //	rskipc [-scheme unsafe|swift|swiftr|rskip] [-candidates] [-print] file.mc
 //	rskipc -bench conv1d -candidates        # use a built-in benchmark
+//	rskipc [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr] ...
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,7 @@ import (
 	"rskip/internal/core"
 	"rskip/internal/lang"
 	"rskip/internal/lower"
+	"rskip/internal/obs"
 	"rskip/internal/transform"
 )
 
@@ -33,8 +36,26 @@ func main() {
 		emit       = flag.String("emit", "", "write the (transformed) module to this .rir file")
 		cfc        = flag.Bool("cfc", false, "add control-flow checking (block signatures) after protection")
 		format     = flag.Bool("fmt", false, "pretty-print the parsed MiniC source and exit")
+		tracePath  = flag.String("trace", "", "write spans as JSON lines to this file")
+		traceTree  = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
+		metrics    = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	cli, err := obs.SetupCLI(obs.CLIConfig{
+		TracePath: *tracePath, TraceTree: *traceTree,
+		MetricsPath: *metrics, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rskipc:", err)
+		}
+	}()
+	ctx := obs.Into(context.Background(), cli.O())
 
 	var name, src string
 	switch {
@@ -64,12 +85,18 @@ func main() {
 		fmt.Print(lang.Format(prog))
 		return
 	}
+	_, spc := obs.Start(ctx, "rskipc/compile")
+	spc.SetAttr("source", name)
 	mod, err := lower.Compile(name, src)
+	spc.End()
 	if err != nil {
 		fatal(err)
 	}
 	if *optimize {
-		if err := transform.OptimizeAndVerify(mod); err != nil {
+		_, spo := obs.Start(ctx, "rskipc/optimize")
+		err := transform.OptimizeAndVerify(mod)
+		spo.End()
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -95,6 +122,8 @@ func main() {
 		}
 	}
 
+	_, spt := obs.Start(ctx, "rskipc/transform")
+	spt.SetAttr("scheme", *scheme)
 	switch *scheme {
 	case "unsafe":
 	case "swift":
@@ -104,11 +133,15 @@ func main() {
 	case "rskip":
 		mod, err = transform.ApplyRSkip(mod, opt)
 		if err != nil {
+			spt.End()
 			fatal(err)
 		}
 	default:
+		spt.End()
 		fatal(fmt.Errorf("unknown scheme %q", *scheme))
 	}
+	spt.SetAttr("pp_loops", len(mod.Loops))
+	spt.End()
 	if *cfc {
 		if *scheme == "unsafe" {
 			fatal(fmt.Errorf("-cfc requires a protection scheme"))

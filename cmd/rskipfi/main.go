@@ -12,6 +12,12 @@
 //
 //	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
 //	        [-json] [-checkpoint path] [-timeout 30s] [-target-ci 2.0] [-workers N]
+//	        [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
+//
+// Each campaign's row (table and -json alike) carries a metrics
+// summary — the pipeline counters that moved during that campaign —
+// so injection counts, contained panics and interpreter work are
+// auditable per scheme without a separate metrics run.
 package main
 
 import (
@@ -22,12 +28,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/fault"
+	"rskip/internal/obs"
 	"rskip/internal/stats"
 )
 
@@ -49,6 +57,9 @@ type campaignJSON struct {
 	FalseNegRate float64                   `json:"false_neg_rate"`
 	Recovered    int                       `json:"recovered"`
 	Errors       map[string]map[string]int `json:"errors,omitempty"`
+	// Metrics holds the pipeline counters that moved during this
+	// campaign (after-minus-before snapshot deltas).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func toJSON(benchName, label string, r fault.Result) campaignJSON {
@@ -101,13 +112,35 @@ func main() {
 		targetCI  = flag.Float64("target-ci", 0, "adaptive sampling: stop once the 95% CI on the protection rate is this many percentage points wide or less (0 = off)")
 		batch     = flag.Int("batch", 0, "runs per adaptive/checkpoint batch (0 = default)")
 		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+		tracePath = flag.String("trace", "", "write spans as JSON lines to this file")
+		traceTree = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
+		metrics   = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	cli, err := obs.SetupCLI(obs.CLIConfig{
+		TracePath: *tracePath, TraceTree: *traceTree,
+		MetricsPath: *metrics, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer closeObs(cli)
+	// rskipfi always collects metrics — the per-campaign summary rides
+	// on snapshot deltas even when no -metrics file was requested.
+	o := cli.O()
+	if o == nil {
+		o = &obs.Obs{Metrics: obs.NewMetrics()}
+	} else if o.Metrics == nil {
+		o.Metrics = obs.NewMetrics()
+	}
 
 	// Ctrl-C / SIGTERM cancel the sweep; with -checkpoint the progress
 	// survives for a resuming re-run.
 	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancelSignals()
+	ctx = obs.Into(ctx, o)
 
 	b, err := bench.ByName(*benchName)
 	if err != nil {
@@ -115,7 +148,7 @@ func main() {
 	}
 	cfg := core.DefaultConfig()
 	cfg.AR = *ar
-	p, err := core.Build(b, cfg)
+	p, err := core.BuildContext(ctx, b, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -132,6 +165,7 @@ func main() {
 		fmt.Sprintf("fault injection — %s, up to %d faults per scheme (single bit flips inside the detected loops; 95%% Wilson CIs)", b.Name, *n),
 		"scheme", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]", "false neg", "recovered")
 	var jsonRows []campaignJSON
+	var summaries []string
 	for _, name := range strings.Split(*schemes, ",") {
 		var s core.Scheme
 		switch strings.TrimSpace(name) {
@@ -151,6 +185,7 @@ func main() {
 			RunTimeout: *timeout, TargetCI: *targetCI,
 			CheckpointPath: schemeCheckpoint(*ckBase, s),
 		}
+		before := o.M().Snapshot()
 		r, err := fault.Campaign(ctx, p, s, inst, fcfg)
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "rskipfi: interrupted after %d/%d %s runs", r.N, r.Requested, s)
@@ -158,19 +193,24 @@ func main() {
 				fmt.Fprintf(os.Stderr, "; progress saved to %s — re-run the same command to resume", fcfg.CheckpointPath)
 			}
 			fmt.Fprintln(os.Stderr)
+			closeObs(cli)
 			os.Exit(130)
 		}
 		if err != nil {
 			fatal(err)
 		}
+		delta := obs.Delta(before, o.M().Snapshot())
 		label := s.String()
 		if s == core.RSkip {
 			label = fmt.Sprintf("RSkip AR%.0f", *ar*100)
 		}
 		if *jsonOut {
-			jsonRows = append(jsonRows, toJSON(b.Name, label, r))
+			row := toJSON(b.Name, label, r)
+			row.Metrics = delta
+			jsonRows = append(jsonRows, row)
 			continue
 		}
+		summaries = append(summaries, metricsSummary(label, delta))
 		runs := fmt.Sprintf("%d", r.N)
 		if r.EarlyStopped {
 			runs += "*"
@@ -198,6 +238,48 @@ func main() {
 	fmt.Print(t.String())
 	if *targetCI > 0 {
 		fmt.Println("* adaptive sampling stopped early at the target CI width")
+	}
+	fmt.Println("per-campaign metrics:")
+	for _, s := range summaries {
+		fmt.Println(s)
+	}
+}
+
+// metricsSummary renders the counters a campaign moved as one compact
+// line per scheme, most-relevant keys first.
+func metricsSummary(label string, delta map[string]float64) string {
+	lead := []string{
+		"fault_injections_total", "fault_fired_total",
+		"fault_injections_skipped_total", "fault_panics_contained_total",
+		"machine_runs_total", "machine_instrs_total",
+	}
+	inLead := map[string]bool{}
+	var parts []string
+	add := func(k string, v float64) {
+		parts = append(parts, fmt.Sprintf("%s=%g", strings.TrimSuffix(k, "_total"), v))
+	}
+	for _, k := range lead {
+		inLead[k] = true
+		if v, ok := delta[k]; ok {
+			add(k, v)
+		}
+	}
+	var rest []string
+	for k := range delta {
+		if !inLead[k] && !strings.Contains(k, "_bucket") {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	for _, k := range rest {
+		add(k, delta[k])
+	}
+	return fmt.Sprintf("  %-14s %s", label, strings.Join(parts, " "))
+}
+
+func closeObs(cli *obs.CLI) {
+	if err := cli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "rskipfi:", err)
 	}
 }
 

@@ -7,9 +7,11 @@
 //
 //	rskiprun -bench lud [-scheme rskip] [-ar 0.2] [-seed 0] [-scale perf|fi|tiny]
 //	         [-no-memo] [-no-di] [-cp] [-train 3]
+//	         [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/ir"
+	"rskip/internal/obs"
 )
 
 func main() {
@@ -34,9 +37,27 @@ func main() {
 		trainN    = flag.Int("train", 3, "number of training inputs")
 		saveProf  = flag.String("save-profile", "", "write the trained profile (QoS + memo) to this JSON file")
 		loadProf  = flag.String("load-profile", "", "load a trained profile instead of training")
-		traceN    = flag.Uint64("trace", 0, "dump the first N executed instructions to stderr")
+		traceN    = flag.Uint64("trace-instrs", 0, "dump the first N executed instructions to stderr")
+		tracePath = flag.String("trace", "", "write spans as JSON lines to this file")
+		traceTree = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
+		metrics   = flag.String("metrics", "", "write the metrics registry as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	cli, err := obs.SetupCLI(obs.CLIConfig{
+		TracePath: *tracePath, TraceTree: *traceTree,
+		MetricsPath: *metrics, PprofAddr: *pprofAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := cli.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rskiprun:", err)
+		}
+	}()
+	ctx := obs.Into(context.Background(), cli.O())
 
 	if *list {
 		for _, b := range bench.All() {
@@ -78,7 +99,7 @@ func main() {
 	cfg.DisableMemo = *noMemo
 	cfg.DisableDI = *noDI
 	cfg.ForceCP = *forceCP
-	p, err := core.Build(b, cfg)
+	p, err := core.BuildContext(ctx, b, cfg)
 	if err != nil {
 		fatal(err)
 	}

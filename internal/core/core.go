@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -16,6 +17,7 @@ import (
 	"rskip/internal/ir"
 	"rskip/internal/lower"
 	"rskip/internal/machine"
+	"rskip/internal/obs"
 	"rskip/internal/rtm"
 	"rskip/internal/train"
 	"rskip/internal/transform"
@@ -116,11 +118,65 @@ type Program struct {
 	// at Build time so concurrent campaign workers share it instead of
 	// re-decoding the module on every Run.
 	codes [4]*machine.Code
+
+	// obs is the observability handle every Run and Train feeds; nil
+	// (the default for plain Build) disables all telemetry. Set it at
+	// build time by passing an obs-carrying context to BuildContext,
+	// or later with Observe.
+	obs *obs.Obs
+	// met caches the run-time-management instrument handles.
+	met *rtmMetrics
 }
 
-// Build compiles the benchmark and derives all protected variants.
+// rtmMetrics are the prediction counters fed after every RSkip run.
+type rtmMetrics struct {
+	observed, skippedDI, skippedAM *obs.Counter
+	recomputed, mispredicted       *obs.Counter
+	detected, recovered            *obs.Counter
+	mispredictRate                 *obs.Gauge
+}
+
+// Observe attaches an observability handle: spans for train phases
+// and metrics fed from every subsequent Run. A nil handle (or nil
+// argument) turns telemetry back off.
+func (p *Program) Observe(o *obs.Obs) {
+	p.obs = o
+	p.met = nil
+	if m := o.M(); m != nil {
+		p.met = &rtmMetrics{
+			observed:     m.Counter("rtm_observed_total", "loop elements subject to validation"),
+			skippedDI:    m.Counter("rtm_skipped_di_total", "elements accepted by dynamic interpolation"),
+			skippedAM:    m.Counter("rtm_skipped_am_total", "elements accepted by approximate memoization"),
+			recomputed:   m.Counter("rtm_recomputed_total", "elements exactly validated by re-computation"),
+			mispredicted: m.Counter("rtm_mispredicted_total", "recomputations that matched the original (no fault)"),
+			detected:     m.Counter("rtm_detected_total", "recomputation mismatches (possible faults)"),
+			recovered:    m.Counter("rtm_recovered_total", "elements repaired by majority vote"),
+			mispredictRate: m.Gauge("rtm_mispredict_rate",
+				"cumulative mispredicted/observed across instrumented runs"),
+		}
+	}
+}
+
+// Build compiles the benchmark and derives all protected variants,
+// without telemetry. It is BuildContext on a background context.
 func Build(b bench.Benchmark, cfg Config) (*Program, error) {
+	return BuildContext(context.Background(), b, cfg)
+}
+
+// BuildContext compiles the benchmark and derives all protected
+// variants. An obs.Obs carried by ctx traces the build phases
+// (compile, candidate detection, per-scheme transform, codegen) and
+// becomes the Program's telemetry handle for later Train and Run
+// calls; a plain context builds silently.
+func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program, error) {
+	ctx, sp := obs.Start(ctx, "core/build")
+	sp.SetAttr("bench", b.Name)
+	defer sp.End()
+	obs.From(ctx).M().Counter("core_builds_total", "programs built").Inc()
+
+	_, spc := obs.Start(ctx, "build/compile")
 	mod, err := lower.Compile(b.Name, b.Source)
+	spc.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling %s: %w", b.Name, err)
 	}
@@ -129,14 +185,19 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 		return nil, fmt.Errorf("core: %s has no kernel function %q", b.Name, b.Kernel)
 	}
 	opt := analysis.Options{CostThreshold: cfg.CostThreshold}
+	_, spa := obs.Start(ctx, "build/candidates")
 	cands := analysis.FindCandidates(mod, opt)
+	spa.SetAttr("candidates", len(cands))
+	spa.End()
 
+	_, spt := obs.Start(ctx, "build/transform")
 	swift := mod.Clone()
 	transform.ApplySWIFT(swift)
 	swiftr := mod.Clone()
 	transform.ApplySWIFTR(swiftr)
 	rsk, err := transform.ApplyRSkip(mod, opt)
 	if err != nil {
+		spt.End()
 		return nil, fmt.Errorf("core: rskip transform for %s: %w", b.Name, err)
 	}
 	if cfg.EnableCFC {
@@ -145,10 +206,13 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 		transform.ApplyCFC(rsk)
 		for _, m := range []*ir.Module{swift, swiftr, rsk} {
 			if err := ir.Verify(m); err != nil {
+				spt.End()
 				return nil, fmt.Errorf("core: CFC produced invalid IR for %s: %w", b.Name, err)
 			}
 		}
 	}
+	spt.SetAttr("pp_loops", len(rsk.Loops))
+	spt.End()
 
 	p := &Program{
 		Bench: b, Cfg: cfg, Kernel: kernel,
@@ -172,9 +236,12 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 	for _, li := range rsk.Loops {
 		p.RegionFuncs[li.RecomputeFn] = true
 	}
+	_, spg := obs.Start(ctx, "build/codegen")
 	for _, s := range []Scheme{Unsafe, SWIFT, SWIFTR, RSkip} {
 		p.codes[s] = machine.CompileCode(p.Module(s))
 	}
+	spg.End()
+	p.Observe(obs.From(ctx))
 	return p, nil
 }
 
@@ -191,14 +258,22 @@ func (p *Program) Module(s Scheme) *ir.Module {
 	return p.UnsafeMod
 }
 
-// Train runs the offline training phase over the given training seeds.
+// Train runs the offline training phase over the given training
+// seeds. When the program carries an observability handle (built via
+// BuildContext or attached with Observe), the phase is traced as
+// core/train with per-instance and per-loop child spans.
 func (p *Program) Train(seeds []int64, scale bench.Scale) error {
+	ctx := obs.Into(context.Background(), p.obs)
+	ctx, sp := obs.Start(ctx, "core/train")
+	sp.SetAttr("bench", p.Bench.Name)
+	sp.SetAttr("seeds", len(seeds))
+	defer sp.End()
 	var setups []func(mem *machine.Memory) []uint64
 	for _, s := range seeds {
 		inst := p.Bench.Gen(s, scale)
 		setups = append(setups, inst.Setup)
 	}
-	tr, err := train.Run(p.RSkipMod, p.Kernel, setups, train.Config{
+	tr, err := train.RunContext(ctx, p.RSkipMod, p.Kernel, setups, train.Config{
 		AR:          p.Cfg.AR,
 		Window:      p.Cfg.Window,
 		MemoBits:    p.Cfg.MemoBits,
@@ -311,6 +386,7 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		TraceFn:      -1,
 		Code:         p.codes[s],
 		Reference:    opts.Reference,
+		Metrics:      p.obs.M(),
 	}
 	if opts.Trace != nil && opts.TraceLimit > 0 {
 		mcfg.Trace = opts.Trace
@@ -353,11 +429,31 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 	}
 	if mgr != nil {
 		out.Stats = mgr.Stats
+		if p.met != nil {
+			p.feedRTM(out.Stats)
+		}
 	}
 	if err == nil {
 		out.Output = inst.Output(m.Mem)
 	}
 	return out
+}
+
+// feedRTM folds one RSkip run's loop statistics into the prediction
+// counters and refreshes the cumulative mispredict-rate gauge.
+func (p *Program) feedRTM(stats map[int]*rtm.LoopStats) {
+	for _, st := range stats {
+		p.met.observed.Add(uint64(st.Observed))
+		p.met.skippedDI.Add(uint64(st.SkippedDI))
+		p.met.skippedAM.Add(uint64(st.SkippedAM))
+		p.met.recomputed.Add(uint64(st.Recomputed))
+		p.met.mispredicted.Add(uint64(st.Mispredicted))
+		p.met.detected.Add(uint64(st.Detected))
+		p.met.recovered.Add(uint64(st.Recovered))
+	}
+	if obsTotal := p.met.observed.Value(); obsTotal > 0 {
+		p.met.mispredictRate.Set(float64(p.met.mispredicted.Value()) / float64(obsTotal))
+	}
 }
 
 // Golden runs the unprotected module without faults and returns the

@@ -10,12 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
+	"rskip/internal/obs"
 )
 
 // Context caches built and trained programs across experiments.
@@ -30,9 +32,19 @@ type Context struct {
 	Seed int64
 	// Out receives progress notes (nil discards them).
 	Out io.Writer
+	// Obs, when non-nil, traces builds/training/campaigns and collects
+	// pipeline metrics across every experiment (rskipbench's
+	// -trace/-metrics/-pprof flags).
+	Obs *obs.Obs
 
 	mu    sync.Mutex
 	cache map[string]*core.Program
+}
+
+// Ctx returns a background context carrying the experiment-suite
+// observability handle, for campaign and build calls.
+func (c *Context) Ctx() context.Context {
+	return obs.Into(context.Background(), c.Obs)
 }
 
 // New returns a context with the paper's defaults.
@@ -82,7 +94,7 @@ func (c *Context) Program(b bench.Benchmark, cfg core.Config) (*core.Program, er
 	}
 	c.mu.Unlock()
 
-	p, err := core.Build(b, cfg)
+	p, err := core.BuildContext(c.Ctx(), b, cfg)
 	if err != nil {
 		return nil, err
 	}

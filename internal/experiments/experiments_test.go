@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"rskip/internal/fault"
 )
 
 // quickCtx returns a context sized for test runs.
@@ -91,5 +93,76 @@ func TestFig9Quick(t *testing.T) {
 	}
 	if !strings.Contains(out, "Figure 9a") || !strings.Contains(out, "Figure 9b") {
 		t.Errorf("Fig9 output incomplete")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	c := quickCtx()
+	rows, out, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 benchmarks × (SWIFT-R + 4 ARs).
+	if len(rows) != 9*5 {
+		t.Errorf("got %d perf rows, want 45", len(rows))
+	}
+	for _, r := range rows {
+		if r.Time <= 0 || r.Instrs <= 0 {
+			t.Errorf("%s/%s: non-positive normalized numbers: %+v", r.Bench, r.Scheme, r)
+		}
+	}
+	for _, want := range []string{"Figure 7", "SWIFT-R", "AR20", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8bQuick(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lud") {
+		t.Errorf("Fig8b output incomplete:\n%s", out)
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	c := quickCtx()
+	out, err := c.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"phase slicing", "predictor levels", "control-flow checking"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+// TestFrontierSynthetic drives the frontier table from hand-built
+// rows: it is a pure aggregation and must average per scheme.
+func TestFrontierSynthetic(t *testing.T) {
+	c := quickCtx()
+	p := []PerfRow{
+		{Bench: "a", Scheme: "SWIFT-R", Time: 2.0},
+		{Bench: "b", Scheme: "SWIFT-R", Time: 3.0},
+		{Bench: "a", Scheme: "AR20", Time: 1.5},
+	}
+	var r fault.Result
+	r.N = 100
+	r.Counts[fault.Correct] = 90
+	rel := []ReliabilityRow{
+		{Bench: "a", Scheme: "SWIFT-R", R: r},
+		{Bench: "a", Scheme: "AR20", R: r},
+	}
+	out := c.Frontier(p, rel)
+	if !strings.Contains(out, "SWIFT-R") || !strings.Contains(out, "2.50x") {
+		t.Errorf("frontier did not average SWIFT-R time to 2.50x:\n%s", out)
+	}
+	if !strings.Contains(out, "90.00%") {
+		t.Errorf("frontier did not report the 90%% protection rate:\n%s", out)
 	}
 }

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -302,7 +301,7 @@ func (c *Context) Ablation() (string, error) {
 		if golden.Err != nil || o.Err != nil {
 			return "", fmt.Errorf("cfc ablation: %v %v", golden.Err, o.Err)
 		}
-		r, err := fault.Campaign(context.Background(), p, core.RSkip, instCF, fault.Config{N: n, Seed: c.Seed})
+		r, err := fault.Campaign(c.Ctx(), p, core.RSkip, instCF, fault.Config{N: n, Seed: c.Seed})
 		if err != nil {
 			return "", err
 		}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -32,7 +31,7 @@ func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
 		}
 		for _, s := range []core.Scheme{core.Unsafe, core.SWIFTR} {
 			c.logf("fig9: %s %v", b.Name, s)
-			r, err := fault.Campaign(context.Background(), base, s, inst, fault.Config{N: n, Seed: c.Seed})
+			r, err := fault.Campaign(c.Ctx(), base, s, inst, fault.Config{N: n, Seed: c.Seed})
 			if err != nil {
 				return nil, "", fmt.Errorf("fig9: %s %v: %w", b.Name, s, err)
 			}
@@ -46,7 +45,7 @@ func (c *Context) Fig9() ([]ReliabilityRow, string, error) {
 			if err != nil {
 				return nil, "", err
 			}
-			r, err := fault.Campaign(context.Background(), p, core.RSkip, inst, fault.Config{N: n, Seed: c.Seed})
+			r, err := fault.Campaign(c.Ctx(), p, core.RSkip, inst, fault.Config{N: n, Seed: c.Seed})
 			if err != nil {
 				return nil, "", fmt.Errorf("fig9: %s %s: %w", b.Name, ARLabel(ar), err)
 			}

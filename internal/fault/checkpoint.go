@@ -18,11 +18,11 @@ const checkpointVersion = 1
 // resumable: aggregating saved records with freshly executed ones
 // yields counts bit-identical to an uninterrupted run.
 type RunRecord struct {
-	Done      bool   `json:"done,omitempty"`
-	Class     Class  `json:"class,omitempty"`
-	Fired     bool   `json:"fired,omitempty"`
-	FalseNeg  bool   `json:"false_neg,omitempty"`
-	Recovered bool   `json:"recovered,omitempty"`
+	Done      bool  `json:"done,omitempty"`
+	Class     Class `json:"class,omitempty"`
+	Fired     bool  `json:"fired,omitempty"`
+	FalseNeg  bool  `json:"false_neg,omitempty"`
+	Recovered bool  `json:"recovered,omitempty"`
 	// Err is the abnormal-termination message (empty for Correct and
 	// SDC); contained panics record "panic: <value>".
 	Err string `json:"err,omitempty"`
@@ -30,7 +30,7 @@ type RunRecord struct {
 
 // Checkpoint is the JSON-persisted progress of one campaign.
 type Checkpoint struct {
-	Version int    `json:"version"`
+	Version int `json:"version"`
 	// Key fingerprints the campaign identity (benchmark, scheme, N,
 	// seed, mix, hang factor); a checkpoint only resumes a campaign
 	// with the same key.

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/machine"
+	"rskip/internal/obs"
 )
 
 // defaultBatch is the number of runs between early-stop checks and
@@ -54,9 +56,19 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 		cfg.Batch = defaultBatch
 	}
 
+	ctx, sp := obs.Start(ctx, "fault/campaign")
+	sp.SetAttr("scheme", s.String())
+	sp.SetAttr("bench", p.Bench.Name)
+	sp.SetAttr("n", cfg.N)
+	defer sp.End()
+	met := newCampaignMetrics(obs.From(ctx).M())
+	met.campaigns.Inc()
+
 	// Fault-free profile run of this scheme: golden output, region
 	// size, instruction budget.
+	_, spp := obs.Start(ctx, "campaign/profile")
 	profile, err := runProfile(p, s, inst)
+	spp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -66,6 +78,7 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 		golden:  profile.Output,
 		budget:  profile.Result.Instrs * cfg.HangFactor,
 		records: make([]RunRecord, cfg.N),
+		met:     met,
 	}
 
 	// Pre-draw all fault plans so the campaign is deterministic
@@ -92,6 +105,7 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 				return Result{}, err
 			}
 			copy(e.records, ck.Records)
+			met.skipped.Add(uint64(countDone(e.records)))
 		}
 	}
 
@@ -104,12 +118,18 @@ batches:
 		if hi > cfg.N {
 			hi = cfg.N
 		}
+		_, spb := obs.Start(ctx, "campaign/batch")
+		spb.SetAttr("lo", lo)
+		spb.SetAttr("hi", hi)
 		batchErr := e.runBatch(ctx, lo, hi)
+		spb.End()
 		if cfg.CheckpointPath != "" {
 			ck := &Checkpoint{Version: checkpointVersion, Key: key, N: cfg.N,
 				Done: countDone(e.records), Records: e.records}
 			if serr := ck.Save(cfg.CheckpointPath); serr != nil && batchErr == nil {
 				batchErr = serr
+			} else if serr == nil {
+				met.ckWrites.Inc()
 			}
 		}
 		if batchErr != nil {
@@ -154,6 +174,45 @@ func runProfile(p *core.Program, s core.Scheme, inst bench.Instance) (o core.Out
 	return o, nil
 }
 
+// campaignMetrics are the injection counters a campaign feeds. The
+// handles are resolved once per campaign; workers update them with
+// atomic adds. On a nil registry every handle is nil and every update
+// a no-op.
+type campaignMetrics struct {
+	campaigns  *obs.Counter
+	injections *obs.Counter
+	skipped    *obs.Counter
+	fired      *obs.Counter
+	panics     *obs.Counter
+	ckWrites   *obs.Counter
+	classes    [NumClasses]*obs.Counter
+}
+
+func newCampaignMetrics(m *obs.Metrics) *campaignMetrics {
+	cm := &campaignMetrics{
+		campaigns:  m.Counter("fault_campaigns_total", "campaigns started"),
+		injections: m.Counter("fault_injections_total", "injection runs executed"),
+		skipped:    m.Counter("fault_injections_skipped_total", "injection runs resumed from a checkpoint instead of re-executed"),
+		fired:      m.Counter("fault_fired_total", "injections whose fault actually struck"),
+		panics:     m.Counter("fault_panics_contained_total", "worker panics contained as CoreDump"),
+		ckWrites:   m.Counter("fault_checkpoint_writes_total", "checkpoint files written"),
+	}
+	for c := Correct; c < NumClasses; c++ {
+		slug := strings.ReplaceAll(strings.ToLower(c.String()), " ", "_")
+		cm.classes[c] = m.Counter("fault_class_"+slug+"_total", "runs classified "+c.String())
+	}
+	return cm
+}
+
+// record notes one completed injection run.
+func (cm *campaignMetrics) record(rec *RunRecord) {
+	cm.injections.Inc()
+	cm.classes[rec.Class].Inc()
+	if rec.Fired {
+		cm.fired.Inc()
+	}
+}
+
 // engine holds the immutable campaign state shared by workers.
 type engine struct {
 	p       *core.Program
@@ -164,6 +223,7 @@ type engine struct {
 	budget  uint64
 	plans   []machine.FaultPlan
 	records []RunRecord
+	met     *campaignMetrics
 }
 
 // runBatch executes every not-yet-done run in [lo, hi) on a worker
@@ -184,6 +244,7 @@ func (e *engine) runBatch(ctx context.Context, lo, hi int) error {
 			for i := range idx {
 				if rec, ok := e.runOne(ctx, i); ok {
 					e.records[i] = rec
+					e.met.record(&rec)
 				}
 			}
 		}()
@@ -214,6 +275,7 @@ func (e *engine) runOne(ctx context.Context, i int) (rec RunRecord, ok bool) {
 		if v := recover(); v != nil {
 			rec = RunRecord{Done: true, Class: CoreDump, Err: fmt.Sprintf("panic: %v", v)}
 			ok = true
+			e.met.panics.Inc()
 		}
 	}()
 	if ctx.Err() != nil {

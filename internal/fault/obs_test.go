@@ -1,0 +1,115 @@
+package fault_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/obs"
+)
+
+// TestCampaignObservability drives the whole pipeline — build, train,
+// campaign — under an observability handle and checks that the span
+// tree and the metric registry reflect what actually ran. This is the
+// integration contract of internal/obs: every layer feeds it, and the
+// numbers it reports reconcile with the campaign's own result.
+func TestCampaignObservability(t *testing.T) {
+	o := obs.New()
+	ctx := obs.Into(context.Background(), o)
+
+	b, err := bench.ByName("conv1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.BuildContext(ctx, b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train([]int64{bench.TrainSeed(0), bench.TrainSeed(1)}, bench.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+	inst := b.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	const n = 40
+	r, err := fault.Campaign(ctx, p, core.RSkip, inst, fault.Config{N: n, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != n {
+		t.Fatalf("campaign completed %d/%d runs", r.N, n)
+	}
+
+	snap := o.Metrics.Snapshot()
+	if got := snap["fault_injections_total"]; got != n {
+		t.Errorf("fault_injections_total = %v, want %d", got, n)
+	}
+	// The per-class counters must reconcile with the campaign result.
+	classTotal := 0.0
+	for k, v := range snap {
+		if strings.HasPrefix(k, "fault_class_") {
+			classTotal += v
+		}
+	}
+	if classTotal != n {
+		t.Errorf("sum of fault_class_* = %v, want %d", classTotal, n)
+	}
+	if got := snap["fault_fired_total"]; got != float64(r.Fired) {
+		t.Errorf("fault_fired_total = %v, want %d", got, r.Fired)
+	}
+	// Machine counters: n injected runs + the profile run + training
+	// and golden runs all feed machine_runs_total.
+	if got := snap["machine_runs_total"]; got < n+1 {
+		t.Errorf("machine_runs_total = %v, want >= %d", got, n+1)
+	}
+	if snap["machine_instrs_total"] <= 0 || snap["machine_cycles_total"] <= 0 {
+		t.Errorf("machine instr/cycle counters did not move: %v / %v",
+			snap["machine_instrs_total"], snap["machine_cycles_total"])
+	}
+	if snap["train_runs_total"] != 2 {
+		t.Errorf("train_runs_total = %v, want 2", snap["train_runs_total"])
+	}
+	if snap["train_samples_total"] <= 0 {
+		t.Error("train_samples_total did not move")
+	}
+	if snap["rtm_observed_total"] <= 0 {
+		t.Error("rtm_observed_total did not move (RSkip runs should observe elements)")
+	}
+	if snap["machine_arena_pool_hits_total"]+snap["machine_arena_pool_misses_total"] <= 0 {
+		t.Error("arena pool counters did not move")
+	}
+
+	tree := o.Tracer.Tree()
+	for _, want := range []string{
+		"core/build", "build/compile", "build/codegen",
+		"core/train", "train/collect", "train/fit",
+		"fault/campaign", "campaign/profile", "campaign/batch",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestCampaignDisabledObsIsInert: a campaign without an Obs in its
+// context must behave identically (the nil-safe disabled mode).
+func TestCampaignDisabledObsIsInert(t *testing.T) {
+	b, err := bench.ByName("conv1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := b.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	r, err := fault.Campaign(context.Background(), p, core.SWIFTR, inst,
+		fault.Config{N: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 20 {
+		t.Fatalf("campaign completed %d/20 runs", r.N)
+	}
+}

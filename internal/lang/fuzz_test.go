@@ -1,0 +1,64 @@
+package lang
+
+import (
+	"testing"
+)
+
+// fuzzSeeds are shared starting points for the lexer and parser
+// fuzzers: valid kernels, near-miss syntax, and pathological input
+// shapes. The checked-in corpora under testdata/fuzz/ extend these.
+var fuzzSeeds = []string{
+	"",
+	"void kernel(int a[], int n) { for (int i = 0; i < n; i++) { a[i] = i; } }",
+	"float f(float x) { return sqrt(x) * 2.0; }",
+	"int g() { int x = 1; while (x < 10) { x = x + 1; } return x; }",
+	"#pragma rskip ar(0.5)\nvoid kernel(float a[], int n) { for (int i = 0; i < n; i++) { a[i] = 0.0; } }",
+	"void k() { if (1 < 2) { } else { } }",
+	"int h(int a, int b) { return a % b + a / b; }",
+	"/* block comment */ // line comment\nint c() { return 0x1f; }",
+	"int bad( { }",
+	"\"unterminated string",
+	"int x = 1e309;",
+	"void deep() { return ((((((((((1)))))))))); }",
+	"int \xff\xfe() { return 0; }",
+	"#pragma rskip ar(",
+}
+
+// FuzzTokenize: the lexer must never panic, whatever the bytes.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err == nil && len(toks) == 0 {
+			t.Fatal("Tokenize returned no tokens and no error (missing EOF?)")
+		}
+	})
+}
+
+// FuzzParse: the parser and checker must never panic, and any program
+// that parses must survive Format → Parse — the printer may not emit
+// syntax the parser rejects.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_, _ = Check(prog) // must not panic, errors are fine
+		out := Format(prog)
+		reparsed, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted program does not re-parse: %v\nformatted:\n%s", err, out)
+		}
+		// Formatting must be a fixed point — otherwise the printer is
+		// losing or rewriting structure on every round.
+		if again := Format(reparsed); again != out {
+			t.Fatalf("Format is not idempotent:\nfirst:\n%s\nsecond:\n%s", out, again)
+		}
+	})
+}

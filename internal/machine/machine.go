@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"rskip/internal/ir"
+	"rskip/internal/obs"
 )
 
 // Hooks is the run-time management bridge. The rskip transform plants
@@ -147,6 +148,38 @@ type Config struct {
 	// view of a run.
 	Trace      io.Writer
 	TraceLimit uint64
+	// Metrics, when non-nil, receives per-run execution counters
+	// (instructions, cycles, region work, arena pool traffic). The
+	// instruments are resolved once at New and fed once per Run, so
+	// the per-instruction hot path is untouched; nil keeps the machine
+	// metric-free at the cost of one pointer test per run.
+	Metrics *obs.Metrics
+}
+
+// machineMetrics caches the instrument handles one machine feeds, so
+// Run pays atomic adds instead of registry lookups.
+type machineMetrics struct {
+	runs      *obs.Counter
+	instrs    *obs.Counter
+	cycles    *obs.Counter
+	region    *obs.Counter
+	runtime   *obs.Counter
+	runInstrs *obs.Histogram
+}
+
+func newMachineMetrics(m *obs.Metrics) *machineMetrics {
+	if m == nil {
+		return nil
+	}
+	return &machineMetrics{
+		runs:    m.Counter("machine_runs_total", "kernel executions"),
+		instrs:  m.Counter("machine_instrs_total", "dynamic instructions executed"),
+		cycles:  m.Counter("machine_cycles_total", "simulated cycles"),
+		region:  m.Counter("machine_region_instrs_total", "dynamic instructions inside detected-loop regions"),
+		runtime: m.Counter("machine_runtime_charge_total", "instructions charged by runtime hooks"),
+		runInstrs: m.Histogram("machine_run_instrs", "dynamic instructions per run",
+			obs.ExpBuckets(1e3, 4, 12)),
+	}
 }
 
 // DefaultMaxInstrs bounds runaway executions (corrupted branches).
@@ -177,6 +210,7 @@ type Machine struct {
 	code   *Code    // pre-decoded module (shared, immutable)
 	region [][]bool // per-function per-block in-region flags (from cfg.RegionBlocks)
 	hookOp ir.Op    // runtime-hook opcode whose dispatch is in progress (Charge attribution)
+	met    *machineMetrics
 }
 
 // cancelPollInterval bounds how many dynamic instructions execute
@@ -232,10 +266,19 @@ func New(mod *ir.Module, cfg Config) *Machine {
 	if cfg.MaxInstrs == 0 {
 		cfg.MaxInstrs = DefaultMaxInstrs
 	}
+	mem, pooled := newPooledMemory(cfg.MemWords)
 	m := &Machine{
 		Mod: mod,
-		Mem: newPooledMemory(cfg.MemWords),
+		Mem: mem,
 		cfg: cfg,
+	}
+	if cfg.Metrics != nil {
+		m.met = newMachineMetrics(cfg.Metrics)
+		if pooled {
+			cfg.Metrics.Counter("machine_arena_pool_hits_total", "memory arenas recycled from the pool").Inc()
+		} else {
+			cfg.Metrics.Counter("machine_arena_pool_misses_total", "memory arenas freshly allocated").Inc()
+		}
 	}
 	m.pl.init(cfg.IssueWidth)
 	code := cfg.Code
@@ -296,6 +339,14 @@ func (m *Machine) Run(fnIdx int, args []uint64) (RunResult, error) {
 		Cycles:  m.pl.total(),
 		Region:  m.C.Region,
 		Counter: m.C,
+	}
+	if mm := m.met; mm != nil {
+		mm.runs.Inc()
+		mm.instrs.Add(res.Instrs)
+		mm.cycles.Add(res.Cycles)
+		mm.region.Add(res.Region)
+		mm.runtime.Add(m.C.Runtime)
+		mm.runInstrs.Observe(float64(res.Instrs))
 	}
 	return res, err
 }

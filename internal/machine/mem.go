@@ -75,13 +75,13 @@ const defaultMemWords = int64(1) << 22
 // reset — a Get behaves exactly like NewMemory(defaultMemWords).
 var memPool = sync.Pool{}
 
-func newPooledMemory(words int64) *Memory {
+func newPooledMemory(words int64) (mem *Memory, pooled bool) {
 	if words == defaultMemWords {
 		if v := memPool.Get(); v != nil {
-			return v.(*Memory)
+			return v.(*Memory), true
 		}
 	}
-	return NewMemory(words)
+	return NewMemory(words), false
 }
 
 func releaseMemory(m *Memory) {

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of typed instruments. Registration
+// (Counter/Gauge/Histogram) takes a lock and is meant to happen once
+// per phase — instrumented code caches the returned handles; updates
+// on the handles are lock-free atomics. All methods are safe on a nil
+// receiver, and the instruments they return are then nil, whose
+// update methods are no-ops: disabled mode costs one nil check.
+type Metrics struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	c := m.counters[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.counters[name]; c == nil {
+		c = &Counter{name: name, help: help}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float64 instrument.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	g := m.gauges[name]
+	m.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g = m.gauges[name]; g == nil {
+		g = &Gauge{name: name, help: help}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative-style buckets with
+// fixed upper bounds (a final +Inf bucket is implicit) and tracks
+// count and sum.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Uint64 // one per bound, plus the +Inf overflow
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Histogram registers (or returns the existing) histogram under name
+// with the given ascending upper bounds; nil bounds get a generic
+// exponential ladder.
+func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.hists[name]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h = m.hists[name]; h == nil {
+		if len(bounds) == 0 {
+			bounds = ExpBuckets(1, 10, 9)
+		}
+		h = &Histogram{name: name, help: help,
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// ExpBuckets returns n exponentially growing upper bounds starting at
+// start with the given factor — the usual ladder for instruction and
+// duration distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// metricJSON is the export schema of one instrument.
+type metricJSON struct {
+	Type    string            `json:"type"`
+	Help    string            `json:"help,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// export returns every instrument keyed by name — the stable form
+// behind WriteJSON and String.
+func (m *Metrics) export() map[string]metricJSON {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]metricJSON, len(m.counters)+len(m.gauges)+len(m.hists))
+	for n, c := range m.counters {
+		out[n] = metricJSON{Type: "counter", Help: c.help, Value: float64(c.Value())}
+	}
+	for n, g := range m.gauges {
+		out[n] = metricJSON{Type: "gauge", Help: g.help, Value: g.Value()}
+	}
+	for n, h := range m.hists {
+		bk := make(map[string]uint64, len(h.buckets))
+		for i := range h.buckets {
+			label := "+Inf"
+			if i < len(h.bounds) {
+				label = boundLabel(h.bounds[i])
+			}
+			if v := h.buckets[i].Load(); v != 0 {
+				bk[label] = v
+			}
+		}
+		out[n] = metricJSON{Type: "histogram", Help: h.help,
+			Value: h.Sum(), Count: h.Count(), Buckets: bk}
+	}
+	return out
+}
+
+func boundLabel(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteJSON writes the registry as one indented JSON object keyed by
+// metric name.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.export())
+}
+
+// Snapshot returns a flat name→value view: counter counts, gauge
+// values, and histogram counts (under name_count) and sums (under
+// name_sum). Two snapshots subtract into a per-phase delta.
+func (m *Metrics) Snapshot() map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := map[string]float64{}
+	for n, c := range m.counters {
+		out[n] = float64(c.Value())
+	}
+	for n, g := range m.gauges {
+		out[n] = g.Value()
+	}
+	for n, h := range m.hists {
+		out[n+"_count"] = float64(h.Count())
+		out[n+"_sum"] = h.Sum()
+	}
+	return out
+}
+
+// Delta returns after-minus-before for every key that moved — the
+// per-campaign summary rskipfi prints.
+func Delta(before, after map[string]float64) map[string]float64 {
+	if len(after) == 0 {
+		return nil
+	}
+	out := map[string]float64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// String renders a sorted, aligned text summary of the registry.
+func (m *Metrics) String() string {
+	ex := m.export()
+	names := make([]string, 0, len(ex))
+	width := 0
+	for n := range ex {
+		names = append(names, n)
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		e := ex[n]
+		switch e.Type {
+		case "histogram":
+			mean := 0.0
+			if e.Count > 0 {
+				mean = e.Value / float64(e.Count)
+			}
+			fmt.Fprintf(&sb, "%-*s  count=%d sum=%g mean=%.4g\n", width, n, e.Count, e.Value, mean)
+		default:
+			fmt.Fprintf(&sb, "%-*s  %g\n", width, n, e.Value)
+		}
+	}
+	return sb.String()
+}

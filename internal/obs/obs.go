@@ -1,0 +1,66 @@
+// Package obs is the pipeline's observability layer: hierarchical
+// spans (tracing), typed counters/gauges/histograms (metrics), and a
+// pprof debug server, threaded through compile→train→inject with zero
+// third-party dependencies.
+//
+// The package is built around a nil-safe disabled mode: every method
+// on a nil *Tracer, *Metrics, *Span, *Counter, *Gauge or *Histogram
+// is a no-op, and obs.Start on a context without an Obs returns a nil
+// span. Instrumented code therefore never branches on "is telemetry
+// on" — it just calls through, and the disabled cost is a context
+// lookup (span creation) or a nil check (metric update). Instrument
+// handles are resolved once per phase (machine construction, campaign
+// start), never per instruction, so the interpreter hot path keeps
+// its pre-decoded performance; internal/bench's BenchmarkObsOverhead
+// holds the disabled-mode overhead under 2%.
+package obs
+
+import "context"
+
+// Obs bundles the tracer and metrics registry that one pipeline
+// invocation shares. A nil *Obs (and nil fields) is the disabled mode.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Metrics
+}
+
+// New returns an Obs with both a tracer and a metrics registry.
+func New() *Obs {
+	return &Obs{Tracer: NewTracer(), Metrics: NewMetrics()}
+}
+
+// T returns the tracer, nil-safely.
+func (o *Obs) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the metrics registry, nil-safely.
+func (o *Obs) M() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+type obsKey struct{}
+
+// Into attaches the Obs to the context. A nil Obs returns the context
+// unchanged.
+func Into(ctx context.Context, o *Obs) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, obsKey{}, o)
+}
+
+// From extracts the Obs from the context, or nil (disabled mode).
+func From(ctx context.Context) *Obs {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(obsKey{}).(*Obs)
+	return o
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock makes span durations deterministic: each call advances
+// by step.
+func fixedClock(step time.Duration) func() time.Time {
+	t := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestSpanHierarchyAndJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	o := New()
+	o.Tracer.now = fixedClock(time.Millisecond)
+	o.Tracer.SetWriter(&buf)
+	ctx := Into(context.Background(), o)
+
+	ctx, root := Start(ctx, "pipeline")
+	cctx, child := Start(ctx, "pipeline/compile")
+	child.SetAttr("bench", "conv1d")
+	child.End()
+	_, sib := Start(ctx, "pipeline/train")
+	sib.End()
+	root.End()
+	_ = cctx
+
+	// Three JSONL lines, children before the root (export at End).
+	var names []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Name   string  `json:"name"`
+			ID     uint64  `json:"id"`
+			Parent uint64  `json:"parent"`
+			DurUS  float64 `json:"dur_us"`
+			Attrs  map[string]interface{}
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		names = append(names, line.Name)
+		if line.Name == "pipeline/compile" {
+			if line.Parent == 0 {
+				t.Error("child span lost its parent id")
+			}
+			if line.Attrs["bench"] != "conv1d" {
+				t.Errorf("attrs = %v, want bench=conv1d", line.Attrs)
+			}
+			if line.DurUS <= 0 {
+				t.Errorf("dur_us = %v, want > 0", line.DurUS)
+			}
+		}
+	}
+	want := []string{"pipeline/compile", "pipeline/train", "pipeline"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("exported spans = %v, want %v", names, want)
+	}
+
+	tree := o.Tracer.Tree()
+	for _, s := range []string{"pipeline", "pipeline/compile", "bench=conv1d"} {
+		if !strings.Contains(tree, s) {
+			t.Errorf("tree missing %q:\n%s", s, tree)
+		}
+	}
+	// The child is indented under the root.
+	lines := strings.Split(tree, "\n")
+	if !strings.HasPrefix(lines[0], "pipeline") || !strings.HasPrefix(lines[1], "  pipeline/compile") {
+		t.Errorf("tree not indented:\n%s", tree)
+	}
+}
+
+func TestDisabledModeIsNilSafe(t *testing.T) {
+	// No Obs in context: spans are nil and every method no-ops.
+	ctx, sp := Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("Start without a tracer must return a nil span")
+	}
+	sp.SetAttr("k", 1)
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Error("nil span duration != 0")
+	}
+	_, sp2 := Start(ctx, "y")
+	sp2.End()
+
+	// Nil registry: instruments are nil and updates no-op.
+	var m *Metrics
+	c := m.Counter("c", "")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := m.Gauge("g", "")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := m.Histogram("h", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	if m.Snapshot() != nil {
+		t.Error("nil metrics snapshot non-nil")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var o *Obs
+	if o.T() != nil || o.M() != nil {
+		t.Error("nil Obs exposes components")
+	}
+	var tr *Tracer
+	tr.SetWriter(&buf)
+	if tr.Tree() != "" {
+		t.Error("nil tracer tree non-empty")
+	}
+	var cli *CLI
+	if cli.O() != nil {
+		t.Error("nil CLI exposes an Obs")
+	}
+	if err := cli.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsTypesAndExport(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("runs_total", "runs")
+	c.Add(41)
+	c.Inc()
+	if got := m.Counter("runs_total", "runs"); got != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := m.Gauge("rate", "rate")
+	g.Set(0.25)
+	h := m.Histogram("instrs", "per-run instructions", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 50, 5000} {
+		h.Observe(v)
+	}
+
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if g.Value() != 0.25 {
+		t.Errorf("gauge = %v, want 0.25", g.Value())
+	}
+	if h.Count() != 4 || h.Sum() != 5105 {
+		t.Errorf("hist count/sum = %d/%v, want 4/5105", h.Count(), h.Sum())
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type    string            `json:"type"`
+		Value   float64           `json:"value"`
+		Count   uint64            `json:"count"`
+		Buckets map[string]uint64 `json:"buckets"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, buf.String())
+	}
+	if out["runs_total"].Type != "counter" || out["runs_total"].Value != 42 {
+		t.Errorf("runs_total = %+v", out["runs_total"])
+	}
+	hj := out["instrs"]
+	if hj.Count != 4 || hj.Buckets["10"] != 1 || hj.Buckets["100"] != 2 || hj.Buckets["+Inf"] != 1 {
+		t.Errorf("instrs = %+v", hj)
+	}
+
+	s := m.String()
+	if !strings.Contains(s, "runs_total") || !strings.Contains(s, "42") {
+		t.Errorf("summary missing counter:\n%s", s)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("a", "")
+	c.Add(10)
+	before := m.Snapshot()
+	c.Add(7)
+	m.Counter("b", "").Inc()
+	d := Delta(before, m.Snapshot())
+	if d["a"] != 7 || d["b"] != 1 || len(d) != 2 {
+		t.Errorf("delta = %v, want a=7 b=1", d)
+	}
+	if Delta(before, nil) != nil {
+		t.Error("delta of empty after must be nil")
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.Counter("shared", "")
+			h := m.Histogram("h", "", []float64{1, 2, 4})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared", "").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := m.Histogram("h", "", nil).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	o := New()
+	ctx := Into(context.Background(), o)
+	ctx, root := Start(ctx, "root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := Start(ctx, fmt.Sprintf("worker-%d", i))
+			s.SetAttr("i", i)
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	tree := o.Tracer.Tree()
+	if strings.Count(tree, "worker-") != 8 {
+		t.Errorf("tree lost workers:\n%s", tree)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	srv, addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestSetupCLI(t *testing.T) {
+	// Everything empty: disabled mode.
+	c, err := SetupCLI(CLIConfig{})
+	if err != nil || c != nil {
+		t.Fatalf("empty SetupCLI = (%v, %v), want (nil, nil)", c, err)
+	}
+
+	dir := t.TempDir()
+	c, err = SetupCLI(CLIConfig{
+		TracePath:   dir + "/trace.jsonl",
+		MetricsPath: dir + "/metrics.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.O().T() == nil || c.O().M() == nil {
+		t.Fatal("SetupCLI did not enable tracer+metrics")
+	}
+	ctx := Into(context.Background(), c.O())
+	_, sp := Start(ctx, "cli-span")
+	sp.End()
+	c.O().M().Counter("cli_total", "").Inc()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

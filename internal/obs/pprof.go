@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof starts an HTTP server exposing the standard
+// /debug/pprof/ endpoints on addr (e.g. "localhost:6060") and returns
+// it along with the bound address (useful with addr ":0"). The server
+// runs until the process exits or the caller closes it; it uses its
+// own mux so nothing leaks onto http.DefaultServeMux.
+func ServePprof(addr string) (*http.Server, net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// CLIConfig mirrors the observability flags every rskip command
+// exposes: -trace, -trace-tree, -metrics, -pprof.
+type CLIConfig struct {
+	// TracePath receives one JSON line per completed span.
+	TracePath string
+	// TraceTree prints the human span tree to stderr at Close.
+	TraceTree bool
+	// MetricsPath receives the metrics registry as JSON at Close.
+	MetricsPath string
+	// PprofAddr serves net/http/pprof when non-empty.
+	PprofAddr string
+}
+
+// CLI owns the observability resources of one command invocation.
+type CLI struct {
+	Obs *Obs
+
+	traceFile *os.File
+	treeOut   io.Writer
+	metrics   string
+	pprofSrv  *http.Server
+}
+
+// SetupCLI builds the Obs for a command from its flag values. With
+// every field empty it returns (nil, nil): the disabled mode, where
+// CLI.O() is nil and Close is a no-op.
+func SetupCLI(cfg CLIConfig) (*CLI, error) {
+	if cfg.TracePath == "" && !cfg.TraceTree && cfg.MetricsPath == "" && cfg.PprofAddr == "" {
+		return nil, nil
+	}
+	c := &CLI{Obs: &Obs{}, metrics: cfg.MetricsPath}
+	if cfg.TracePath != "" || cfg.TraceTree {
+		c.Obs.Tracer = NewTracer()
+		if cfg.TracePath != "" {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				return nil, fmt.Errorf("obs: trace output: %w", err)
+			}
+			c.traceFile = f
+			c.Obs.Tracer.SetWriter(f)
+		}
+		if cfg.TraceTree {
+			c.treeOut = os.Stderr
+		}
+	}
+	if cfg.MetricsPath != "" {
+		c.Obs.Metrics = NewMetrics()
+	}
+	if cfg.PprofAddr != "" {
+		srv, addr, err := ServePprof(cfg.PprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: pprof server: %w", err)
+		}
+		c.pprofSrv = srv
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	return c, nil
+}
+
+// O returns the command's Obs, nil-safely.
+func (c *CLI) O() *Obs {
+	if c == nil {
+		return nil
+	}
+	return c.Obs
+}
+
+// Close flushes the observability outputs: the metrics JSON file and
+// the stderr span tree. The pprof server keeps running (the process
+// is about to exit anyway, and profiles may still be downloading).
+func (c *CLI) Close() error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	if c.metrics != "" {
+		f, err := os.Create(c.metrics)
+		if err == nil {
+			err = c.Obs.M().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("obs: metrics output: %w", err)
+		}
+	}
+	if c.treeOut != nil {
+		fmt.Fprint(c.treeOut, c.Obs.T().Tree())
+	}
+	if c.traceFile != nil {
+		if err := c.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

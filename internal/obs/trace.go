@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans. Completed spans are exported as
+// one JSON line each (SetWriter) and retained in memory for the
+// human-readable Tree rendering. All methods are safe for concurrent
+// use and safe on a nil receiver.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	nextID uint64
+	roots  []*Span
+	now    func() time.Time // injectable clock for tests
+}
+
+// NewTracer returns an empty tracer. Attach a JSONL sink with
+// SetWriter; read the span tree with Tree.
+func NewTracer() *Tracer {
+	return &Tracer{now: time.Now}
+}
+
+// SetWriter directs one JSON line per completed span to w. The tracer
+// serializes writes; w needs no locking of its own.
+func (t *Tracer) SetWriter(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.w = w
+	t.mu.Unlock()
+}
+
+// Span is one timed section of the pipeline. Create with Start, close
+// with End, annotate with SetAttr. A nil *Span ignores every call.
+type Span struct {
+	t        *Tracer
+	name     string
+	id       uint64
+	parentID uint64
+	start    time.Time
+	dur      time.Duration
+	attrs    map[string]interface{}
+	children []*Span
+	ended    bool
+}
+
+type spanKey struct{}
+
+// Start opens a span named name under the context's current span (or
+// as a root) and returns a derived context carrying the new span.
+// Without a tracer in the context it returns (ctx, nil) — the
+// disabled mode — at the cost of two context lookups.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	t := From(ctx).T()
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := t.start(name, parent)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+func (t *Tracer) start(name string, parent *Span) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{t: t, name: name, id: t.nextID, start: t.now()}
+	if parent != nil {
+		s.parentID = parent.id
+		parent.children = append(parent.children, s)
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	return s
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key string, value interface{}) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]interface{}{}
+	}
+	s.attrs[key] = value
+	s.t.mu.Unlock()
+}
+
+// spanLine is the JSONL export schema of one completed span.
+type spanLine struct {
+	Name   string                 `json:"name"`
+	ID     uint64                 `json:"id"`
+	Parent uint64                 `json:"parent,omitempty"`
+	Start  string                 `json:"start"`
+	DurUS  float64                `json:"dur_us"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+}
+
+// End closes the span, fixing its duration and exporting its JSON
+// line. Ending a span twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if s.ended {
+		t.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = t.now().Sub(s.start)
+	w := t.w
+	var line []byte
+	if w != nil {
+		line, _ = json.Marshal(spanLine{
+			Name: s.name, ID: s.id, Parent: s.parentID,
+			Start: s.start.UTC().Format(time.RFC3339Nano),
+			DurUS: float64(s.dur.Nanoseconds()) / 1e3,
+			Attrs: s.attrs,
+		})
+	}
+	if line != nil {
+		w.Write(append(line, '\n'))
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration (zero while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.dur
+}
+
+// Tree renders every recorded span as an indented tree with durations
+// and attributes — the human view of where the pipeline's wall-clock
+// went.
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for _, r := range t.roots {
+		writeSpan(&sb, r, 0)
+	}
+	return sb.String()
+}
+
+func writeSpan(sb *strings.Builder, s *Span, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	dur := "open"
+	if s.ended {
+		dur = formatDur(s.dur)
+	}
+	fmt.Fprintf(sb, "%-*s %8s", 40-2*depth, s.name, dur)
+	if len(s.attrs) > 0 {
+		keys := make([]string, 0, len(s.attrs))
+		for k := range s.attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(sb, "  %s=%v", k, s.attrs[k])
+		}
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.children {
+		writeSpan(sb, c, depth+1)
+	}
+}
+
+// formatDur renders a duration at trace-friendly precision.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -171,3 +171,70 @@ func TestMeanBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWilsonEdgeCases pins the exact boundary behavior campaign code
+// depends on: degenerate sample sizes, exact proportions at both ends,
+// and the single-observation intervals.
+func TestWilsonEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		k, n    int
+		z       float64
+		wantLo  float64 // -1 means "just check containment"
+		wantHi  float64
+		loExact bool
+		hiExact bool
+	}{
+		{name: "n=0 is vacuous", k: 0, n: 0, z: Z95, wantLo: 0, wantHi: 1, loExact: true, hiExact: true},
+		{name: "n=0 ignores k", k: 7, n: 0, z: Z95, wantLo: 0, wantHi: 1, loExact: true, hiExact: true},
+		{name: "negative n is vacuous", k: 3, n: -2, z: Z95, wantLo: 0, wantHi: 1, loExact: true, hiExact: true},
+		{name: "p=0 pins the lower bound", k: 0, n: 100, z: Z95, wantLo: 0, wantHi: -1, loExact: true},
+		{name: "p=1 pins the upper bound", k: 100, n: 100, z: Z95, wantLo: -1, wantHi: 1, hiExact: true},
+		{name: "n=1 failure", k: 0, n: 1, z: Z95, wantLo: 0, wantHi: -1, loExact: true},
+		{name: "n=1 success", k: 1, n: 1, z: Z95, wantLo: -1, wantHi: 1, hiExact: true},
+		{name: "z=0 collapses to the point estimate", k: 3, n: 4, z: 0, wantLo: 0.75, wantHi: 0.75, loExact: true, hiExact: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lo, hi := Wilson(tc.k, tc.n, tc.z)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("interval [%g, %g] not a sub-interval of [0,1]", lo, hi)
+			}
+			if tc.loExact && lo != tc.wantLo {
+				t.Errorf("lo = %g, want exactly %g", lo, tc.wantLo)
+			}
+			if tc.hiExact && hi != tc.wantHi {
+				t.Errorf("hi = %g, want exactly %g", hi, tc.wantHi)
+			}
+			if tc.n > 0 {
+				k := tc.k
+				if k < 0 {
+					k = 0
+				}
+				if k > tc.n {
+					k = tc.n
+				}
+				p := float64(k) / float64(tc.n)
+				if p < lo-1e-12 || p > hi+1e-12 {
+					t.Errorf("point estimate %g outside [%g, %g]", p, lo, hi)
+				}
+			}
+		})
+	}
+
+	// The n=1 intervals must be genuinely informative: one success
+	// should rule out proportions near zero no better than ~[0.2, 1],
+	// and must be strictly tighter than the vacuous [0, 1].
+	lo, hi := Wilson(1, 1, Z95)
+	if !(lo > 0 && lo < 0.5) || hi != 1 {
+		t.Errorf("Wilson(1,1) = [%g, %g], want lower bound in (0, 0.5) and hi = 1", lo, hi)
+	}
+	lo0, hi0 := Wilson(0, 1, Z95)
+	if lo0 != 0 || !(hi0 > 0.5 && hi0 < 1) {
+		t.Errorf("Wilson(0,1) = [%g, %g], want [0, hi] with hi in (0.5, 1)", lo0, hi0)
+	}
+	// Symmetry: the k=0 and k=n intervals mirror each other.
+	if math.Abs((1-hi0)-lo) > 1e-9 {
+		t.Errorf("Wilson(0,1) and Wilson(1,1) are not mirrored: %g vs %g", 1-hi0, lo)
+	}
+}

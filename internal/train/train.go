@@ -6,11 +6,13 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"rskip/internal/ir"
 	"rskip/internal/machine"
+	"rskip/internal/obs"
 	"rskip/internal/predict"
 	"rskip/internal/rtm"
 )
@@ -118,12 +120,19 @@ func Collect(mod *ir.Module, kernel int, setup func(mem *machine.Memory) []uint6
 	return col.series, res.Counter, nil
 }
 
-// Run executes the offline training phase: the transformed module is
-// run once per training instance under a collecting hook set; the
-// samples then drive TP sweeping and memo-table construction without
-// further program runs ("we simulate the algorithm ... to minimize
-// training time").
+// Run executes the offline training phase without telemetry; it is
+// RunContext on a background context.
 func Run(mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uint64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), mod, kernel, instances, cfg)
+}
+
+// RunContext executes the offline training phase: the transformed
+// module is run once per training instance under a collecting hook
+// set; the samples then drive TP sweeping and memo-table construction
+// without further program runs ("we simulate the algorithm ... to
+// minimize training time"). An obs.Obs carried by ctx traces the
+// collect runs and per-loop fits and feeds the training counters.
+func RunContext(ctx context.Context, mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uint64, cfg Config) (*Result, error) {
 	if len(cfg.TPSweep) == 0 {
 		cfg.TPSweep = DefaultTPSweep
 	}
@@ -158,9 +167,15 @@ func Run(mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uin
 	// separately and prefer parameters that are good on every input
 	// (argmax on pooled data happily picks a TP that collapses on the
 	// next input — robustness beats raw training skip).
+	met := obs.From(ctx).M()
+	trainRuns := met.Counter("train_runs_total", "training collection runs")
+	trainSamples := met.Counter("train_samples_total", "loop output samples collected")
+
 	instanceMark := map[int][]int{}
-	for _, setup := range instances {
-		mcfg := machine.Config{Hooks: col, TraceFn: -1}
+	for idx, setup := range instances {
+		_, spc := obs.Start(ctx, "train/collect")
+		spc.SetAttr("instance", idx)
+		mcfg := machine.Config{Hooks: col, TraceFn: -1, Metrics: met}
 		if memoFn >= 0 {
 			mcfg.TraceFn = memoFn
 			mcfg.CallTracer = func(args []uint64, ret uint64) {
@@ -178,13 +193,18 @@ func Run(mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uin
 		}
 		m := machine.New(mod, mcfg)
 		args := setup(m.Mem)
-		if _, err := m.Run(kernel, args); err != nil {
+		res, err := m.Run(kernel, args)
+		if err != nil {
+			spc.End()
 			return nil, fmt.Errorf("train: training run failed: %w", err)
 		}
+		trainRuns.Inc()
 		for i := range mod.Loops {
 			id := mod.Loops[i].ID
 			instanceMark[id] = append(instanceMark[id], len(col.series[id]))
 		}
+		spc.SetAttr("instrs", res.Instrs)
+		spc.End()
 	}
 
 	res := &Result{
@@ -194,6 +214,8 @@ func Run(mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uin
 		MemoAccuracy: map[int]float64{},
 		Samples:      map[int]int{},
 	}
+	memoBuilt := met.Counter("train_memo_built_total", "memo tables constructed")
+	memoDeployed := met.Counter("train_memo_deployed_total", "memo tables that passed the accuracy gate")
 	for li := range mod.Loops {
 		info := &mod.Loops[li]
 		series := col.series[info.ID]
@@ -202,19 +224,30 @@ func Run(mod *ir.Module, kernel int, instances []func(mem *machine.Memory) []uin
 			n += len(s)
 		}
 		res.Samples[info.ID] = n
+		trainSamples.Add(uint64(n))
 		if n == 0 {
 			continue
 		}
+		_, spf := obs.Start(ctx, "train/fit")
+		spf.SetAttr("loop", info.Name)
+		spf.SetAttr("samples", n)
 		res.QoS[info.ID] = sweepTP(series, instanceMark[info.ID], cfg)
+		spf.SetAttr("tp", res.QoS[info.ID].Default)
+		spf.End()
 		if info.MemoFn >= 0 && len(memoSamples) > 0 {
+			_, spm := obs.Start(ctx, "train/memo")
 			table, acc := buildMemo(memoSamples, cfg)
 			res.MemoAccuracy[info.ID] = acc
 			if table != nil {
 				res.MemoBuilt[info.ID] = table
+				memoBuilt.Inc()
 				if acc >= cfg.MemoAccuracyMin {
 					res.Memo[info.ID] = table
+					memoDeployed.Inc()
 				}
 			}
+			spm.SetAttr("accuracy", acc)
+			spm.End()
 		}
 	}
 	return res, nil

@@ -164,7 +164,7 @@ func BenchmarkFig2Coverage(b *testing.B) {
 	inst := p.Bench.Gen(bench.TestSeed(0), bench.ScaleFI)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := train.Collect(p.RSkipMod, p.Kernel, inst.Setup); err != nil {
+		if _, _, err := train.Collect(p.Module(core.RSkip), p.Kernel, inst.Setup); err != nil {
 			b.Fatal(err)
 		}
 	}

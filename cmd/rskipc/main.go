@@ -7,6 +7,8 @@
 //
 //	rskipc [-scheme unsafe|swift|swiftr|rskip] [-candidates] [-print] file.mc
 //	rskipc -bench conv1d -candidates        # use a built-in benchmark
+//	rskipc -passes "optimize,swift,cfc" file.mc   # explicit pass pipeline
+//	rskipc [-print-after] [-time-passes] ...
 //	rskipc [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr] ...
 package main
 
@@ -22,14 +24,18 @@ import (
 	"rskip/internal/lang"
 	"rskip/internal/lower"
 	"rskip/internal/obs"
+	"rskip/internal/pass"
 	"rskip/internal/transform"
 )
 
 func main() {
 	var (
 		scheme     = flag.String("scheme", "rskip", "protection scheme: unsafe, swift, swiftr, rskip")
+		passSpec   = flag.String("passes", "", "run this comma-separated pass pipeline instead of a -scheme (e.g. \"optimize,swift,cfc\")")
 		candidates = flag.Bool("candidates", false, "report detected candidate loops")
 		print      = flag.Bool("print", false, "print the (transformed) IR")
+		printAfter = flag.Bool("print-after", false, "print the module after every pass (stderr)")
+		timePasses = flag.Bool("time-passes", false, "report per-pass wall time at exit (stderr)")
 		benchName  = flag.String("bench", "", "compile a built-in benchmark instead of a file")
 		threshold  = flag.Int("threshold", 0, "candidate cost threshold (0 = default)")
 		optimize   = flag.Bool("O", false, "run scalar optimizations before protection")
@@ -92,15 +98,53 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *optimize {
-		_, spo := obs.Start(ctx, "rskipc/optimize")
-		err := transform.OptimizeAndVerify(mod)
-		spo.End()
+	opt := analysis.Options{CostThreshold: *threshold}
+
+	pm := &pass.Manager{VerifyEach: true}
+	if *printAfter {
+		pm.PrintAfter = os.Stderr
+	}
+	if *timePasses {
+		pm.TimePasses = os.Stderr
+	}
+	runPipeline := func(spanName string, pipeline []pass.Pass) {
+		pm.Passes = pipeline
+		pctx, sp := obs.Start(ctx, spanName)
+		err := pm.Run(pctx, mod, opt)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 	}
-	opt := analysis.Options{CostThreshold: *threshold}
+
+	// Resolve the protection pipeline: either the explicit -passes
+	// text, or the -scheme's registered pipeline with -cfc appended.
+	// -O runs as its own pipeline first, so the -candidates report
+	// below sees the optimized (but not yet protected) module, as it
+	// always has.
+	var pipeline []pass.Pass
+	if *passSpec != "" {
+		pipeline, err = pass.Parse(*passSpec)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var extra []string
+		if *cfc {
+			if *scheme == "unsafe" {
+				fatal(fmt.Errorf("-cfc requires a protection scheme"))
+			}
+			extra = append(extra, "cfc")
+		}
+		pipeline, err = pass.SchemePipeline(*scheme, extra...)
+		if err != nil {
+			fatal(err)
+		}
+		if *optimize {
+			o, _ := pass.Lookup("optimize")
+			runPipeline("rskipc/optimize", []pass.Pass{o})
+		}
+	}
 
 	if *candidates {
 		cands := transform.Candidates(mod, opt)
@@ -122,32 +166,7 @@ func main() {
 		}
 	}
 
-	_, spt := obs.Start(ctx, "rskipc/transform")
-	spt.SetAttr("scheme", *scheme)
-	switch *scheme {
-	case "unsafe":
-	case "swift":
-		transform.ApplySWIFT(mod)
-	case "swiftr":
-		transform.ApplySWIFTR(mod)
-	case "rskip":
-		mod, err = transform.ApplyRSkip(mod, opt)
-		if err != nil {
-			spt.End()
-			fatal(err)
-		}
-	default:
-		spt.End()
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
-	}
-	spt.SetAttr("pp_loops", len(mod.Loops))
-	spt.End()
-	if *cfc {
-		if *scheme == "unsafe" {
-			fatal(fmt.Errorf("-cfc requires a protection scheme"))
-		}
-		transform.ApplyCFC(mod)
-	}
+	runPipeline("rskipc/transform", pipeline)
 
 	if *emit != "" {
 		f, err := os.Create(*emit)
@@ -172,8 +191,12 @@ func main() {
 				instrs += len(f.Blocks[bi].Instrs)
 			}
 		}
-		fmt.Printf("%s: scheme=%s functions=%d static instructions=%d pp-loops=%d\n",
-			name, *scheme, funcs, instrs, len(mod.Loops))
+		what := "scheme=" + *scheme
+		if *passSpec != "" {
+			what = "passes=" + *passSpec
+		}
+		fmt.Printf("%s: %s functions=%d static instructions=%d pp-loops=%d\n",
+			name, what, funcs, instrs, len(mod.Loops))
 	}
 	_ = core.DefaultConfig // keep core linked for doc reference
 }

@@ -171,7 +171,7 @@ func main() {
 	if s == core.RSkip {
 		fmt.Printf("skip rate       %.2f%% (DI %.2f%%)\n", 100*o.SkipRate(), 100*o.DISkipRate())
 		for id, st := range o.Stats {
-			li := p.RSkipMod.LoopByID(id)
+			li := p.Module(core.RSkip).LoopByID(id)
 			fmt.Printf("  loop %d (%s): observed=%d skipDI=%d skipAM=%d recomputed=%d mispredicted=%d phases=%d adjusts=%d\n",
 				id, li.Name, st.Observed, st.SkippedDI, st.SkippedAM,
 				st.Recomputed, st.Mispredicted, st.Phases, st.Adjusts)

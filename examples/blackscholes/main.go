@@ -66,8 +66,8 @@ func main() {
 		log.Fatal(err)
 	}
 	for id, table := range p.Trained.Memo {
-		li := p.RSkipMod.LoopByID(id)
-		callee := p.RSkipMod.Funcs[li.MemoFn]
+		li := p.Module(core.RSkip).LoopByID(id)
+		callee := p.Module(core.RSkip).Funcs[li.MemoFn]
 		fmt.Printf("\nlookup table for %s (validation accuracy %.2f%%):\n",
 			callee.Name, 100*p.Trained.MemoAccuracy[id])
 		fmt.Printf("  address bits per input: %v (%d of %d inputs encoded)\n",

@@ -106,7 +106,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := prog.RSkipMod.MarshalText(mf); err != nil {
+	if err := prog.Module(core.RSkip).MarshalText(mf); err != nil {
 		log.Fatal(err)
 	}
 	mf.Close()
@@ -149,7 +149,7 @@ func main() {
 		float64(sw.Result.Cycles)/float64(golden.Result.Cycles),
 		100*o.SkipRate(), match)
 	for id, st := range o.Stats {
-		li := fresh.RSkipMod.LoopByID(id)
+		li := fresh.Module(core.RSkip).LoopByID(id)
 		mode := "AR from config"
 		if li.HasAROverride {
 			mode = fmt.Sprintf("pragma ar(%g): exact validation", li.AROverride)
@@ -160,7 +160,7 @@ func main() {
 
 func countOverrides(p *core.Program) int {
 	n := 0
-	for _, li := range p.RSkipMod.Loops {
+	for _, li := range p.Module(core.RSkip).Loops {
 		if li.HasAROverride {
 			n++
 		}

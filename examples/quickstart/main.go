@@ -89,7 +89,7 @@ func main() {
 	fmt.Printf("detected %d candidate loop(s):\n", len(prog.Candidates))
 	for _, c := range prog.Candidates {
 		fmt.Printf("  %s (static cost %d, %d invariant live-ins)\n",
-			c.Name(prog.UnsafeMod), c.Cost, len(c.Invariants))
+			c.Name(prog.Module(core.Unsafe)), c.Cost, len(c.Invariants))
 	}
 
 	// 2. Offline training: sample loop outputs, sweep the tuning

@@ -57,38 +57,16 @@ type Options struct {
 const DefaultCostThreshold = 24
 
 // FindCandidates scans every non-internal function for candidate
-// loops.
+// loops. It is a convenience wrapper over a throwaway analysis
+// Manager; pipelines that already hold a Manager should call its
+// Candidates method so the underlying analyses are cached.
 func FindCandidates(m *ir.Module, opt Options) []Candidate {
-	if opt.CostThreshold == 0 {
-		opt.CostThreshold = DefaultCostThreshold
-	}
-	var out []Candidate
-	for fi, f := range m.Funcs {
-		if f.Internal {
-			continue
-		}
-		out = append(out, findInFunc(m, fi, f, opt)...)
-	}
-	return out
+	return NewManager(m).Candidates(opt)
 }
 
-func findInFunc(m *ir.Module, fi int, f *ir.Func, opt Options) []Candidate {
-	cfg := BuildCFG(f)
-	idom := Dominators(cfg)
-	loops := FindLoops(cfg, idom)
-	inner := InnermostLoop(len(f.Blocks), loops)
-
-	var out []Candidate
-	for li := range loops {
-		if c, ok := examineLoop(m, fi, f, cfg, idom, loops, inner, li, opt); ok {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-func examineLoop(m *ir.Module, fi int, f *ir.Func, cfg *CFG, idom []int,
+func examineLoop(am *Manager, fi int, f *ir.Func, cfg *CFG, idom []int,
 	loops []Loop, inner []int, li int, opt Options) (Candidate, bool) {
+	m := am.mod
 
 	l := &loops[li]
 	// A unique preheader: exactly one predecessor of the header outside
@@ -178,7 +156,7 @@ func examineLoop(m *ir.Module, fi int, f *ir.Func, cfg *CFG, idom []int,
 	if !hasCall && !hasInner {
 		return Candidate{}, false
 	}
-	cost := RegionCost(m, f, region, loops, inner, loops[li].Depth+1)
+	cost := regionCost(m, f, region, loops, inner, loops[li].Depth+1, am.cost)
 	if cost < opt.CostThreshold {
 		return Candidate{}, false
 	}

@@ -1,0 +1,133 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/lower"
+)
+
+const managerSrc = `
+int helper(int x) {
+	return x * 3 + 1;
+}
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int acc = 0;
+		for (int j = 0; j < 4; j = j + 1) {
+			acc = acc + helper(a[i + j]);
+		}
+		out[i] = acc;
+	}
+}
+`
+
+func TestManagerCachesFuncAnalyses(t *testing.T) {
+	m, err := lower.Compile("mgr", managerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := analysis.NewManager(m)
+	if am.Module() != m {
+		t.Fatal("Module() does not return the bound module")
+	}
+	fa1 := am.Func(0)
+	fa2 := am.Func(0)
+	if fa1 != fa2 {
+		t.Error("second Func() call did not return the cached bundle")
+	}
+	st := am.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats after one miss + one hit: %+v", st)
+	}
+	// Cached results must match a direct computation.
+	f := m.Funcs[0]
+	cfg := analysis.BuildCFG(f)
+	idom := analysis.Dominators(cfg)
+	if !reflect.DeepEqual(fa1.Idom, idom) {
+		t.Error("cached dominators differ from direct computation")
+	}
+	if !reflect.DeepEqual(fa1.Loops, analysis.FindLoops(cfg, idom)) {
+		t.Error("cached loops differ from direct computation")
+	}
+}
+
+func TestManagerCandidatesCacheAndSeed(t *testing.T) {
+	m, err := lower.Compile("mgr", managerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := analysis.Options{}
+	want := analysis.FindCandidates(m, opt)
+	if len(want) == 0 {
+		t.Fatal("test kernel has no candidates")
+	}
+
+	am := analysis.NewManager(m)
+	got := am.Candidates(opt)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("manager candidates differ from FindCandidates")
+	}
+	hitsBefore := am.Stats().Hits
+	if got2 := am.Candidates(opt); !reflect.DeepEqual(got2, got) {
+		t.Error("cached candidates differ")
+	}
+	if am.Stats().Hits <= hitsBefore {
+		t.Error("second Candidates() call did not hit the cache")
+	}
+	// A zero threshold and the explicit default are the same cache key.
+	if am2 := analysis.NewManager(m); true {
+		am2.SeedCandidates(opt, want)
+		if am2.Stats().Misses != 0 {
+			t.Fatal("seeding should not compute anything")
+		}
+		got3 := am2.Candidates(analysis.Options{CostThreshold: analysis.DefaultCostThreshold})
+		if !reflect.DeepEqual(got3, want) {
+			t.Error("seeded candidates not served")
+		}
+		if am2.Stats().Hits == 0 {
+			t.Error("seeded Candidates() call did not count as a hit")
+		}
+	}
+}
+
+func TestManagerInvalidation(t *testing.T) {
+	m, err := lower.Compile("mgr", managerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := analysis.NewManager(m)
+	opt := analysis.Options{}
+	am.Candidates(opt)
+	cost := am.FuncCost(0)
+	if cost2 := am.FuncCost(0); cost2 != cost {
+		t.Errorf("memoized FuncCost changed: %d != %d", cost2, cost)
+	}
+	if direct := analysis.FuncCost(m, 0); direct != cost {
+		t.Errorf("manager FuncCost %d != direct %d", cost, direct)
+	}
+
+	gen := am.Generation()
+	am.Invalidate(0)
+	if am.Generation() != gen+1 {
+		t.Error("Invalidate did not bump the generation")
+	}
+	misses := am.Stats().Misses
+	am.Candidates(opt)
+	if am.Stats().Misses <= misses {
+		t.Error("candidates survived Invalidate")
+	}
+
+	am.Func(0)
+	gen = am.Generation()
+	am.InvalidateAll()
+	if am.Generation() != gen+1 {
+		t.Error("InvalidateAll did not bump the generation")
+	}
+	misses = am.Stats().Misses
+	am.Func(0)
+	if am.Stats().Misses <= misses {
+		t.Error("function analyses survived InvalidateAll")
+	}
+}

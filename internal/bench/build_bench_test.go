@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+)
+
+// BenchmarkBuild measures the compile pipeline: cold is a full build
+// (compile, candidate detection, all four scheme pipelines in
+// parallel, codegen) with the build cache emptied every iteration;
+// warm is the same request served from the content-addressed cache.
+// The cold/warm ratio is the rebuild speedup the cache buys fault
+// campaigns and experiment figures that keep re-requesting the same
+// benchmark × config variants.
+func BenchmarkBuild(b *testing.B) {
+	bm, err := bench.ByName("conv1d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.ResetBuildCache()
+			if _, err := core.Build(bm, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		core.ResetBuildCache()
+		if _, err := core.Build(bm, cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(bm, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

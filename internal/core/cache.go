@@ -1,0 +1,137 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rskip/internal/analysis"
+	"rskip/internal/bench"
+	"rskip/internal/ir"
+	"rskip/internal/machine"
+	"rskip/internal/pass"
+)
+
+// The build cache. Fault campaigns, the experiment figures and the
+// benchmark harness all build the same benchmark × config variants
+// over and over; compilation is pure, so the result can be computed
+// once and shared. Entries are content-addressed — keyed by the
+// sha256 of the MiniC source plus every build-affecting config field
+// and the resolved pass pipelines — so two benchmarks that happen to
+// share a name never collide, and a registry change invalidates
+// naturally.
+//
+// Cached artifacts are safe to share between Programs and goroutines
+// because everything a build produces is immutable afterwards:
+// modules are never mutated post-build, machine.Code is read-only by
+// construction, and the candidate/region tables are only read at Run
+// time. Mutable per-use state (training results, telemetry handles)
+// lives on the Program, not in the cache.
+
+// Variant is one scheme's compiled form: the transformed module and
+// its pre-decoded machine code.
+type Variant struct {
+	Mod  *ir.Module
+	Code *machine.Code
+}
+
+// artifacts bundles the immutable products of one build.
+type artifacts struct {
+	kernel       int
+	candidates   []analysis.Candidate
+	regionBlocks map[int]map[int]bool
+	regionFuncs  map[int]bool
+	variants     map[Scheme]*Variant
+}
+
+// buildCacheCap bounds the in-process cache: the full experiment
+// suite touches 9 benchmarks × a handful of configs, so 64 entries
+// hold everything with room for property-test churn.
+const buildCacheCap = 64
+
+type buildCacheState struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used; values *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	art *artifacts
+}
+
+var (
+	buildCache = &buildCacheState{
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+	buildCacheHits   atomic.Uint64
+	buildCacheMisses atomic.Uint64
+)
+
+// buildCacheKey content-addresses one build.
+func buildCacheKey(b bench.Benchmark, cfg Config) string {
+	src := sha256.Sum256([]byte(b.Source))
+	var sigs []string
+	for _, s := range schemeOrder {
+		sigs = append(sigs, pass.PipelineSignature(s.pipelineName(), schemeExtras(s, cfg)...))
+	}
+	return fmt.Sprintf("%x|%s|%s|%s|%s",
+		src, b.Name, b.Kernel, cfg.Key(), strings.Join(sigs, ";"))
+}
+
+func (c *buildCacheState) get(key string) (*artifacts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		buildCacheMisses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	buildCacheHits.Add(1)
+	return el.Value.(*cacheEntry).art, true
+}
+
+func (c *buildCacheState) put(key string, art *artifacts) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent build of the same key won the race; keep the
+		// existing entry so every caller shares one artifact set.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, art: art})
+	for c.order.Len() > buildCacheCap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *buildCacheState) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.order = list.New()
+}
+
+func (c *buildCacheState) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// BuildCacheStats reports the process-lifetime hit/miss counts and
+// the current entry count of the build cache.
+func BuildCacheStats() (hits, misses uint64, entries int) {
+	return buildCacheHits.Load(), buildCacheMisses.Load(), buildCache.len()
+}
+
+// ResetBuildCache empties the build cache (benchmarks use it to
+// measure cold builds). The hit/miss counters are left running.
+func ResetBuildCache() { buildCache.reset() }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rskip/internal/bench"
+)
+
+// tinyBench wraps a parameterized kernel so cache tests can mint
+// arbitrarily many distinct sources (and identically named ones).
+func tinyBench(name string, k int) bench.Benchmark {
+	src := fmt.Sprintf(`
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int acc = 0;
+		for (int j = 0; j < 4; j = j + 1) {
+			acc = acc + a[i + j] * %d;
+		}
+		out[i] = acc;
+	}
+}
+`, k)
+	return bench.Benchmark{Name: name, Kernel: "kernel", Source: src}
+}
+
+func TestBuildCacheHitSharesArtifacts(t *testing.T) {
+	ResetBuildCache()
+	b := tinyBench("cachehit", 3)
+	p1, err := Build(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, _, _ := BuildCacheStats()
+	p2, err := Build(b, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, _, entries := BuildCacheStats()
+	if hits1 != hits0+1 {
+		t.Errorf("second identical build did not hit the cache (hits %d -> %d)", hits0, hits1)
+	}
+	if entries != 1 {
+		t.Errorf("cache holds %d entries, want 1", entries)
+	}
+	for _, s := range schemeOrder {
+		if p1.Module(s) != p2.Module(s) {
+			t.Errorf("%s modules not shared across cache hit", s)
+		}
+		if p1.Code(s) != p2.Code(s) {
+			t.Errorf("%s codes not shared across cache hit", s)
+		}
+	}
+	// Mutable per-use state must NOT be shared: the cache returns
+	// fresh Programs around shared artifacts.
+	if p1 == p2 {
+		t.Error("cache returned the same Program value, not a fresh wrapper")
+	}
+}
+
+func TestBuildCacheIsContentAddressed(t *testing.T) {
+	ResetBuildCache()
+	// Same name, different source: must not collide.
+	p1, err := Build(tinyBench("samename", 3), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(tinyBench("samename", 5), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Module(Unsafe) == p2.Module(Unsafe) {
+		t.Error("different sources under one name shared an artifact")
+	}
+	// Same source, different build config: must not collide.
+	cfc := DefaultConfig()
+	cfc.EnableCFC = true
+	p3, err := Build(tinyBench("samename", 3), cfc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Module(SWIFT) == p3.Module(SWIFT) {
+		t.Error("different configs shared an artifact")
+	}
+	if _, _, entries := BuildCacheStats(); entries != 3 {
+		t.Errorf("cache holds %d entries, want 3", entries)
+	}
+}
+
+func TestBuildCacheEviction(t *testing.T) {
+	ResetBuildCache()
+	for i := 0; i < buildCacheCap+8; i++ {
+		if _, err := Build(tinyBench(fmt.Sprintf("evict%03d", i), i+2), DefaultConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, entries := BuildCacheStats()
+	if entries != buildCacheCap {
+		t.Errorf("cache holds %d entries, want the %d-entry cap", entries, buildCacheCap)
+	}
+	// The oldest entry was evicted: rebuilding it must miss.
+	_, miss0, _ := BuildCacheStats()
+	if _, err := Build(tinyBench("evict000", 2), DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, miss1, _ := BuildCacheStats(); miss1 != miss0+1 {
+		t.Error("evicted entry was served from the cache")
+	}
+	// The most recent entry is still resident.
+	hits0, _, _ := BuildCacheStats()
+	last := fmt.Sprintf("evict%03d", buildCacheCap+7)
+	if _, err := Build(tinyBench(last, buildCacheCap+9), DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _, _ := BuildCacheStats(); hits1 != hits0+1 {
+		t.Error("resident entry missed the cache")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"rskip/internal/analysis"
 	"rskip/internal/bench"
@@ -18,9 +19,9 @@ import (
 	"rskip/internal/lower"
 	"rskip/internal/machine"
 	"rskip/internal/obs"
+	"rskip/internal/pass"
 	"rskip/internal/rtm"
 	"rskip/internal/train"
-	"rskip/internal/transform"
 )
 
 // Scheme names a protection configuration.
@@ -91,16 +92,11 @@ func (c Config) Key() string {
 		c.DisableDI, c.ForceCP, c.MemoUniform, c.FixedStride, c.IssueWidth, c.EnableCFC)
 }
 
-// Program is one benchmark compiled under every scheme.
+// Program is one benchmark compiled under every registered scheme.
 type Program struct {
 	Bench  bench.Benchmark
 	Cfg    Config
 	Kernel int // kernel function index (identical across variants)
-
-	UnsafeMod *ir.Module
-	SwiftMod  *ir.Module
-	SwiftRMod *ir.Module
-	RSkipMod  *ir.Module
 
 	// Candidates are the detected loops (computed on the unprotected
 	// module; block indexes are stable across variants).
@@ -114,10 +110,12 @@ type Program struct {
 
 	Trained *train.Result
 
-	// codes holds the pre-decoded form of each variant, compiled once
-	// at Build time so concurrent campaign workers share it instead of
-	// re-decoding the module on every Run.
-	codes [4]*machine.Code
+	// variants maps each scheme to its transformed module and the
+	// pre-decoded code compiled at Build time, so concurrent campaign
+	// workers share it instead of re-decoding on every Run. The map is
+	// immutable after Build and may be shared between Programs through
+	// the build cache.
+	variants map[Scheme]*Variant
 
 	// obs is the observability handle every Run and Train feeds; nil
 	// (the default for plain Build) disables all telemetry. Set it at
@@ -126,6 +124,32 @@ type Program struct {
 	obs *obs.Obs
 	// met caches the run-time-management instrument handles.
 	met *rtmMetrics
+}
+
+// schemeOrder is the canonical variant list a build derives.
+var schemeOrder = []Scheme{Unsafe, SWIFT, SWIFTR, RSkip}
+
+// pipelineName maps the scheme enum to its registered pass pipeline.
+func (s Scheme) pipelineName() string {
+	switch s {
+	case SWIFT:
+		return "swift"
+	case SWIFTR:
+		return "swiftr"
+	case RSkip:
+		return "rskip"
+	}
+	return "unsafe"
+}
+
+// schemeExtras returns the config-dependent passes appended to a
+// scheme's registered pipeline: CFC protects the protected variants
+// only (the unprotected baseline must stay untouched).
+func schemeExtras(s Scheme, cfg Config) []string {
+	if cfg.EnableCFC && s != Unsafe {
+		return []string{"cfc"}
+	}
+	return nil
 }
 
 // rtmMetrics are the prediction counters fed after every RSkip run.
@@ -164,16 +188,57 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 }
 
 // BuildContext compiles the benchmark and derives all protected
-// variants. An obs.Obs carried by ctx traces the build phases
-// (compile, candidate detection, per-scheme transform, codegen) and
-// becomes the Program's telemetry handle for later Train and Run
+// variants by running each scheme's registered pass pipeline, with
+// ir.Verify after every pass and per-scheme derivation parallelized
+// across goroutines. Results are served from the content-addressed
+// build cache when an identical (source, config, pipelines) build
+// already ran in this process. An obs.Obs carried by ctx traces the
+// build phases (compile, candidate detection, per-scheme pipeline)
+// and becomes the Program's telemetry handle for later Train and Run
 // calls; a plain context builds silently.
 func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program, error) {
 	ctx, sp := obs.Start(ctx, "core/build")
 	sp.SetAttr("bench", b.Name)
 	defer sp.End()
-	obs.From(ctx).M().Counter("core_builds_total", "programs built").Inc()
+	o := obs.From(ctx)
+	o.M().Counter("core_builds_total", "programs built").Inc()
 
+	key := buildCacheKey(b, cfg)
+	if art, ok := buildCache.get(key); ok {
+		o.M().Counter("core_build_cache_hits_total", "builds served from the build cache").Inc()
+		sp.SetAttr("cache", "hit")
+		p := newProgram(b, cfg, art)
+		p.Observe(o)
+		return p, nil
+	}
+	o.M().Counter("core_build_cache_misses_total", "builds compiled from source").Inc()
+	sp.SetAttr("cache", "miss")
+
+	art, err := buildArtifacts(ctx, b, cfg)
+	if err != nil {
+		return nil, err
+	}
+	buildCache.put(key, art)
+	p := newProgram(b, cfg, art)
+	p.Observe(o)
+	return p, nil
+}
+
+// newProgram wraps (possibly shared) build artifacts as a Program.
+// Mutable per-use state — the trained profile, telemetry — is fresh.
+func newProgram(b bench.Benchmark, cfg Config, art *artifacts) *Program {
+	return &Program{
+		Bench: b, Cfg: cfg, Kernel: art.kernel,
+		Candidates:   art.candidates,
+		RegionBlocks: art.regionBlocks,
+		RegionFuncs:  art.regionFuncs,
+		variants:     art.variants,
+	}
+}
+
+// buildArtifacts compiles the benchmark once and derives every
+// registered scheme variant through its pass pipeline.
+func buildArtifacts(ctx context.Context, b bench.Benchmark, cfg Config) (*artifacts, error) {
 	_, spc := obs.Start(ctx, "build/compile")
 	mod, err := lower.Compile(b.Name, b.Source)
 	spc.End()
@@ -185,47 +250,50 @@ func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program,
 		return nil, fmt.Errorf("core: %s has no kernel function %q", b.Name, b.Kernel)
 	}
 	opt := analysis.Options{CostThreshold: cfg.CostThreshold}
+	baseAM := analysis.NewManager(mod)
 	_, spa := obs.Start(ctx, "build/candidates")
-	cands := analysis.FindCandidates(mod, opt)
+	cands := baseAM.Candidates(opt)
 	spa.SetAttr("candidates", len(cands))
 	spa.End()
 
-	_, spt := obs.Start(ctx, "build/transform")
-	swift := mod.Clone()
-	transform.ApplySWIFT(swift)
-	swiftr := mod.Clone()
-	transform.ApplySWIFTR(swiftr)
-	rsk, err := transform.ApplyRSkip(mod, opt)
-	if err != nil {
-		spt.End()
-		return nil, fmt.Errorf("core: rskip transform for %s: %w", b.Name, err)
+	// Every variant pipeline is independent once candidates are known:
+	// each goroutine clones the base module (cloning a shared module
+	// concurrently is safe — it only reads the source) and runs its
+	// scheme's registered passes, then pre-decodes the result.
+	ctx, spt := obs.Start(ctx, "build/transform")
+	variants := make([]*Variant, len(schemeOrder))
+	errs := make([]error, len(schemeOrder))
+	var wg sync.WaitGroup
+	for i, s := range schemeOrder {
+		wg.Add(1)
+		go func(i int, s Scheme) {
+			defer wg.Done()
+			variants[i], errs[i] = buildVariant(ctx, b.Name, mod, s, cfg, opt, cands)
+		}(i, s)
 	}
-	if cfg.EnableCFC {
-		transform.ApplyCFC(swift)
-		transform.ApplyCFC(swiftr)
-		transform.ApplyCFC(rsk)
-		for _, m := range []*ir.Module{swift, swiftr, rsk} {
-			if err := ir.Verify(m); err != nil {
-				spt.End()
-				return nil, fmt.Errorf("core: CFC produced invalid IR for %s: %w", b.Name, err)
-			}
+	wg.Wait()
+	spt.End()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	spt.SetAttr("pp_loops", len(rsk.Loops))
-	spt.End()
 
-	p := &Program{
-		Bench: b, Cfg: cfg, Kernel: kernel,
-		UnsafeMod: mod, SwiftMod: swift, SwiftRMod: swiftr, RSkipMod: rsk,
-		Candidates:   cands,
-		RegionBlocks: map[int]map[int]bool{},
-		RegionFuncs:  map[int]bool{},
+	art := &artifacts{
+		kernel:       kernel,
+		candidates:   cands,
+		regionBlocks: map[int]map[int]bool{},
+		regionFuncs:  map[int]bool{},
+		variants:     map[Scheme]*Variant{},
+	}
+	for i, s := range schemeOrder {
+		art.variants[s] = variants[i]
 	}
 	for _, c := range cands {
-		rb := p.RegionBlocks[c.Func]
+		rb := art.regionBlocks[c.Func]
 		if rb == nil {
 			rb = map[int]bool{}
-			p.RegionBlocks[c.Func] = rb
+			art.regionBlocks[c.Func] = rb
 		}
 		rb[c.Header] = true
 		rb[c.Latch] = true
@@ -233,29 +301,61 @@ func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program,
 			rb[blk] = true
 		}
 	}
-	for _, li := range rsk.Loops {
-		p.RegionFuncs[li.RecomputeFn] = true
+	for _, li := range art.variants[RSkip].Mod.Loops {
+		art.regionFuncs[li.RecomputeFn] = true
 	}
-	_, spg := obs.Start(ctx, "build/codegen")
-	for _, s := range []Scheme{Unsafe, SWIFT, SWIFTR, RSkip} {
-		p.codes[s] = machine.CompileCode(p.Module(s))
-	}
-	spg.End()
-	p.Observe(obs.From(ctx))
-	return p, nil
+	return art, nil
 }
 
-// Module returns the IR variant for a scheme.
-func (p *Program) Module(s Scheme) *ir.Module {
-	switch s {
-	case SWIFT:
-		return p.SwiftMod
-	case SWIFTR:
-		return p.SwiftRMod
-	case RSkip:
-		return p.RSkipMod
+// buildVariant runs one scheme's pass pipeline over a clone of the
+// base module and pre-decodes the result. Candidates already detected
+// on the base module are seeded into the clone's analysis manager —
+// a clone shares block and register indexes with its source, so the
+// RSkip fixpoint's first iteration reuses them instead of rescanning.
+func buildVariant(ctx context.Context, name string, base *ir.Module, s Scheme,
+	cfg Config, opt analysis.Options, cands []analysis.Candidate) (*Variant, error) {
+
+	ctx, sp := obs.Start(ctx, "build/variant")
+	sp.SetAttr("scheme", s.String())
+	defer sp.End()
+
+	passes, err := pass.SchemePipeline(s.pipelineName(), schemeExtras(s, cfg)...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
 	}
-	return p.UnsafeMod
+	m := base
+	if s != Unsafe {
+		m = base.Clone()
+	}
+	am := analysis.NewManager(m)
+	am.SeedCandidates(opt, cands)
+	pm := &pass.Manager{Passes: passes, VerifyEach: true}
+	if err := pm.RunWith(ctx, m, opt, am); err != nil {
+		return nil, fmt.Errorf("core: %s pipeline for %s: %w", s, name, err)
+	}
+	st := am.Stats()
+	mm := obs.From(ctx).M()
+	mm.Counter("core_analysis_cache_hits_total", "analysis-manager cache hits during builds").Add(st.Hits)
+	mm.Counter("core_analysis_cache_misses_total", "analysis-manager cache misses during builds").Add(st.Misses)
+	return &Variant{Mod: m, Code: machine.CompileCode(m)}, nil
+}
+
+// Code returns the pre-decoded form of a scheme's module variant,
+// compiled at Build time.
+func (p *Program) Code(s Scheme) *machine.Code {
+	if v, ok := p.variants[s]; ok {
+		return v.Code
+	}
+	return p.variants[Unsafe].Code
+}
+
+// Module returns the IR variant for a scheme; unknown schemes fall
+// back to the unprotected module.
+func (p *Program) Module(s Scheme) *ir.Module {
+	if v, ok := p.variants[s]; ok {
+		return v.Mod
+	}
+	return p.variants[Unsafe].Mod
 }
 
 // Train runs the offline training phase over the given training
@@ -273,7 +373,7 @@ func (p *Program) Train(seeds []int64, scale bench.Scale) error {
 		inst := p.Bench.Gen(s, scale)
 		setups = append(setups, inst.Setup)
 	}
-	tr, err := train.RunContext(ctx, p.RSkipMod, p.Kernel, setups, train.Config{
+	tr, err := train.RunContext(ctx, p.Module(RSkip), p.Kernel, setups, train.Config{
 		AR:          p.Cfg.AR,
 		Window:      p.Cfg.Window,
 		MemoBits:    p.Cfg.MemoBits,
@@ -384,7 +484,7 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		RegionBlocks: p.RegionBlocks,
 		IssueWidth:   p.Cfg.IssueWidth,
 		TraceFn:      -1,
-		Code:         p.codes[s],
+		Code:         p.Code(s),
 		Reference:    opts.Reference,
 		Metrics:      p.obs.M(),
 	}

@@ -20,7 +20,7 @@ func TestPipelineSmoke(t *testing.T) {
 			if len(p.Candidates) == 0 {
 				t.Fatalf("no candidate loops detected")
 			}
-			if len(p.RSkipMod.Loops) == 0 {
+			if len(p.Module(RSkip).Loops) == 0 {
 				t.Fatalf("no PP loops in transformed module")
 			}
 			if err := p.Train([]int64{bench.TrainSeed(0), bench.TrainSeed(1)}, bench.ScaleTiny); err != nil {

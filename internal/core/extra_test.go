@@ -29,7 +29,7 @@ func TestSchemeModulesAreIndependent(t *testing.T) {
 	p := buildTiny(t, "conv1d", nil)
 	// The four variants must be distinct modules; mutating one must not
 	// leak into another.
-	mods := []*ir.Module{p.UnsafeMod, p.SwiftMod, p.SwiftRMod, p.RSkipMod}
+	mods := []*ir.Module{p.Module(Unsafe), p.Module(SWIFT), p.Module(SWIFTR), p.Module(RSkip)}
 	for i := range mods {
 		for j := i + 1; j < len(mods); j++ {
 			if mods[i] == mods[j] {
@@ -37,10 +37,10 @@ func TestSchemeModulesAreIndependent(t *testing.T) {
 			}
 		}
 	}
-	if len(p.UnsafeMod.Loops) != 0 {
+	if len(p.Module(Unsafe).Loops) != 0 {
 		t.Error("unprotected module has PP loops")
 	}
-	if len(p.RSkipMod.Loops) == 0 {
+	if len(p.Module(RSkip).Loops) == 0 {
 		t.Error("rskip module has no PP loops")
 	}
 }
@@ -50,8 +50,8 @@ func TestBlockIndexesStableAcrossSchemes(t *testing.T) {
 	// the unprotected module's block structure (transforms insert
 	// instructions, never blocks).
 	p := buildTiny(t, "lud", nil)
-	for _, m := range []*ir.Module{p.SwiftMod, p.SwiftRMod, p.RSkipMod} {
-		for fi, f := range p.UnsafeMod.Funcs {
+	for _, m := range []*ir.Module{p.Module(SWIFT), p.Module(SWIFTR), p.Module(RSkip)} {
+		for fi, f := range p.Module(Unsafe).Funcs {
 			if len(m.Funcs[fi].Blocks) != len(f.Blocks) {
 				t.Fatalf("func %s: %d blocks vs unprotected %d",
 					f.Name, len(m.Funcs[fi].Blocks), len(f.Blocks))
@@ -76,7 +76,7 @@ func TestRegionCoversCandidates(t *testing.T) {
 			}
 		}
 	}
-	for _, li := range p.RSkipMod.Loops {
+	for _, li := range p.Module(RSkip).Loops {
 		if !p.RegionFuncs[li.RecomputeFn] {
 			t.Fatalf("recompute fn %d not in region funcs", li.RecomputeFn)
 		}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+)
+
+// The differential build test: the pass-manager pipeline must emit,
+// for every benchmark × scheme × build-affecting config knob, modules
+// and pre-decoded code tables bit-identical to the monolithic seed
+// builder. The golden hashes in testdata/build_golden.json were
+// generated from the pre-refactor builder (go test -run TestGoldenBuild
+// -update at the seed commit); any refactor of the compile stack must
+// reproduce them exactly.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/build_golden.json from the current builder")
+
+const goldenPath = "testdata/build_golden.json"
+
+// goldenEntry records one build variant: the sha256 of the module's
+// .rir serialization and the machine.Code fingerprint.
+type goldenEntry struct {
+	RIR  string `json:"rir"`
+	Code string `json:"code"`
+}
+
+// goldenConfigs is the build-affecting knob matrix from the issue:
+// acceptable range, CFC, predictor ablations, forced conventional
+// protection. Keys must stay stable — they are part of the golden map.
+func goldenConfigs() []struct {
+	Name string
+	Cfg  core.Config
+} {
+	ar := func(v float64) core.Config { c := core.DefaultConfig(); c.AR = v; return c }
+	with := func(mut func(*core.Config)) core.Config {
+		c := core.DefaultConfig()
+		mut(&c)
+		return c
+	}
+	return []struct {
+		Name string
+		Cfg  core.Config
+	}{
+		{"default", core.DefaultConfig()},
+		{"ar100", ar(1.0)},
+		{"cfc", with(func(c *core.Config) { c.EnableCFC = true })},
+		{"nomemo", with(func(c *core.Config) { c.DisableMemo = true })},
+		{"nodi", with(func(c *core.Config) { c.DisableDI = true })},
+		{"forcecp", with(func(c *core.Config) { c.ForceCP = true })},
+	}
+}
+
+func buildGoldenMap(t *testing.T) (map[string]goldenEntry, time.Duration) {
+	t.Helper()
+	got := map[string]goldenEntry{}
+	var buildTime time.Duration
+	for _, cc := range goldenConfigs() {
+		for _, b := range bench.All() {
+			start := time.Now()
+			p, err := core.Build(b, cc.Cfg)
+			buildTime += time.Since(start)
+			if err != nil {
+				t.Fatalf("build %s/%s: %v", b.Name, cc.Name, err)
+			}
+			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip} {
+				var rir bytes.Buffer
+				if err := p.Module(s).MarshalText(&rir); err != nil {
+					t.Fatalf("marshal %s/%s/%s: %v", b.Name, cc.Name, s, err)
+				}
+				key := fmt.Sprintf("%s|%s|%s", b.Name, cc.Name, s)
+				got[key] = goldenEntry{
+					RIR:  fmt.Sprintf("%x", sha256.Sum256(rir.Bytes())),
+					Code: p.Code(s).Fingerprint(),
+				}
+			}
+		}
+	}
+	return got, buildTime
+}
+
+func TestGoldenBuild(t *testing.T) {
+	got, buildTime := buildGoldenMap(t)
+	nBuilds := len(goldenConfigs()) * len(bench.All())
+	t.Logf("built %d programs in %v (%.1fms avg)", nBuilds, buildTime,
+		float64(buildTime.Milliseconds())/float64(nBuilds))
+
+	if *updateGolden {
+		var keys []string
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]goldenEntry, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		data, err := json.MarshalIndent(ordered, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d entries to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update at a known-good commit): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden has %d entries, current build produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from current build", key)
+			continue
+		}
+		if g.RIR != w.RIR {
+			t.Errorf("%s: .rir hash diverged from seed builder\n  want %s\n  got  %s", key, w.RIR, g.RIR)
+		}
+		if g.Code != w.Code {
+			t.Errorf("%s: machine code fingerprint diverged from seed builder\n  want %s\n  got  %s", key, w.Code, g.Code)
+		}
+	}
+}

@@ -86,7 +86,7 @@ func (c *Context) Fig6() (string, error) {
 		Pattern: "A reduction loop", Location: "Top level",
 		Gen: gen,
 	}
-	p, err := core.Build(b, core.DefaultConfig())
+	p, err := core.BuildContext(c.Ctx(), b, core.DefaultConfig())
 	if err != nil {
 		return "", err
 	}

@@ -26,9 +26,9 @@ func (c *Context) Table1() (string, error) {
 			return "", err
 		}
 		memo := "-"
-		for _, li := range p.RSkipMod.Loops {
+		for _, li := range p.Module(core.RSkip).Loops {
 			if li.MemoFn >= 0 {
-				memo = p.RSkipMod.Funcs[li.MemoFn].Name
+				memo = p.Module(core.RSkip).Funcs[li.MemoFn].Name
 			}
 		}
 		t.Row(b.Name, b.Domain, b.Pattern, b.Location,
@@ -52,7 +52,7 @@ func (c *Context) Fig2() (string, error) {
 			return "", err
 		}
 		inst := b.Gen(bench.TestSeed(0), scale)
-		series, counters, err := train.Collect(p.RSkipMod, p.Kernel, inst.Setup)
+		series, counters, err := train.Collect(p.Module(core.RSkip), p.Kernel, inst.Setup)
 		if err != nil {
 			return "", err
 		}

@@ -276,16 +276,16 @@ func (c *Context) CostRatio() (string, error) {
 	// the loop's value slice and once in the recompute slice. Subtract
 	// the collector run's internal instructions (the in-loop calls
 	// alone) to isolate the re-computation cost.
-	_, colCounters, err := train.Collect(pcp.RSkipMod, pcp.Kernel, inst.Setup)
+	_, colCounters, err := train.Collect(pcp.Module(core.RSkip), pcp.Kernel, inst.Setup)
 	if err != nil {
 		return "", err
 	}
 	recompute := float64(ocp.Result.Counter.Internal-colCounters.Internal) / float64(elems)
 
 	nInputs := 0
-	for _, li := range p.RSkipMod.Loops {
+	for _, li := range p.Module(core.RSkip).Loops {
 		if li.MemoFn >= 0 {
-			nInputs = len(p.RSkipMod.Funcs[li.MemoFn].Params)
+			nInputs = len(p.Module(core.RSkip).Funcs[li.MemoFn].Params)
 		}
 	}
 	di, am := rtm.PredictorCosts(nInputs)

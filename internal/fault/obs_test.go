@@ -24,6 +24,9 @@ func TestCampaignObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Force a cold build: a cache hit would (correctly) skip the
+	// compile/candidates/variant spans this test asserts on.
+	core.ResetBuildCache()
 	p, err := core.BuildContext(ctx, b, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -82,7 +85,8 @@ func TestCampaignObservability(t *testing.T) {
 
 	tree := o.Tracer.Tree()
 	for _, want := range []string{
-		"core/build", "build/compile", "build/codegen",
+		"core/build", "build/compile", "build/candidates",
+		"build/transform", "build/variant", "pass/rskip",
 		"core/train", "train/collect", "train/fit",
 		"fault/campaign", "campaign/profile", "campaign/batch",
 	} {

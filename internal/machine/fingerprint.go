@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fingerprint returns a deterministic content hash of the pre-decoded
+// tables: every dinstr field that affects execution (opcode, tag, μop
+// weight, latency, operands, immediates, resolved branch targets,
+// callee) plus block μop totals, in function/block/instruction order.
+// The src back-pointer is deliberately excluded — it is an address,
+// not content. Two Codes with equal fingerprints execute identically,
+// which is what the differential build test relies on to prove a
+// rebuilt pipeline is bit-identical to a reference build.
+func (c *Code) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(c.fns)))
+	for i := range c.fns {
+		fn := &c.fns[i]
+		put(uint64(len(fn.blocks)))
+		for bi := range fn.blocks {
+			blk := &fn.blocks[bi]
+			put(blk.uops)
+			put(uint64(len(blk.ins)))
+			for k := range blk.ins {
+				d := &blk.ins[k]
+				put(uint64(d.op))
+				put(uint64(d.tag))
+				put(uint64(d.n))
+				put(uint64(d.lat))
+				put(uint64(d.nargs))
+				if d.brk {
+					put(1)
+				} else {
+					put(0)
+				}
+				put(uint64(int64(d.dst)))
+				put(uint64(int64(d.a0)))
+				put(uint64(int64(d.a1)))
+				put(uint64(int64(d.a2)))
+				put(uint64(d.imm))
+				put(math.Float64bits(d.fimm))
+				put(uint64(int64(d.b0)))
+				put(uint64(int64(d.b1)))
+				put(uint64(int64(d.callee)))
+			}
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

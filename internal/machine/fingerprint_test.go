@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"testing"
+
+	"rskip/internal/lower"
+)
+
+const fpSrc = `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		out[i] = a[i] * 3;
+	}
+}
+`
+
+// Fingerprint must hash decoded content, not identity: re-decoding
+// the same module (distinct dinstr arrays, distinct src pointers)
+// yields the same fingerprint, and any content change yields a
+// different one.
+func TestFingerprintIsContentAddressed(t *testing.T) {
+	mod, err := lower.Compile("fp", fpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := CompileCode(mod)
+	c2 := CompileCode(mod)
+	if c1 == c2 {
+		t.Fatal("CompileCode returned a shared value; test needs distinct decodes")
+	}
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Error("two decodes of one module fingerprint differently")
+	}
+	clone := mod.Clone()
+	if CompileCode(clone).Fingerprint() != c1.Fingerprint() {
+		t.Error("a clone's decode fingerprints differently")
+	}
+
+	clone.Funcs[0].Blocks[0].Instrs[0].Imm++
+	if CompileCode(clone).Fingerprint() == c1.Fingerprint() {
+		t.Error("changed immediate did not change the fingerprint")
+	}
+}

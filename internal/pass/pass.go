@@ -1,0 +1,121 @@
+// Package pass is the compile pipeline's pass manager. The paper
+// builds RSkip as a sequence of LLVM module passes (candidate
+// detection, slice outlining, run-time hook planting, duplication,
+// control-flow checking); this package gives the Go reproduction the
+// same shape: named, ordered module passes composed into pipelines,
+// with per-pass tracing and timing, optional IR verification after
+// every pass, and a shared analysis cache (analysis.Manager) that
+// passes consume instead of re-deriving CFGs, loop forests, dataflow
+// and costs at every step.
+//
+// Pipelines are data, not code: passes register themselves by name,
+// protection schemes register as named pass lists, and a pipeline can
+// be written as text ("optimize,swift,cfc") — which is how cmd/rskipc
+// exposes it.
+package pass
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+	"rskip/internal/obs"
+)
+
+// Context carries pipeline-wide state into a pass: the cancellation/
+// tracing context, the shared analysis cache, and the candidate
+// options the protection passes honor.
+type Context struct {
+	Ctx context.Context
+	AM  *analysis.Manager
+	Opt analysis.Options
+}
+
+// Pass is one named module transformation.
+type Pass struct {
+	Name string
+	// Preserves marks a pass that leaves the module unchanged
+	// (verification, printing); the manager keeps cached analyses
+	// across it instead of invalidating everything.
+	Preserves bool
+	// Run mutates the module. Passes that consume analyses pull them
+	// from pc.AM; the manager invalidates after the pass unless
+	// Preserves is set, so passes need not invalidate themselves
+	// (those doing finer-grained self-invalidation, like rskip's
+	// fixpoint, simply leave the cache more precise).
+	Run func(pc *Context, m *ir.Module) error
+}
+
+// Manager runs a pipeline of passes over a module.
+type Manager struct {
+	Passes []Pass
+	// VerifyEach re-runs ir.Verify after every non-preserving pass, so
+	// an invalid module is caught at the pass that produced it rather
+	// than at codegen.
+	VerifyEach bool
+	// PrintAfter, when non-nil, receives the module listing after each
+	// pass (the classic -print-after debugging aid).
+	PrintAfter io.Writer
+	// TimePasses, when non-nil, receives a per-pass wall-time report
+	// when the pipeline finishes.
+	TimePasses io.Writer
+}
+
+// Run executes the pipeline with a fresh analysis manager.
+func (pm *Manager) Run(ctx context.Context, m *ir.Module, opt analysis.Options) error {
+	return pm.RunWith(ctx, m, opt, analysis.NewManager(m))
+}
+
+// RunWith executes the pipeline against a caller-supplied analysis
+// manager — the build pipeline uses this to seed analyses computed on
+// a structurally identical module (candidates found on the base module
+// are valid on its clone).
+func (pm *Manager) RunWith(ctx context.Context, m *ir.Module, opt analysis.Options, am *analysis.Manager) error {
+	if am == nil {
+		am = analysis.NewManager(m)
+	}
+	pc := &Context{Ctx: ctx, AM: am, Opt: opt}
+	var timings []time.Duration
+	for _, p := range pm.Passes {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pass: pipeline canceled before %s: %w", p.Name, err)
+		}
+		_, sp := obs.Start(ctx, "pass/"+p.Name)
+		start := time.Now()
+		err := p.Run(pc, m)
+		timings = append(timings, time.Since(start))
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name, err)
+		}
+		if !p.Preserves {
+			am.InvalidateAll()
+			if pm.VerifyEach {
+				if err := ir.Verify(m); err != nil {
+					return fmt.Errorf("pass %s produced invalid IR: %w", p.Name, err)
+				}
+			}
+		}
+		if pm.PrintAfter != nil {
+			fmt.Fprintf(pm.PrintAfter, "; module after pass %s\n%s", p.Name, m.String())
+		}
+	}
+	if pm.TimePasses != nil {
+		var total time.Duration
+		for _, d := range timings {
+			total += d
+		}
+		fmt.Fprintf(pm.TimePasses, "=== pass timings ===\n")
+		for i, p := range pm.Passes {
+			fmt.Fprintf(pm.TimePasses, "%10.3fms  %s\n",
+				float64(timings[i].Microseconds())/1000, p.Name)
+		}
+		st := am.Stats()
+		fmt.Fprintf(pm.TimePasses, "%10.3fms  total (analysis cache: %d hits, %d misses)\n",
+			float64(total.Microseconds())/1000, st.Hits, st.Misses)
+	}
+	return nil
+}

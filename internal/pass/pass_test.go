@@ -1,0 +1,243 @@
+package pass_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"rskip/internal/analysis"
+	"rskip/internal/ir"
+	"rskip/internal/lower"
+	"rskip/internal/pass"
+	"rskip/internal/transform"
+)
+
+// testSrc is a minimal kernel with one candidate loop (inner-loop
+// pattern, single store per iteration), so every builtin pass has
+// something to do.
+const testSrc = `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int acc = 0;
+		for (int j = 0; j < 4; j = j + 1) {
+			acc = acc + a[i + j] * 3;
+		}
+		out[i] = acc;
+	}
+}
+`
+
+func compile(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := lower.Compile("passtest", testSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func marshal(t *testing.T, m *ir.Module) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.MarshalText(&buf); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return buf.String()
+}
+
+func TestRegistryLookupAndParse(t *testing.T) {
+	for _, name := range []string{"optimize", "swift", "swiftr", "rskip", "cfc", "verify"} {
+		if _, ok := pass.Lookup(name); !ok {
+			t.Errorf("builtin pass %q not registered", name)
+		}
+	}
+	ps, err := pass.Parse("optimize, swift ,cfc")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(ps) != 3 || ps[0].Name != "optimize" || ps[1].Name != "swift" || ps[2].Name != "cfc" {
+		t.Fatalf("Parse order wrong: %+v", ps)
+	}
+	if _, err := pass.Parse("optimize,nosuchpass"); err == nil {
+		t.Error("Parse accepted an unknown pass")
+	}
+	if _, err := pass.Parse("optimize,,swift"); err == nil {
+		t.Error("Parse accepted an empty pass name")
+	}
+	names := pass.Names()
+	if len(names) < 6 {
+		t.Errorf("Names() = %v, want at least the 6 builtins", names)
+	}
+}
+
+func TestSchemeRegistry(t *testing.T) {
+	for _, name := range []string{"unsafe", "swift", "swiftr", "rskip"} {
+		if _, ok := pass.SchemePasses(name); !ok {
+			t.Errorf("builtin scheme %q not registered", name)
+		}
+	}
+	if ns, _ := pass.SchemePasses("unsafe"); len(ns) != 0 {
+		t.Errorf("unsafe scheme should be the empty pipeline, got %v", ns)
+	}
+	ps, err := pass.SchemePipeline("rskip", "cfc")
+	if err != nil {
+		t.Fatalf("SchemePipeline: %v", err)
+	}
+	if len(ps) != 2 || ps[0].Name != "rskip" || ps[1].Name != "cfc" {
+		t.Fatalf("SchemePipeline(rskip, cfc) = %+v", ps)
+	}
+	if _, err := pass.SchemePipeline("nosuchscheme"); err == nil {
+		t.Error("SchemePipeline accepted an unknown scheme")
+	}
+	if sig := pass.PipelineSignature("swift", "cfc"); sig != "swift:swift,cfc" {
+		t.Errorf("PipelineSignature = %q", sig)
+	}
+	if sig := pass.PipelineSignature("nosuchscheme"); !strings.Contains(sig, "?") {
+		t.Errorf("unknown-scheme signature should be marked, got %q", sig)
+	}
+}
+
+// TestPipelinesMatchLegacyTransforms: running a registered scheme
+// pipeline must produce exactly what the direct transform calls
+// produce — the pass manager adds structure, not behavior.
+func TestPipelinesMatchLegacyTransforms(t *testing.T) {
+	base := compile(t)
+	opt := analysis.Options{}
+
+	legacy := map[string]func() *ir.Module{
+		"unsafe": func() *ir.Module { return base.Clone() },
+		"swift": func() *ir.Module {
+			m := base.Clone()
+			transform.ApplySWIFT(m)
+			return m
+		},
+		"swiftr": func() *ir.Module {
+			m := base.Clone()
+			transform.ApplySWIFTR(m)
+			return m
+		},
+		"rskip": func() *ir.Module {
+			m, err := transform.ApplyRSkip(base, opt)
+			if err != nil {
+				t.Fatalf("ApplyRSkip: %v", err)
+			}
+			return m
+		},
+	}
+	for _, scheme := range []string{"unsafe", "swift", "swiftr", "rskip"} {
+		ps, err := pass.SchemePipeline(scheme)
+		if err != nil {
+			t.Fatalf("SchemePipeline(%s): %v", scheme, err)
+		}
+		got := base.Clone()
+		pm := &pass.Manager{Passes: ps, VerifyEach: true}
+		if err := pm.Run(context.Background(), got, opt); err != nil {
+			t.Fatalf("pipeline %s: %v", scheme, err)
+		}
+		if g, w := marshal(t, got), marshal(t, legacy[scheme]()); g != w {
+			t.Errorf("scheme %s: pipeline output differs from direct transforms", scheme)
+		}
+	}
+}
+
+// TestSeededCandidatesFold: seeding candidates computed on the base
+// module into a clone's manager must not change the rskip result, and
+// must be visible as a cache hit.
+func TestSeededCandidatesFold(t *testing.T) {
+	base := compile(t)
+	opt := analysis.Options{}
+	cands := analysis.FindCandidates(base, opt)
+	if len(cands) == 0 {
+		t.Fatal("test kernel has no candidates")
+	}
+
+	want, err := transform.ApplyRSkip(base, opt)
+	if err != nil {
+		t.Fatalf("ApplyRSkip: %v", err)
+	}
+
+	got := base.Clone()
+	am := analysis.NewManager(got)
+	am.SeedCandidates(opt, cands)
+	ps, _ := pass.SchemePipeline("rskip")
+	pm := &pass.Manager{Passes: ps, VerifyEach: true}
+	if err := pm.RunWith(context.Background(), got, opt, am); err != nil {
+		t.Fatalf("seeded pipeline: %v", err)
+	}
+	if marshal(t, got) != marshal(t, want) {
+		t.Error("seeded candidates changed the rskip result")
+	}
+	if st := am.Stats(); st.Hits == 0 {
+		t.Errorf("expected at least one analysis-cache hit, stats %+v", st)
+	}
+}
+
+func TestVerifyEachCatchesInvalidIR(t *testing.T) {
+	m := compile(t)
+	bad := pass.Pass{Name: "truncate", Run: func(pc *pass.Context, m *ir.Module) error {
+		blk := &m.Funcs[0].Blocks[0]
+		blk.Instrs = blk.Instrs[:len(blk.Instrs)-1] // drop the terminator
+		return nil
+	}}
+	pm := &pass.Manager{Passes: []pass.Pass{bad}, VerifyEach: true}
+	err := pm.Run(context.Background(), m, analysis.Options{})
+	if err == nil || !strings.Contains(err.Error(), "invalid IR") {
+		t.Fatalf("VerifyEach missed the corruption, err=%v", err)
+	}
+
+	// Without VerifyEach the same pipeline reports no error.
+	m2 := compile(t)
+	pm2 := &pass.Manager{Passes: []pass.Pass{bad}}
+	if err := pm2.Run(context.Background(), m2, analysis.Options{}); err != nil {
+		t.Fatalf("unexpected error without VerifyEach: %v", err)
+	}
+}
+
+func TestPrintAfterAndTimePasses(t *testing.T) {
+	m := compile(t)
+	var printed, timed bytes.Buffer
+	ps, _ := pass.SchemePipeline("swift")
+	pm := &pass.Manager{Passes: ps, PrintAfter: &printed, TimePasses: &timed}
+	if err := pm.Run(context.Background(), m, analysis.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(printed.String(), "module after pass swift") {
+		t.Errorf("PrintAfter missing header:\n%s", printed.String())
+	}
+	if !strings.Contains(timed.String(), "swift") || !strings.Contains(timed.String(), "analysis cache") {
+		t.Errorf("TimePasses report incomplete:\n%s", timed.String())
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	m := compile(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ps, _ := pass.SchemePipeline("swift")
+	pm := &pass.Manager{Passes: ps}
+	if err := pm.Run(ctx, m, analysis.Options{}); err == nil {
+		t.Fatal("canceled pipeline did not report an error")
+	}
+}
+
+func TestPassErrorIsWrapped(t *testing.T) {
+	m := compile(t)
+	boom := pass.Pass{Name: "boom", Run: func(pc *pass.Context, m *ir.Module) error {
+		return context.DeadlineExceeded
+	}}
+	pm := &pass.Manager{Passes: []pass.Pass{boom}}
+	err := pm.Run(context.Background(), m, analysis.Options{})
+	if err == nil || !strings.Contains(err.Error(), "pass boom") {
+		t.Fatalf("error not attributed to pass: %v", err)
+	}
+}
+
+func TestRegisterPanicsOnBadPass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Register accepted a pass with no Run")
+		}
+	}()
+	pass.Register(pass.Pass{Name: "broken"})
+}

@@ -1,0 +1,40 @@
+package pass
+
+import (
+	"rskip/internal/ir"
+	"rskip/internal/transform"
+)
+
+// The builtin passes mirror the paper's pipeline stages, and the
+// builtin schemes are the protection configurations the experiments
+// compare. core.BuildContext runs these same pipelines; cmd/rskipc
+// exposes them as -passes text.
+func init() {
+	Register(Pass{Name: "optimize", Run: func(pc *Context, m *ir.Module) error {
+		transform.Optimize(m)
+		return nil
+	}})
+	Register(Pass{Name: "swift", Run: func(pc *Context, m *ir.Module) error {
+		transform.ApplySWIFT(m)
+		return nil
+	}})
+	Register(Pass{Name: "swiftr", Run: func(pc *Context, m *ir.Module) error {
+		transform.ApplySWIFTR(m)
+		return nil
+	}})
+	Register(Pass{Name: "rskip", Run: func(pc *Context, m *ir.Module) error {
+		return transform.RSkipInPlace(m, pc.Opt, pc.AM)
+	}})
+	Register(Pass{Name: "cfc", Run: func(pc *Context, m *ir.Module) error {
+		transform.ApplyCFC(m)
+		return nil
+	}})
+	Register(Pass{Name: "verify", Preserves: true, Run: func(pc *Context, m *ir.Module) error {
+		return ir.Verify(m)
+	}})
+
+	RegisterScheme("unsafe")
+	RegisterScheme("swift", "swift")
+	RegisterScheme("swiftr", "swiftr")
+	RegisterScheme("rskip", "rskip")
+}

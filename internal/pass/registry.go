@@ -1,0 +1,130 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The registries: passes by name, and schemes as named pass lists.
+// Registration happens at init time (builtins below) but stays open —
+// tests and tools can add passes; later registrations of an existing
+// name replace it.
+var (
+	regMu   sync.RWMutex
+	passes  = map[string]Pass{}
+	schemes = map[string][]string{}
+)
+
+// Register adds a pass under its name.
+func Register(p Pass) {
+	if p.Name == "" || p.Run == nil {
+		panic("pass: Register needs a name and a Run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	passes[p.Name] = p
+}
+
+// Lookup finds a registered pass.
+func Lookup(name string) (Pass, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := passes[name]
+	return p, ok
+}
+
+// Names lists registered pass names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(passes))
+	for n := range passes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse resolves a comma-separated pipeline spec such as
+// "optimize,swift,cfc" into its passes. Whitespace around names is
+// ignored; empty elements are rejected.
+func Parse(spec string) ([]Pass, error) {
+	var out []Pass
+	for _, raw := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return nil, fmt.Errorf("pass: empty pass name in pipeline %q", spec)
+		}
+		p, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("pass: unknown pass %q (known: %s)",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RegisterScheme names a protection scheme as a pass pipeline. The
+// pass names are resolved lazily at SchemePipeline time, so schemes
+// may be registered before their passes.
+func RegisterScheme(name string, passNames ...string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	schemes[name] = append([]string(nil), passNames...)
+}
+
+// SchemeNames lists registered scheme names, sorted.
+func SchemeNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(schemes))
+	for n := range schemes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemePasses returns the pass-name list a scheme was registered
+// with.
+func SchemePasses(name string) ([]string, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ns, ok := schemes[name]
+	return append([]string(nil), ns...), ok
+}
+
+// SchemePipeline resolves a scheme (plus optional extra passes, e.g.
+// "cfc") into a ready-to-run pass list.
+func SchemePipeline(name string, extra ...string) ([]Pass, error) {
+	names, ok := SchemePasses(name)
+	if !ok {
+		return nil, fmt.Errorf("pass: unknown scheme %q (known: %s)",
+			name, strings.Join(SchemeNames(), ", "))
+	}
+	names = append(names, extra...)
+	var out []Pass
+	for _, n := range names {
+		p, ok := Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("pass: scheme %q names unregistered pass %q", name, n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PipelineSignature renders a scheme's resolved pass list as a stable
+// string, for build-cache keys: two builds share compiled artifacts
+// only if their schemes resolve to the same pipelines.
+func PipelineSignature(name string, extra ...string) string {
+	names, ok := SchemePasses(name)
+	if !ok {
+		return name + ":?"
+	}
+	names = append(names, extra...)
+	return name + ":" + strings.Join(names, ",")
+}

@@ -22,32 +22,53 @@ import (
 // run-time management system.
 func ApplyRSkip(src *ir.Module, opt analysis.Options) (*ir.Module, error) {
 	m := src.Clone()
+	if err := RSkipInPlace(m, opt, analysis.NewManager(m)); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// RSkipInPlace is ApplyRSkip without the defensive clone: it rewrites
+// m directly, pulling every analysis (candidate detection, CFG,
+// dominators, loops, cost) from the supplied Manager. The pass-manager
+// pipeline calls it so a candidate set already computed on the
+// unprotected module can be seeded into the fixpoint instead of
+// recomputed. A nil manager gets a fresh one.
+func RSkipInPlace(m *ir.Module, opt analysis.Options, am *analysis.Manager) error {
+	if am == nil {
+		am = analysis.NewManager(m)
+	}
 	nextID := 0
 	// Re-analyze after each rewrite: insertions shift instruction
 	// indexes, and examineLoop rejects already-transformed loops, so
-	// the fixpoint terminates.
+	// the fixpoint terminates. Each rewrite invalidates the mutated
+	// function so the next iteration sees fresh indexes; within one
+	// rewrite the cached CFG/dominators/loops stay valid because
+	// instruction insertion never adds blocks or touches terminators.
 	for {
-		cands := analysis.FindCandidates(m, opt)
+		cands := am.Candidates(opt)
 		if len(cands) == 0 {
 			break
 		}
 		c := cands[0]
-		if err := transformCandidate(m, &c, nextID); err != nil {
-			return nil, err
+		if err := transformCandidate(m, am, &c, nextID); err != nil {
+			return err
 		}
+		am.Invalidate(c.Func)
 		nextID++
 	}
 	if err := isolateValueCallees(m); err != nil {
-		return nil, err
+		return err
 	}
 	if err := checkValueInterface(m); err != nil {
-		return nil, err
+		return err
 	}
 	ApplySWIFTR(m)
+	am.InvalidateAll()
 	if err := ir.Verify(m); err != nil {
-		return nil, fmt.Errorf("transform: rskip produced invalid IR: %w", err)
+		return fmt.Errorf("transform: rskip produced invalid IR: %w", err)
 	}
-	return m, nil
+	return nil
 }
 
 // Candidates reports the candidate loops the transform would protect,
@@ -56,7 +77,7 @@ func Candidates(m *ir.Module, opt analysis.Options) []analysis.Candidate {
 	return analysis.FindCandidates(m, opt)
 }
 
-func transformCandidate(m *ir.Module, c *analysis.Candidate, id int) error {
+func transformCandidate(m *ir.Module, am *analysis.Manager, c *analysis.Candidate, id int) error {
 	f := m.Funcs[c.Func]
 	name := fmt.Sprintf("%s$recompute%d", f.Name, id)
 	rec := buildRecompute(m, c, name)
@@ -69,7 +90,7 @@ func transformCandidate(m *ir.Module, c *analysis.Candidate, id int) error {
 
 	// Tag the value slice and the hot-store address chain before any
 	// instruction insertion shifts indexes.
-	tagCandidate(f, c)
+	tagCandidate(f, am.Func(c.Func), c)
 
 	// Allocate the per-invocation iteration counter.
 	iterReg := f.NewReg(ir.Int)
@@ -100,10 +121,10 @@ func transformCandidate(m *ir.Module, c *analysis.Candidate, id int) error {
 		ir.Instr{Op: ir.OpAdd, Dst: iterReg, Args: []ir.Reg{iterReg, oneReg}},
 	)
 
-	// Loop exits: rt.exit #id flushes the final phase.
-	cfg := analysis.BuildCFG(f)
-	idom := analysis.Dominators(cfg)
-	loops := analysis.FindLoops(cfg, idom)
+	// Loop exits: rt.exit #id flushes the final phase. The cached loop
+	// forest is still valid — the insertions above touched no
+	// terminator, so block structure is unchanged.
+	loops := am.Func(c.Func).Loops
 	for li := range loops {
 		if loops[li].Header != c.Header {
 			continue
@@ -148,12 +169,11 @@ func insertBefore(b *ir.Block, idx int, ins ...ir.Instr) {
 // region becomes the prediction-covered value slice (TagValue),
 // including the hot store itself (whose address operand the duplicator
 // still votes).
-func tagCandidate(f *ir.Func, c *analysis.Candidate) {
+func tagCandidate(f *ir.Func, fa *analysis.FuncAnalyses, c *analysis.Candidate) {
 	// Backward slice of the address register: scan the store block
 	// upward, then follow the immediate-dominator chain within the
 	// region.
-	cfg := analysis.BuildCFG(f)
-	idom := analysis.Dominators(cfg)
+	idom := fa.Idom
 	wanted := map[ir.Reg]bool{c.AddrReg: true}
 	type mark struct{ b, i int }
 	var addr []mark

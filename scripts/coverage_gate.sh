@@ -18,8 +18,20 @@ if [ -z "$BASE" ]; then
 fi
 echo "coverage gate: diffing against $BASE (floor ${FLOOR}%)"
 
-pkgs=$(git diff --name-only "$BASE" HEAD -- '*.go' | grep '^internal/' |
-	xargs -rn1 dirname | sort -u)
+# The pass manager is the compile pipeline's spine; gate it on every
+# run, changed or not, so a regression in its tests never slips
+# through a PR that only touches its callers.
+ALWAYS="internal/pass"
+
+pkgs=$(
+	{
+		git diff --name-only "$BASE" HEAD -- '*.go' | grep '^internal/' |
+			xargs -rn1 dirname
+		for d in $ALWAYS; do
+			[ -d "$d" ] && echo "$d"
+		done
+	} | sort -u
+)
 if [ -z "$pkgs" ]; then
 	echo "coverage gate: no changed internal packages"
 	exit 0

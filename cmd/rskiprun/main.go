@@ -160,7 +160,14 @@ func main() {
 	for op, n := range o.Result.Counter.OpsMap() {
 		mix = append(mix, oc{op, n})
 	}
-	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	// Tie-break equal counts by opcode so the report is stable across
+	// runs (OpsMap iteration order is random).
+	sort.Slice(mix, func(i, j int) bool {
+		if mix[i].n != mix[j].n {
+			return mix[i].n > mix[j].n
+		}
+		return mix[i].op < mix[j].op
+	})
 	if len(mix) > 8 {
 		mix = mix[:8]
 	}
@@ -170,7 +177,13 @@ func main() {
 	}
 	if s == core.RSkip {
 		fmt.Printf("skip rate       %.2f%% (DI %.2f%%)\n", 100*o.SkipRate(), 100*o.DISkipRate())
-		for id, st := range o.Stats {
+		ids := make([]int, 0, len(o.Stats))
+		for id := range o.Stats {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			st := o.Stats[id]
 			li := p.Module(core.RSkip).LoopByID(id)
 			fmt.Printf("  loop %d (%s): observed=%d skipDI=%d skipAM=%d recomputed=%d mispredicted=%d phases=%d adjusts=%d\n",
 				id, li.Name, st.Observed, st.SkippedDI, st.SkippedAM,

@@ -1,0 +1,144 @@
+// Package clitest is the integration harness for the rskip command
+// line tools: it builds the real binaries with the host go toolchain
+// and pins their stdout against golden files in testdata/.
+//
+// Goldens regenerate with:
+//
+//	go test ./internal/clitest -update
+//
+// Every output these tests pin is deterministic by construction — the
+// simulator counts instructions rather than wall-clock time, fault
+// plans are pre-drawn from a seed, and report ordering is fully
+// specified — so a golden mismatch means behavior changed, not that
+// the test is flaky.
+package clitest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildMu   sync.Mutex
+	buildDir  string
+	buildErr  error
+	buildOnce = map[string]bool{}
+)
+
+// Binary builds cmd/<name> once per test process and returns the
+// executable path. Subsequent calls for the same name reuse the build.
+func Binary(t *testing.T, name string) string {
+	t.Helper()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	if buildDir == "" {
+		dir, err := os.MkdirTemp("", "rskip-clitest-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildDir = dir
+	}
+	bin := filepath.Join(buildDir, name)
+	if !buildOnce[name] {
+		cmd := exec.Command("go", "build", "-o", bin, "rskip/cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building %s: %v\n%s", name, err, out)
+			t.Fatal(buildErr)
+		}
+		buildOnce[name] = true
+	}
+	return bin
+}
+
+// Cleanup removes the shared build directory (call from TestMain).
+func Cleanup() {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+		buildDir = ""
+		buildOnce = map[string]bool{}
+	}
+}
+
+// Result is one finished CLI invocation.
+type Result struct {
+	Stdout string
+	Stderr string
+	Code   int
+}
+
+// Run executes a built binary and captures both streams.
+func Run(t *testing.T, bin string, args ...string) Result {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %s %s: %v", filepath.Base(bin), strings.Join(args, " "), err)
+	}
+	return Result{Stdout: stdout.String(), Stderr: stderr.String(), Code: code}
+}
+
+// Golden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set.
+func Golden(t *testing.T, name, got string, update bool) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate goldens with: go test ./internal/clitest -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after intentional changes)\n%s",
+			path, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff for golden mismatches.
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var sb strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&sb, "line %d:\n  want: %q\n  got:  %q\n", i+1, w, g)
+	}
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package clitest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenUpdateRoundTrip exercises the -update write path against
+// a scratch testdata dir: an update followed by a compare of the same
+// content must pass.
+func TestGoldenUpdateRoundTrip(t *testing.T) {
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	Golden(t, "roundtrip", "hello golden\n", true)
+	data, err := os.ReadFile(filepath.Join("testdata", "roundtrip.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello golden\n" {
+		t.Fatalf("update wrote %q", data)
+	}
+	Golden(t, "roundtrip", "hello golden\n", false)
+
+	// A second update overwrites in place.
+	Golden(t, "roundtrip", "revised\n", true)
+	Golden(t, "roundtrip", "revised\n", false)
+}
+
+func TestDiffLines(t *testing.T) {
+	if d := diffLines("a\nb\n", "a\nb\n"); d != "" {
+		t.Errorf("identical inputs produced a diff: %q", d)
+	}
+	d := diffLines("a\nb\nc\n", "a\nX\nc\n")
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, `want: "b"`) || !strings.Contains(d, `got:  "X"`) {
+		t.Errorf("diff misses the changed line: %q", d)
+	}
+	if strings.Contains(d, "line 1") || strings.Contains(d, "line 3") {
+		t.Errorf("diff reports unchanged lines: %q", d)
+	}
+	// Length mismatch: the extra tail shows up against empty lines.
+	d = diffLines("a\n", "a\nextra\n")
+	if !strings.Contains(d, `got:  "extra"`) {
+		t.Errorf("diff misses the extra trailing line: %q", d)
+	}
+}
+
+// TestBinaryReuse checks the harness builds each tool once and hands
+// back the same executable on the second request.
+func TestBinaryReuse(t *testing.T) {
+	first := Binary(t, "rskipc")
+	second := Binary(t, "rskipc")
+	if first != second {
+		t.Errorf("Binary rebuilt: %q then %q", first, second)
+	}
+	if _, err := os.Stat(first); err != nil {
+		t.Errorf("built binary missing: %v", err)
+	}
+}

@@ -56,6 +56,10 @@ type buildCacheState struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used; values *cacheEntry
+	// inflight tracks builds currently compiling, keyed like entries.
+	// Concurrent requests for an identical build wait on the leader's
+	// done channel instead of duplicating the work (singleflight).
+	inflight map[string]*inflightBuild
 }
 
 type cacheEntry struct {
@@ -63,10 +67,19 @@ type cacheEntry struct {
 	art *artifacts
 }
 
+// inflightBuild is one in-progress compilation other callers can wait
+// on. art and err are written exactly once, before done is closed.
+type inflightBuild struct {
+	done chan struct{}
+	art  *artifacts
+	err  error
+}
+
 var (
 	buildCache = &buildCacheState{
-		entries: map[string]*list.Element{},
-		order:   list.New(),
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		inflight: map[string]*inflightBuild{},
 	}
 	buildCacheHits   atomic.Uint64
 	buildCacheMisses atomic.Uint64
@@ -83,25 +96,52 @@ func buildCacheKey(b bench.Benchmark, cfg Config) string {
 		src, b.Name, b.Kernel, cfg.Key(), strings.Join(sigs, ";"))
 }
 
-func (c *buildCacheState) get(key string) (*artifacts, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
+// getOrBuild returns the artifacts for key, compiling them with build
+// on a miss. Identical concurrent misses are coalesced: the first
+// caller becomes the leader and builds; the rest wait on its result
+// (cached=true for them — they did not pay for a build). If the
+// leader fails, each waiter retries, so a transient leader failure
+// (e.g. its context was cancelled mid-build) never poisons other
+// callers; a deterministic failure surfaces to everyone, at worst one
+// sequential build per waiter — the pre-singleflight cost.
+func (c *buildCacheState) getOrBuild(key string, build func() (*artifacts, error)) (art *artifacts, cached bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			buildCacheHits.Add(1)
+			return el.Value.(*cacheEntry).art, true, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				continue
+			}
+			buildCacheHits.Add(1)
+			return fl.art, true, nil
+		}
+		fl := &inflightBuild{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
 		buildCacheMisses.Add(1)
-		return nil, false
+
+		fl.art, fl.err = build()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			c.putLocked(key, fl.art)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.art, false, fl.err
 	}
-	c.order.MoveToFront(el)
-	buildCacheHits.Add(1)
-	return el.Value.(*cacheEntry).art, true
 }
 
-func (c *buildCacheState) put(key string, art *artifacts) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// putLocked inserts an entry; the caller holds c.mu.
+func (c *buildCacheState) putLocked(key string, art *artifacts) {
 	if el, ok := c.entries[key]; ok {
-		// A concurrent build of the same key won the race; keep the
-		// existing entry so every caller shares one artifact set.
 		c.order.MoveToFront(el)
 		return
 	}
@@ -127,7 +167,10 @@ func (c *buildCacheState) len() int {
 }
 
 // BuildCacheStats reports the process-lifetime hit/miss counts and
-// the current entry count of the build cache.
+// the current entry count of the build cache. A miss means this
+// process compiled from source; callers coalesced onto another
+// caller's identical in-flight build count as hits, so concurrent
+// identical builds report exactly one miss.
 func BuildCacheStats() (hits, misses uint64, entries int) {
 	return buildCacheHits.Load(), buildCacheMisses.Load(), buildCache.len()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"rskip/internal/bench"
@@ -84,6 +85,85 @@ func TestBuildCacheIsContentAddressed(t *testing.T) {
 	}
 	if _, _, entries := BuildCacheStats(); entries != 3 {
 		t.Errorf("cache holds %d entries, want 3", entries)
+	}
+}
+
+// TestBuildCacheSingleflight is the regression test for the
+// duplicate-build window: concurrent identical misses must coalesce
+// onto one compilation (one cache miss), with every caller sharing the
+// leader's artifacts.
+func TestBuildCacheSingleflight(t *testing.T) {
+	ResetBuildCache()
+	b := tinyBench("singleflight", 7)
+	hits0, miss0, _ := BuildCacheStats()
+
+	const callers = 16
+	start := make(chan struct{})
+	progs := make([]*Program, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			progs[i], errs[i] = Build(b, DefaultConfig())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	hits1, miss1, entries := BuildCacheStats()
+	if miss1-miss0 != 1 {
+		t.Errorf("%d concurrent identical builds compiled %d times, want 1", callers, miss1-miss0)
+	}
+	if hits1-hits0 != callers-1 {
+		t.Errorf("hits %d, want %d (every non-leader coalesces or hits)", hits1-hits0, callers-1)
+	}
+	if entries != 1 {
+		t.Errorf("cache holds %d entries, want 1", entries)
+	}
+	for i := 1; i < callers; i++ {
+		if progs[i].Module(Unsafe) != progs[0].Module(Unsafe) {
+			t.Fatalf("caller %d did not share the leader's artifacts", i)
+		}
+	}
+}
+
+// A failing leader must not poison concurrent waiters into deadlock or
+// a cached error: every caller gets the (deterministic) build error.
+func TestBuildCacheSingleflightError(t *testing.T) {
+	ResetBuildCache()
+	b := tinyBench("sferror", 3)
+	b.Kernel = "nope" // buildArtifacts fails after compile
+
+	const callers = 8
+	start := make(chan struct{})
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, errs[i] = Build(b, DefaultConfig())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("caller %d: want kernel-missing error, got nil", i)
+		}
+	}
+	if _, _, entries := BuildCacheStats(); entries != 0 {
+		t.Errorf("failed build left %d cache entries, want 0", entries)
 	}
 }
 

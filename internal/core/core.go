@@ -197,6 +197,16 @@ func Build(b bench.Benchmark, cfg Config) (*Program, error) {
 // and becomes the Program's telemetry handle for later Train and Run
 // calls; a plain context builds silently.
 func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program, error) {
+	p, _, err := BuildContextCached(ctx, b, cfg)
+	return p, err
+}
+
+// BuildContextCached is BuildContext plus a report of whether the
+// artifacts were served from the build cache (including coalescing
+// onto another goroutine's identical in-flight build) rather than
+// compiled by this call — the bit rskipd returns to clients so build
+// deduplication is observable per request.
+func BuildContextCached(ctx context.Context, b bench.Benchmark, cfg Config) (*Program, bool, error) {
 	ctx, sp := obs.Start(ctx, "core/build")
 	sp.SetAttr("bench", b.Name)
 	defer sp.End()
@@ -204,24 +214,22 @@ func BuildContext(ctx context.Context, b bench.Benchmark, cfg Config) (*Program,
 	o.M().Counter("core_builds_total", "programs built").Inc()
 
 	key := buildCacheKey(b, cfg)
-	if art, ok := buildCache.get(key); ok {
+	art, cached, err := buildCache.getOrBuild(key, func() (*artifacts, error) {
+		return buildArtifacts(ctx, b, cfg)
+	})
+	if cached {
 		o.M().Counter("core_build_cache_hits_total", "builds served from the build cache").Inc()
 		sp.SetAttr("cache", "hit")
-		p := newProgram(b, cfg, art)
-		p.Observe(o)
-		return p, nil
+	} else {
+		o.M().Counter("core_build_cache_misses_total", "builds compiled from source").Inc()
+		sp.SetAttr("cache", "miss")
 	}
-	o.M().Counter("core_build_cache_misses_total", "builds compiled from source").Inc()
-	sp.SetAttr("cache", "miss")
-
-	art, err := buildArtifacts(ctx, b, cfg)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	buildCache.put(key, art)
 	p := newProgram(b, cfg, art)
 	p.Observe(o)
-	return p, nil
+	return p, cached, nil
 }
 
 // newProgram wraps (possibly shared) build artifacts as a Program.

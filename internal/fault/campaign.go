@@ -80,6 +80,13 @@ type Config struct {
 	// the campaign resumes where it left off and produces final counts
 	// bit-identical to an uninterrupted run.
 	CheckpointPath string
+	// OnProgress, when set, receives a snapshot after every completed
+	// batch (after its checkpoint save, so a consumer that observes a
+	// snapshot knows the matching checkpoint is durable). It is called
+	// on the campaign goroutine between batches — keep it fast; slow
+	// consumers belong behind a channel. rskipd's streaming progress
+	// endpoint feeds from this hook.
+	OnProgress func(Progress)
 
 	// runHook, when set, runs at the start of each injection with the
 	// run index — test instrumentation for forcing panics and
@@ -123,6 +130,19 @@ func (cfg *Config) Validate() error {
 		return fmt.Errorf("fault: config: Mix weights sum to zero; leave Mix zero for DefaultMix or give at least one positive weight")
 	}
 	return nil
+}
+
+// Progress is one campaign progress snapshot, delivered to
+// Config.OnProgress after each batch.
+type Progress struct {
+	// Done is the number of completed (classified) runs so far,
+	// including runs restored from a checkpoint.
+	Done int
+	// N is the requested injection count (the cap).
+	N int
+	// Result aggregates every completed run so far; its rates and
+	// confidence intervals are valid running estimates.
+	Result Result
 }
 
 // Mix weights the fault kinds. Register-file strikes dominate real

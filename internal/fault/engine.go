@@ -132,6 +132,10 @@ batches:
 				met.ckWrites.Inc()
 			}
 		}
+		if cfg.OnProgress != nil {
+			agg := e.aggregate(cfg.N)
+			cfg.OnProgress(Progress{Done: agg.N, N: cfg.N, Result: agg})
+		}
 		if batchErr != nil {
 			runErr = batchErr
 			break batches

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"rskip/internal/core"
+)
+
+// OnProgress must fire once per batch with monotonically non-decreasing
+// completion counts, and the final snapshot must equal the returned
+// result.
+func TestOnProgressSnapshots(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	var snaps []Progress
+	cfg := Config{N: 60, Seed: 11, Batch: 20, Workers: 2,
+		OnProgress: func(pr Progress) { snaps = append(snaps, pr) }}
+	res, err := Campaign(context.Background(), p, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d progress snapshots for 60 runs in batches of 20, want 3", len(snaps))
+	}
+	prev := 0
+	for i, pr := range snaps {
+		if pr.N != 60 {
+			t.Errorf("snapshot %d: N = %d, want 60", i, pr.N)
+		}
+		if pr.Done < prev {
+			t.Errorf("snapshot %d: Done regressed %d -> %d", i, prev, pr.Done)
+		}
+		if pr.Done != pr.Result.N {
+			t.Errorf("snapshot %d: Done = %d but aggregate N = %d", i, pr.Done, pr.Result.N)
+		}
+		prev = pr.Done
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != 60 {
+		t.Errorf("final snapshot Done = %d, want 60", last.Done)
+	}
+	if last.Result.Counts != res.Counts {
+		t.Errorf("final snapshot counts %v != campaign result counts %v", last.Result.Counts, res.Counts)
+	}
+}
+
+// A cancelled campaign still reports the interrupted batch's partial
+// progress, so consumers (the rskipd job store) see what completed.
+func TestOnProgressOnCancellation(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var snaps []Progress
+	cfg := Config{N: 200, Seed: 5, Batch: 50, Workers: 1,
+		OnProgress: func(pr Progress) { snaps = append(snaps, pr) }}
+	cfg.runHook = func(i int) {
+		if i == 60 {
+			cancel()
+		}
+	}
+	res, err := Campaign(ctx, p, core.RSkip, inst, cfg)
+	if err == nil {
+		t.Fatal("want cancellation error, got nil")
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered before cancellation")
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != res.N {
+		t.Errorf("last snapshot Done = %d, want the partial result's %d", last.Done, res.N)
+	}
+}

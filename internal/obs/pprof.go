@@ -6,6 +6,18 @@ import (
 	"net/http/pprof"
 )
 
+// RegisterPprof mounts the standard /debug/pprof/ endpoints on mux.
+// Daemons that already own an HTTP listener (rskipd) use it to expose
+// profiling on their main mux; ServePprof wraps it for CLIs that need
+// a stand-alone debug server.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // ServePprof starts an HTTP server exposing the standard
 // /debug/pprof/ endpoints on addr (e.g. "localhost:6060") and returns
 // it along with the bound address (useful with addr ":0"). The server
@@ -13,11 +25,7 @@ import (
 // own mux so nothing leaks onto http.DefaultServeMux.
 func ServePprof(addr string) (*http.Server, net.Addr, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterPprof(mux)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err

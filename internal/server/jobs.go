@@ -1,0 +1,439 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/obs"
+)
+
+// Job states. queued → running → {done, failed, cancelled}. A drain
+// interrupts running jobs back to queued-on-disk: the job file stays,
+// no result file is written, and the next daemon on the same
+// checkpoint dir re-enqueues it — fault checkpoints make the re-run
+// bit-identical to an uninterrupted campaign.
+const (
+	jobQueued    = "queued"
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobFailed    = "failed"
+	jobCancelled = "cancelled"
+)
+
+// jobSpec is the durable identity of one campaign job: everything
+// needed to (re)start it. Persisted as <id>.job.json at submit time.
+type jobSpec struct {
+	ID          string          `json:"id"`
+	Request     campaignRequest `json:"request"`
+	SubmittedAt string          `json:"submitted_at"`
+}
+
+// jobOutcome is the durable terminal state, persisted as
+// <id>.result.json. Its absence marks a job as resumable.
+type jobOutcome struct {
+	State      string              `json:"state"`
+	Done       int                 `json:"done"`
+	Result     *campaignResultJSON `json:"result,omitempty"`
+	Error      string              `json:"error,omitempty"`
+	FinishedAt string              `json:"finished_at"`
+}
+
+// job is the in-memory state of one campaign.
+type job struct {
+	mu     sync.Mutex
+	spec   jobSpec
+	scheme core.Scheme
+	state  string
+	done   int
+	result *campaignResultJSON
+	errMsg string
+	// cancel interrupts the running campaign; userCancel distinguishes
+	// a client DELETE (terminal: cancelled) from a server drain
+	// (non-terminal: resumable on restart).
+	cancel     context.CancelFunc
+	userCancel bool
+	// doneCh closes when the job reaches a terminal state.
+	doneCh chan struct{}
+	subs   map[chan progressEvent]struct{}
+}
+
+func (j *job) status() campaignStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return campaignStatus{
+		ID: j.spec.ID, State: j.state, Bench: j.spec.Request.Bench,
+		Done: j.done, N: j.spec.Request.N,
+		Result: j.result, Error: j.errMsg,
+	}
+}
+
+// event renders the current state as one stream line.
+func (j *job) event() progressEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.eventLocked()
+}
+
+func (j *job) eventLocked() progressEvent {
+	ev := progressEvent{
+		ID: j.spec.ID, State: j.state, Done: j.done, N: j.spec.Request.N,
+		Error: j.errMsg,
+	}
+	if j.result != nil {
+		ev.Protection = j.result.Protection
+	}
+	if terminalState(j.state) {
+		ev.Result = j.result
+	}
+	return ev
+}
+
+func terminalState(s string) bool {
+	return s == jobDone || s == jobFailed || s == jobCancelled
+}
+
+// subscribe registers a progress listener. The channel is buffered;
+// intermediate events may be dropped for slow readers, but the
+// terminal snapshot is always delivered via doneCh.
+func (j *job) subscribe() chan progressEvent {
+	ch := make(chan progressEvent, 32)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = map[chan progressEvent]struct{}{}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+func (j *job) unsubscribe(ch chan progressEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// publishProgress folds a campaign progress snapshot into the job and
+// fans it out to stream subscribers.
+func (j *job) publishProgress(pr fault.Progress) {
+	j.mu.Lock()
+	j.done = pr.Done
+	j.result = toCampaignResult(pr.Result)
+	ev := j.eventLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow reader: drop; the final snapshot is authoritative
+		}
+	}
+	j.mu.Unlock()
+}
+
+// jobStore indexes jobs by ID and owns their on-disk mirror.
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	dir  string // "" = no persistence
+}
+
+func newJobStore(dir string) *jobStore {
+	return &jobStore{jobs: map[string]*job{}, dir: dir}
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+func (st *jobStore) add(j *job) {
+	st.mu.Lock()
+	st.jobs[j.spec.ID] = j
+	st.mu.Unlock()
+}
+
+// list returns every job's status, newest submission first.
+func (st *jobStore) list() []campaignStatus {
+	st.mu.Lock()
+	jobs := make([]*job, 0, len(st.jobs))
+	for _, j := range st.jobs {
+		jobs = append(jobs, j)
+	}
+	st.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].spec.SubmittedAt != jobs[b].spec.SubmittedAt {
+			return jobs[a].spec.SubmittedAt > jobs[b].spec.SubmittedAt
+		}
+		return jobs[a].spec.ID > jobs[b].spec.ID
+	})
+	out := make([]campaignStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+func (st *jobStore) counts() (queued, running int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, j := range st.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case jobQueued:
+			queued++
+		case jobRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: time-derived; collisions are rejected at add time.
+		return fmt.Sprintf("c-%012x", time.Now().UnixNano())
+	}
+	return "c-" + hex.EncodeToString(b[:])
+}
+
+// Persistence file layout under the checkpoint dir:
+//
+//	<id>.job.json     the job spec (written at submit)
+//	<id>.ck.json      the fault engine's campaign checkpoint
+//	<id>.result.json  the terminal outcome (written at completion)
+
+func (st *jobStore) specPath(id string) string   { return filepath.Join(st.dir, id+".job.json") }
+func (st *jobStore) ckPath(id string) string     { return filepath.Join(st.dir, id+".ck.json") }
+func (st *jobStore) resultPath(id string) string { return filepath.Join(st.dir, id+".result.json") }
+
+// persistSpec writes the job spec; a failure is returned so submit can
+// refuse jobs it could not make durable (they would silently vanish on
+// restart otherwise).
+func (st *jobStore) persistSpec(j *job) error {
+	if st.dir == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(&j.spec, "", "  ")
+	if err == nil {
+		err = os.WriteFile(st.specPath(j.spec.ID), data, 0o644)
+	}
+	if err != nil {
+		return fmt.Errorf("persisting job spec: %w", err)
+	}
+	return nil
+}
+
+// persistOutcome mirrors a terminal state to disk (best effort: the
+// in-memory state is already authoritative for this process).
+func (st *jobStore) persistOutcome(j *job) {
+	if st.dir == "" {
+		return
+	}
+	j.mu.Lock()
+	oc := jobOutcome{State: j.state, Done: j.done, Result: j.result, Error: j.errMsg,
+		FinishedAt: time.Now().UTC().Format(time.RFC3339)}
+	id := j.spec.ID
+	j.mu.Unlock()
+	if data, err := json.MarshalIndent(&oc, "", "  "); err == nil {
+		_ = os.WriteFile(st.resultPath(id), data, 0o644)
+	}
+}
+
+// loadPersisted scans the checkpoint dir: jobs with a result file are
+// restored as terminal records (so clients can still GET them after a
+// restart); jobs without one are returned for re-enqueueing — their
+// campaign checkpoints resume where the previous daemon drained.
+func (st *jobStore) loadPersisted() (resumable []*job, err error) {
+	if st.dir == "" {
+		return nil, nil
+	}
+	names, err := filepath.Glob(filepath.Join(st.dir, "*.job.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		var spec jobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return nil, fmt.Errorf("corrupt job file %s: %w", name, err)
+		}
+		if spec.ID == "" || spec.ID != strings.TrimSuffix(filepath.Base(name), ".job.json") {
+			return nil, fmt.Errorf("job file %s does not match its ID %q", name, spec.ID)
+		}
+		scheme, err := parseScheme(spec.Request.Scheme)
+		if err != nil {
+			return nil, fmt.Errorf("job file %s: %w", name, err)
+		}
+		j := &job{spec: spec, scheme: scheme, state: jobQueued, doneCh: make(chan struct{})}
+		if ocData, err := os.ReadFile(st.resultPath(spec.ID)); err == nil {
+			var oc jobOutcome
+			if err := json.Unmarshal(ocData, &oc); err == nil && terminalState(oc.State) {
+				j.state, j.done, j.result, j.errMsg = oc.State, oc.Done, oc.Result, oc.Error
+				close(j.doneCh)
+				st.add(j)
+				continue
+			}
+		}
+		st.add(j)
+		resumable = append(resumable, j)
+	}
+	return resumable, nil
+}
+
+// runJob executes one campaign job to a terminal state (or back to a
+// resumable one if the server is draining). It runs on a pool worker.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != jobQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = jobRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+	s.met.jobsStarted.Inc()
+
+	res, err := s.executeCampaign(ctx, j)
+
+	j.mu.Lock()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = jobDone
+		j.result = toCampaignResult(res)
+		j.done = res.N
+		s.met.jobsDone.Inc()
+	case ctx.Err() != nil && !j.userCancel && s.isDraining():
+		// Drain interruption: leave the job resumable. The last batch's
+		// checkpoint is already on disk; a restarted daemon on the same
+		// checkpoint dir completes the campaign bit-identically.
+		j.state = jobQueued
+		j.result = toCampaignResult(res)
+		j.done = res.N
+		j.mu.Unlock()
+		s.met.jobsInterrupted.Inc()
+		return
+	case j.userCancel:
+		j.state = jobCancelled
+		j.result = toCampaignResult(res)
+		j.done = res.N
+		j.errMsg = "cancelled by client"
+		s.met.jobsCancelled.Inc()
+	default:
+		j.state = jobFailed
+		j.errMsg = err.Error()
+		if res.N > 0 {
+			j.result = toCampaignResult(res)
+			j.done = res.N
+		}
+		s.met.jobsFailed.Inc()
+	}
+	ev := j.eventLocked()
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	close(j.doneCh)
+	j.mu.Unlock()
+	s.store.persistOutcome(j)
+}
+
+// executeCampaign builds, trains and injects. Build artifacts come
+// from the shared content-addressed cache, so concurrent jobs over the
+// same benchmark × config compile once.
+func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, error) {
+	req := j.spec.Request
+	ctx = obs.Into(ctx, s.obs)
+	ctx, sp := obs.Start(ctx, "server/job")
+	sp.SetAttr("id", j.spec.ID)
+	defer sp.End()
+
+	b, err := bench.ByName(req.Bench)
+	if err != nil {
+		return fault.Result{}, err
+	}
+	p, err := core.BuildContext(ctx, b, req.Config.toCoreConfig())
+	if err != nil {
+		return fault.Result{}, err
+	}
+	if j.scheme == core.RSkip {
+		train := req.Train
+		if train <= 0 {
+			train = 2
+		}
+		seeds := make([]int64, train)
+		for i := range seeds {
+			seeds[i] = bench.TrainSeed(i)
+		}
+		if err := p.Train(seeds, bench.ScaleFI); err != nil {
+			return fault.Result{}, err
+		}
+	}
+	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
+	fcfg := fault.Config{
+		N: req.N, Seed: req.Seed, Workers: req.Workers, Batch: req.Batch,
+		TargetCI:   req.TargetCI,
+		OnProgress: j.publishProgress,
+	}
+	// Campaigns default to the deterministic instruction budget only:
+	// a wall-clock per-run timeout makes outcomes timing-dependent,
+	// which would break bit-identical resume. Clients opt in.
+	if req.RunTimeoutMS > 0 {
+		fcfg.RunTimeout = s.capRunTimeout(time.Duration(req.RunTimeoutMS) * time.Millisecond)
+	}
+	if s.store.dir != "" {
+		fcfg.CheckpointPath = s.store.ckPath(j.spec.ID)
+	}
+	return fault.Campaign(ctx, p, j.scheme, inst, fcfg)
+}
+
+// validateCampaignRequest normalizes and rejects bad submissions
+// before they consume a queue slot.
+func validateCampaignRequest(req *campaignRequest) (core.Scheme, error) {
+	if req.Bench == "" {
+		return 0, fmt.Errorf("missing \"bench\"")
+	}
+	if _, err := bench.ByName(req.Bench); err != nil {
+		return 0, err
+	}
+	if req.Scheme == "" {
+		return 0, fmt.Errorf("missing \"scheme\"")
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return 0, err
+	}
+	if req.N == 0 {
+		req.N = 1000
+	}
+	if req.Seed == 0 {
+		req.Seed = 20200222
+	}
+	fcfg := fault.Config{N: req.N, Workers: req.Workers, Batch: req.Batch,
+		TargetCI: req.TargetCI, RunTimeout: time.Duration(req.RunTimeoutMS) * time.Millisecond}
+	if err := fcfg.Validate(); err != nil {
+		return 0, err
+	}
+	return scheme, nil
+}

@@ -1,0 +1,770 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/server"
+)
+
+// newTestServer boots a daemon with test-friendly limits and an
+// httptest listener, and tears both down (drain first, so streams and
+// jobs end before the listener closes).
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = t.TempDir()
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		ts.Close()
+	})
+	return s, ts
+}
+
+// postJSON posts a JSON body and decodes the JSON response into out
+// (when out is non-nil), returning the status code.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	return doJSON(t, http.MethodPost, url, body, out)
+}
+
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s %s response (status %d): %v\n%s", method, url, resp.StatusCode, err, data)
+		}
+	}
+	return resp.StatusCode
+}
+
+// errCode extracts the structured error code of a non-2xx response.
+func errCode(t *testing.T, raw map[string]any) string {
+	t.Helper()
+	e, ok := raw["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no structured error body: %v", raw)
+	}
+	code, _ := e["code"].(string)
+	if msg, _ := e["message"].(string); msg == "" {
+		t.Errorf("error body has empty message: %v", raw)
+	}
+	return code
+}
+
+const testKernelSource = `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int acc = 0;
+		for (int j = 0; j < 4; j = j + 1) {
+			acc = acc + a[i + j] * 3;
+		}
+		out[i] = acc;
+	}
+}
+`
+
+func TestHealthzMetricsPprof(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &health); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health.Status != "ok" || health.Draining {
+		t.Errorf("healthz = %+v, want ok and not draining", health)
+	}
+
+	var metrics map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if _, ok := metrics["server_requests_total"]; !ok {
+		t.Errorf("metrics registry lacks server_requests_total: have %d metrics", len(metrics))
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof cmdline status %d", resp.StatusCode)
+	}
+}
+
+func TestCompileSourceHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	req := map[string]any{
+		"name": "e2e.mc", "source": testKernelSource, "kernel": "kernel",
+		"include_rir": true,
+	}
+	var resp struct {
+		Name       string `json:"name"`
+		Kernel     string `json:"kernel"`
+		Cached     bool   `json:"cached"`
+		Candidates []any  `json:"candidates"`
+		Schemes    map[string]struct {
+			Functions    int    `json:"functions"`
+			Instructions int    `json:"instructions"`
+			PPLoops      int    `json:"pp_loops"`
+			RIR          string `json:"rir"`
+		} `json:"schemes"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/compile", req, &resp); code != 200 {
+		t.Fatalf("compile status %d", code)
+	}
+	if resp.Cached {
+		t.Error("first compile reported cached")
+	}
+	if len(resp.Candidates) == 0 {
+		t.Error("no candidate loops reported")
+	}
+	if len(resp.Schemes) != 4 {
+		t.Fatalf("got %d scheme variants, want 4: %v", len(resp.Schemes), resp.Schemes)
+	}
+	unsafe, swift := resp.Schemes["UNSAFE"], resp.Schemes["SWIFT"]
+	if unsafe.Instructions == 0 || swift.Instructions <= unsafe.Instructions {
+		t.Errorf("static sizes look wrong: UNSAFE=%d SWIFT=%d", unsafe.Instructions, swift.Instructions)
+	}
+	if rskip := resp.Schemes["RSkip"]; rskip.PPLoops == 0 {
+		t.Error("RSkip variant has no PP loops")
+	}
+	for name, sc := range resp.Schemes {
+		if sc.RIR == "" {
+			t.Errorf("scheme %s: include_rir requested but RIR empty", name)
+		} else if !strings.Contains(sc.RIR, "func") {
+			t.Errorf("scheme %s: RIR does not look like a module", name)
+		}
+	}
+
+	// An identical second submission must be served from the shared
+	// build cache.
+	if code := postJSON(t, ts.URL+"/v1/compile", req, &resp); code != 200 {
+		t.Fatalf("second compile status %d", code)
+	}
+	if !resp.Cached {
+		t.Error("identical recompile was not served from the build cache")
+	}
+}
+
+func TestCompileBuiltinBench(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	var resp struct {
+		Kernel  string         `json:"kernel"`
+		Schemes map[string]any `json:"schemes"`
+	}
+	code := postJSON(t, ts.URL+"/v1/compile",
+		map[string]any{"bench": "conv1d", "schemes": []string{"unsafe", "rskip"}}, &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Kernel != "kernel" {
+		t.Errorf("kernel = %q", resp.Kernel)
+	}
+	if len(resp.Schemes) != 2 {
+		t.Errorf("got %d schemes, want the 2 requested", len(resp.Schemes))
+	}
+}
+
+// Malformed submissions must produce structured 4xx error bodies, not
+// 500s or empty responses.
+func TestCompileErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	cases := []struct {
+		name     string
+		body     any
+		wantCode int
+		wantSlug string
+	}{
+		{"malformed MiniC", map[string]any{"source": "void kernel( {"}, 400, "compile_error"},
+		{"lexer garbage", map[string]any{"source": "\x01\x02???"}, 400, "compile_error"},
+		{"missing kernel fn", map[string]any{"source": testKernelSource, "kernel": "nope"}, 400, "unknown_kernel"},
+		{"no source or bench", map[string]any{"name": "x.mc"}, 400, "missing_source"},
+		{"unknown bench", map[string]any{"bench": "definitely-not-a-bench"}, 404, "unknown_bench"},
+		{"unknown scheme", map[string]any{"source": testKernelSource, "kernel": "kernel", "schemes": []string{"tmr9"}}, 400, "unknown_scheme"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var raw map[string]any
+			code := postJSON(t, ts.URL+"/v1/compile", tc.body, &raw)
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (%v)", code, tc.wantCode, raw)
+			}
+			if got := errCode(t, raw); got != tc.wantSlug {
+				t.Errorf("error code %q, want %q", got, tc.wantSlug)
+			}
+		})
+	}
+
+	// Non-JSON body.
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 || errCode(t, raw) != "bad_request" {
+		t.Errorf("non-JSON body: status %d code %v", resp.StatusCode, raw)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxBodyBytes: 256})
+	big := map[string]any{"source": strings.Repeat("// padding\n", 200) + testKernelSource, "kernel": "kernel"}
+	var raw map[string]any
+	code := postJSON(t, ts.URL+"/v1/compile", big, &raw)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%v)", code, raw)
+	}
+	if got := errCode(t, raw); got != "body_too_large" {
+		t.Errorf("error code %q, want body_too_large", got)
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	var resp struct {
+		Scheme        string  `json:"scheme"`
+		Instrs        uint64  `json:"instrs"`
+		GoldenInstrs  uint64  `json:"golden_instrs"`
+		Overhead      float64 `json:"overhead"`
+		OutputMatches bool    `json:"output_matches"`
+		SkipRate      float64 `json:"skip_rate"`
+	}
+	code := postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"bench": "conv1d", "scheme": "rskip", "scale": "tiny", "train": 1}, &resp)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.OutputMatches {
+		t.Error("fault-free RSkip output does not match the unprotected run")
+	}
+	if resp.Instrs <= resp.GoldenInstrs {
+		t.Errorf("protected run executed %d instrs, golden %d — protection overhead missing", resp.Instrs, resp.GoldenInstrs)
+	}
+	if resp.SkipRate <= 0 {
+		t.Errorf("skip rate %v, want > 0 for rskip", resp.SkipRate)
+	}
+
+	var raw map[string]any
+	if code := postJSON(t, ts.URL+"/v1/run", map[string]any{"bench": "conv1d", "scheme": "rskip", "scale": "huge"}, &raw); code != 400 {
+		t.Fatalf("unknown scale: status %d", code)
+	} else if errCode(t, raw) != "unknown_scale" {
+		t.Errorf("unknown scale: code %v", raw)
+	}
+}
+
+// A run that exceeds its wall-clock budget must come back as a
+// structured 504, not hang the handler.
+func TestRunTimeout(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	var raw map[string]any
+	code := postJSON(t, ts.URL+"/v1/run",
+		map[string]any{"bench": "sgemm", "scheme": "unsafe", "scale": "perf", "timeout_ms": 1}, &raw)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%v)", code, raw)
+	}
+	if got := errCode(t, raw); got != "run_timeout" {
+		t.Errorf("error code %q, want run_timeout", got)
+	}
+}
+
+// submitCampaign posts a campaign and returns the job ID.
+func submitCampaign(t *testing.T, ts *httptest.Server, body map[string]any) string {
+	t.Helper()
+	var resp struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/campaigns", body, &resp); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if resp.ID == "" || resp.State != "queued" {
+		t.Fatalf("submit response %+v", resp)
+	}
+	return resp.ID
+}
+
+type statusResp struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Done   int    `json:"done"`
+	N      int    `json:"n"`
+	Error  string `json:"error"`
+	Result *struct {
+		N      int            `json:"n"`
+		Counts map[string]int `json:"counts"`
+	} `json:"result"`
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResp {
+	t.Helper()
+	var st statusResp
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+id, nil, &st); code != 200 {
+		t.Fatalf("status endpoint returned %d", code)
+	}
+	return st
+}
+
+// waitFor polls the job status until pred is satisfied or the
+// deadline passes.
+func waitFor(t *testing.T, ts *httptest.Server, id string, timeout time.Duration, pred func(statusResp) bool) statusResp {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, ts, id)
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for job %s; last status %+v", id, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func terminal(st statusResp) bool {
+	return st.State == "done" || st.State == "failed" || st.State == "cancelled"
+}
+
+// TestCampaignLifecycle submits a campaign, waits for completion, and
+// checks the outcome distribution is bit-identical to running the
+// same campaign directly through the fault engine.
+func TestCampaignLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	const n, seed = 120, 777
+	id := submitCampaign(t, ts, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": n, "seed": seed, "batch": 30,
+	})
+	st := waitFor(t, ts, id, 120*time.Second, terminal)
+	if st.State != "done" {
+		t.Fatalf("job finished %q (%s), want done", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.N != n || st.Done != n {
+		t.Fatalf("result %+v done=%d, want %d completed runs", st.Result, st.Done, n)
+	}
+	sum := 0
+	for _, c := range st.Result.Counts {
+		sum += c
+	}
+	if sum != n {
+		t.Errorf("class counts sum to %d, want %d", sum, n)
+	}
+
+	// Reference: the same campaign, run directly.
+	b, err := bench.ByName("conv1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fault.Campaign(context.Background(), p, core.Unsafe,
+		b.Gen(bench.TestSeed(0), bench.ScaleFI), fault.Config{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := fault.Correct; c < fault.NumClasses; c++ {
+		if st.Result.Counts[c.String()] != ref.Counts[c] {
+			t.Errorf("class %s: server %d, direct %d — server campaign not bit-identical",
+				c, st.Result.Counts[c.String()], ref.Counts[c])
+		}
+	}
+
+	// The listing includes the finished job.
+	var list []statusResp
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns", nil, &list); code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	found := false
+	for _, item := range list {
+		found = found || item.ID == id
+	}
+	if !found {
+		t.Errorf("job %s missing from the listing", id)
+	}
+
+	// Unknown IDs are structured 404s.
+	var raw map[string]any
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/nope", nil, &raw); code != 404 {
+		t.Errorf("unknown job status %d, want 404", code)
+	} else if errCode(t, raw) != "unknown_job" {
+		t.Errorf("unknown job code %v", raw)
+	}
+}
+
+// TestCampaignStreamAndCancel follows the JSONL progress stream of a
+// long campaign, cancels it mid-run, and checks the partial result
+// survives.
+func TestCampaignStreamAndCancel(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	id := submitCampaign(t, ts, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": 200000, "batch": 25, "workers": 1,
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	type ev struct {
+		State string `json:"state"`
+		Done  int    `json:"done"`
+		N     int    `json:"n"`
+	}
+	var events []ev
+	cancelled := false
+	for sc.Scan() {
+		var e ev
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+		if e.Done > 0 && !cancelled {
+			cancelled = true
+			if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil, nil); code != http.StatusAccepted {
+				t.Fatalf("cancel status %d", code)
+			}
+		}
+		if e.State == "cancelled" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("stream produced no events")
+	}
+	last := events[len(events)-1]
+	if last.State != "cancelled" {
+		t.Fatalf("final stream state %q, want cancelled (events: %d)", last.State, len(events))
+	}
+	if last.Done <= 0 || last.Done >= 200000 {
+		t.Errorf("cancelled campaign completed %d runs, want a mid-run partial", last.Done)
+	}
+	prev := 0
+	for i, e := range events {
+		if e.Done < prev {
+			t.Errorf("event %d: done regressed %d -> %d", i, prev, e.Done)
+		}
+		prev = e.Done
+	}
+
+	st := waitFor(t, ts, id, 30*time.Second, terminal)
+	if st.State != "cancelled" {
+		t.Fatalf("status after cancel %q", st.State)
+	}
+	if st.Result == nil || st.Result.N != st.Done || st.Done == 0 {
+		t.Errorf("cancelled job lost its partial result: %+v", st)
+	}
+
+	// Cancelling again is idempotent.
+	var again statusResp
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+id, nil, &again); code != http.StatusAccepted {
+		t.Errorf("re-cancel status %d", code)
+	}
+	if again.State != "cancelled" {
+		t.Errorf("re-cancel state %q", again.State)
+	}
+
+	// Streaming a finished job yields exactly one terminal line.
+	resp2, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(bytes.TrimSpace(lines), []byte("\n")) + 1; n != 1 {
+		t.Errorf("stream of a finished job wrote %d lines, want 1", n)
+	}
+}
+
+// TestQueueBackpressure saturates a 1-worker, 1-slot queue and checks
+// the structured 429.
+func TestQueueBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 1})
+	long := map[string]any{"bench": "conv1d", "scheme": "unsafe", "n": 500000, "batch": 25, "workers": 1}
+
+	idA := submitCampaign(t, ts, long)
+	waitFor(t, ts, idA, 60*time.Second, func(st statusResp) bool { return st.State == "running" })
+	idB := submitCampaign(t, ts, long) // fills the queue slot
+
+	var raw map[string]any
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/campaigns", bytes.NewReader(mustJSON(t, long)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit status %d, want 429 (%v)", resp.StatusCode, raw)
+	}
+	if got := errCode(t, raw); got != "queue_full" {
+		t.Errorf("error code %q, want queue_full", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response lacks Retry-After")
+	}
+
+	// Cancel both; the queued job must cancel without ever running.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+idB, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel queued job: status %d", code)
+	}
+	stB := getStatus(t, ts, idB)
+	if stB.State != "cancelled" {
+		t.Errorf("queued job state %q after cancel, want cancelled", stB.State)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+idA, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel running job: status %d", code)
+	}
+	waitFor(t, ts, idA, 30*time.Second, terminal)
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSyncSaturation429 exhausts the synchronous work slots.
+func TestSyncSaturation429(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{SyncLimit: 1})
+	_ = s
+	// Hold the only slot with a slow perf run in the background.
+	started := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		close(started)
+		code := postJSON(t, ts.URL+"/v1/run",
+			map[string]any{"bench": "sgemm", "scheme": "unsafe", "scale": "perf", "timeout_ms": 5000}, nil)
+		done <- code
+	}()
+	<-started
+	// Poll until the slot is actually held, then expect 429.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var raw map[string]any
+		code := postJSON(t, ts.URL+"/v1/compile", map[string]any{"bench": "conv1d"}, &raw)
+		if code == http.StatusTooManyRequests {
+			if got := errCode(t, raw); got != "saturated" {
+				t.Errorf("error code %q, want saturated", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never observed a 429 while the only sync slot was busy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := <-done; code != 200 && code != http.StatusGatewayTimeout {
+		t.Errorf("background run finished with status %d", code)
+	}
+}
+
+// TestDrainRejectsSubmissions checks the drain path refuses new work
+// with a structured 503 while still serving reads.
+func TestDrainRejectsSubmissions(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	code := postJSON(t, ts.URL+"/v1/campaigns", map[string]any{"bench": "conv1d", "scheme": "unsafe"}, &raw)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", code)
+	}
+	if got := errCode(t, raw); got != "draining" {
+		t.Errorf("error code %q, want draining", got)
+	}
+	var health struct {
+		Draining bool `json:"draining"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &health); code != 200 || !health.Draining {
+		t.Errorf("healthz during drain: status %d draining %v", code, health.Draining)
+	}
+}
+
+// campaignCounts compares two count maps.
+func countsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDrainAndResume is the acceptance scenario: SIGTERM-style drain
+// interrupts a running campaign mid-flight, the checkpoint it left is
+// resumable, and a fresh daemon on the same checkpoint dir completes
+// the job to counts bit-identical to an uninterrupted campaign.
+func TestDrainAndResume(t *testing.T) {
+	dir := t.TempDir()
+	const n, seed = 400, 4242
+
+	s1, err := server.New(server.Config{Workers: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitCampaign(t, ts1, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": n, "seed": seed, "batch": 25, "workers": 2,
+	})
+	// Let it make real progress, then drain mid-campaign.
+	waitFor(t, ts1, id, 120*time.Second, func(st statusResp) bool { return st.Done >= 25 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := getStatus(t, ts1, id)
+	if st.State != "queued" {
+		t.Fatalf("drained job state %q, want queued (resumable)", st.State)
+	}
+	if st.Done == 0 || st.Done >= n {
+		t.Fatalf("drained job done=%d, want a mid-campaign partial", st.Done)
+	}
+	interrupted := st.Done
+	ts1.Close()
+
+	// A new daemon on the same dir resumes and completes the job.
+	s2, ts2 := newTestServer(t, server.Config{Workers: 1, CheckpointDir: dir})
+	_ = s2
+	final := waitFor(t, ts2, id, 180*time.Second, terminal)
+	if final.State != "done" {
+		t.Fatalf("resumed job finished %q (%s), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.N != n {
+		t.Fatalf("resumed job result %+v, want %d runs", final.Result, n)
+	}
+	t.Logf("drained at %d/%d completed runs, resumed to completion", interrupted, n)
+
+	// Bit-identity with an uninterrupted campaign.
+	b, err := bench.ByName("conv1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fault.Campaign(context.Background(), p, core.Unsafe,
+		b.Gen(bench.TestSeed(0), bench.ScaleFI), fault.Config{N: n, Seed: seed, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for c := fault.Correct; c < fault.NumClasses; c++ {
+		want[c.String()] = ref.Counts[c]
+	}
+	if !countsEqual(final.Result.Counts, want) {
+		t.Errorf("resumed counts %v != uninterrupted counts %v", final.Result.Counts, want)
+	}
+}
+
+// TestRestartServesFinishedJobs checks terminal results survive a
+// daemon restart.
+func TestRestartServesFinishedJobs(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := server.New(server.Config{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitCampaign(t, ts1, map[string]any{"bench": "conv1d", "scheme": "unsafe", "n": 60, "seed": 9})
+	first := waitFor(t, ts1, id, 120*time.Second, terminal)
+	if first.State != "done" {
+		t.Fatalf("job finished %q", first.State)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, server.Config{CheckpointDir: dir})
+	st := getStatus(t, ts2, id)
+	if st.State != "done" || st.Result == nil || !countsEqual(st.Result.Counts, firstCounts(first)) {
+		t.Errorf("restarted daemon serves %+v, want the original done result", st)
+	}
+}
+
+func firstCounts(st statusResp) map[string]int {
+	if st.Result == nil {
+		return nil
+	}
+	return st.Result.Counts
+}

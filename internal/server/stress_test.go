@@ -1,0 +1,127 @@
+package server_test
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rskip/internal/core"
+	"rskip/internal/server"
+)
+
+// A source nothing else in the test binary compiles, so the cache-miss
+// accounting below is attributable to this test alone.
+const stressKernelSource = `
+void kernel(int a[], int out[], int n) {
+	for (int i = 0; i < n; i = i + 1) {
+		int acc = 424242;
+		for (int j = 0; j < 3; j = j + 1) {
+			acc = acc + a[i + j] * 7;
+		}
+		out[i] = acc - 424242;
+	}
+}
+`
+
+// TestConcurrentCompileSingleflight hammers /v1/compile with identical
+// bodies from many goroutines (run under -race in CI) and checks the
+// build-cache singleflight: exactly one build happens, every other
+// request coalesces onto it or hits the cache afterwards.
+func TestConcurrentCompileSingleflight(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2, SyncLimit: 64})
+
+	hitsBefore, missesBefore, _ := core.BuildCacheStats()
+	const callers = 16
+	body := map[string]any{"name": "stress.mc", "source": stressKernelSource, "kernel": "kernel"}
+
+	var (
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		uncached int
+		statuses []int
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var resp struct {
+				Cached  bool           `json:"cached"`
+				Schemes map[string]any `json:"schemes"`
+			}
+			code := postJSON(t, ts.URL+"/v1/compile", body, &resp)
+			mu.Lock()
+			statuses = append(statuses, code)
+			if code == http.StatusOK {
+				if !resp.Cached {
+					uncached++
+				}
+				if len(resp.Schemes) != 4 {
+					t.Errorf("concurrent compile returned %d schemes", len(resp.Schemes))
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	for _, code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("concurrent compile returned status %d", code)
+		}
+	}
+	hitsAfter, missesAfter, _ := core.BuildCacheStats()
+	if misses := missesAfter - missesBefore; misses != 1 {
+		t.Errorf("%d concurrent identical compiles caused %d cache misses, want exactly 1 (duplicate builds)", callers, misses)
+	}
+	if hits := hitsAfter - hitsBefore; hits < callers-1 {
+		t.Errorf("cache hits rose by %d, want >= %d (coalesced waiters count as hits)", hits, callers-1)
+	}
+	if uncached != 1 {
+		t.Errorf("%d responses reported cached=false, want exactly 1 (the leader)", uncached)
+	}
+}
+
+// TestConcurrentCampaignsShareBuild submits several campaigns over the
+// same benchmark × config burst-style and checks (a) the program is
+// built once — campaign workers coalesce on the in-flight build — and
+// (b) every job lands on identical counts (same plan seed).
+func TestConcurrentCampaignsShareBuild(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 4, QueueDepth: 16})
+
+	_, missesBefore, _ := core.BuildCacheStats()
+	// An AR value no other test uses keys a fresh cache entry.
+	body := map[string]any{
+		"bench": "conv1d", "scheme": "rskip", "n": 40, "seed": 31337, "batch": 20,
+		"config": map[string]any{"ar": 0.37},
+	}
+	const jobs = 5
+	ids := make([]string, jobs)
+	for i := range ids {
+		ids[i] = submitCampaign(t, ts, body)
+	}
+
+	counts := make([]map[string]int, jobs)
+	for i, id := range ids {
+		st := waitFor(t, ts, id, 300*time.Second, terminal)
+		if st.State != "done" {
+			t.Fatalf("job %s finished %q (%s)", id, st.State, st.Error)
+		}
+		if st.Result == nil || st.Result.N != 40 {
+			t.Fatalf("job %s result %+v", id, st.Result)
+		}
+		counts[i] = st.Result.Counts
+	}
+	for i := 1; i < jobs; i++ {
+		if !countsEqual(counts[0], counts[i]) {
+			t.Errorf("job %d counts %v differ from job 0 %v — identical campaigns must agree", i, counts[i], counts[0])
+		}
+	}
+	_, missesAfter, _ := core.BuildCacheStats()
+	if misses := missesAfter - missesBefore; misses != 1 {
+		t.Errorf("%d identical campaigns caused %d builds, want 1 (singleflight + cache)", jobs, misses)
+	}
+}

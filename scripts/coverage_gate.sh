@@ -18,10 +18,11 @@ if [ -z "$BASE" ]; then
 fi
 echo "coverage gate: diffing against $BASE (floor ${FLOOR}%)"
 
-# The pass manager is the compile pipeline's spine; gate it on every
-# run, changed or not, so a regression in its tests never slips
-# through a PR that only touches its callers.
-ALWAYS="internal/pass"
+# The pass manager is the compile pipeline's spine and the server is
+# the daemon surface clients build against; gate both on every run,
+# changed or not, so a regression in their tests never slips through
+# a PR that only touches their callers.
+ALWAYS="internal/pass internal/server"
 
 pkgs=$(
 	{

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rskipc [-scheme unsafe|swift|swiftr|rskip] [-candidates] [-print] file.mc
+//	rskipc [-scheme unsafe|swift|swiftr|rskip|swiftrhard] [-candidates] [-print] file.mc
 //	rskipc -bench conv1d -candidates        # use a built-in benchmark
 //	rskipc -passes "optimize,swift,cfc" file.mc   # explicit pass pipeline
 //	rskipc [-print-after] [-time-passes] ...
@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		scheme     = flag.String("scheme", "rskip", "protection scheme: unsafe, swift, swiftr, rskip")
+		scheme     = flag.String("scheme", "rskip", "protection scheme: unsafe, swift, swiftr, rskip, swiftrhard")
 		passSpec   = flag.String("passes", "", "run this comma-separated pass pipeline instead of a -scheme (e.g. \"optimize,swift,cfc\")")
 		candidates = flag.Bool("candidates", false, "report detected candidate loops")
 		print      = flag.Bool("print", false, "print the (transformed) IR")

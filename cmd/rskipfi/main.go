@@ -11,8 +11,18 @@
 // Usage:
 //
 //	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
+//	        [-fault-kind seu|skip|multibit] [-skip-width N] [-bit-width N] [-exhaustive]
 //	        [-json] [-checkpoint path] [-timeout 30s] [-target-ci 2.0] [-workers N]
 //	        [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
+//
+// -fault-kind selects the threat model: the default "seu" is the
+// paper's single-event-upset mix; "skip" injects instruction-skip
+// bursts of -skip-width consecutive instructions (Moro et al.);
+// "multibit" flips -bit-width adjacent bits. -exhaustive replaces
+// statistical sampling with one run per fault site (every in-region
+// instruction for skip, every instruction × starting bit for
+// multibit) — meant for the micro-kernels (musum, mudot, mumax) and
+// the swiftrhard scheme, whose single-skip immunity it proves.
 //
 // Each campaign's row (table and -json alike) carries a metrics
 // summary — the pipeline counters that moved during that campaign —
@@ -47,6 +57,8 @@ type campaignJSON struct {
 	N            int                       `json:"n"`
 	Requested    int                       `json:"requested"`
 	EarlyStopped bool                      `json:"early_stopped,omitempty"`
+	FaultModel   string                    `json:"fault_model,omitempty"`
+	Exhaustive   bool                      `json:"exhaustive,omitempty"`
 	Counts       map[string]int            `json:"counts"`
 	Rates        map[string]float64        `json:"rates"`
 	CI95         map[string][2]float64     `json:"ci95"`
@@ -105,6 +117,10 @@ func main() {
 		ar        = flag.Float64("ar", 0.2, "acceptable range for the rskip scheme")
 		schemes   = flag.String("schemes", "unsafe,swiftr,rskip", "comma-separated schemes")
 		seed      = flag.Int64("seed", 20200222, "fault sampling seed")
+		faultKind = flag.String("fault-kind", "seu", "threat model: seu (paper's single-event-upset mix), skip (instruction-skip bursts) or multibit (adjacent-bit upsets)")
+		skipWidth = flag.Int("skip-width", 1, "consecutive instructions suppressed per skip fault")
+		bitWidth  = flag.Int("bit-width", 2, "adjacent bits flipped per multibit fault")
+		exhaust   = flag.Bool("exhaustive", false, "enumerate every fault site instead of sampling n faults (skip/multibit only; -n is ignored)")
 		trainN    = flag.Int("train", 3, "number of training inputs")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 		ckBase    = flag.String("checkpoint", "", "checkpoint file base path (per-scheme files derive from it); an interrupted sweep resumes from it")
@@ -142,6 +158,10 @@ func main() {
 	defer cancelSignals()
 	ctx = obs.Into(ctx, o)
 
+	mix, err := fault.ModelMix(*faultKind)
+	if err != nil {
+		fatal(err)
+	}
 	b, err := bench.ByName(*benchName)
 	if err != nil {
 		fatal(err)
@@ -161,8 +181,23 @@ func main() {
 	}
 	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
 
-	t := stats.NewTable(
-		fmt.Sprintf("fault injection — %s, up to %d faults per scheme (single bit flips inside the detected loops; 95%% Wilson CIs)", b.Name, *n),
+	// The default-SEU title is the original sampled-campaign wording;
+	// the other threat models describe themselves.
+	faultDesc := "single bit flips inside the detected loops"
+	switch *faultKind {
+	case "skip":
+		faultDesc = "instruction skips inside the detected loops"
+		if *skipWidth > 1 {
+			faultDesc = fmt.Sprintf("%d-instruction skip bursts inside the detected loops", *skipWidth)
+		}
+	case "multibit":
+		faultDesc = fmt.Sprintf("%d adjacent bit flips inside the detected loops", *bitWidth)
+	}
+	title := fmt.Sprintf("fault injection — %s, up to %d faults per scheme (%s; 95%% Wilson CIs)", b.Name, *n, faultDesc)
+	if *exhaust {
+		title = fmt.Sprintf("fault injection — %s, exhaustive enumeration per scheme (%s; 95%% Wilson CIs)", b.Name, faultDesc)
+	}
+	t := stats.NewTable(title,
 		"scheme", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]", "false neg", "recovered")
 	var jsonRows []campaignJSON
 	var summaries []string
@@ -177,6 +212,8 @@ func main() {
 			s = core.SWIFTR
 		case "rskip":
 			s = core.RSkip
+		case "swiftrhard", "swift-r-hard":
+			s = core.SWIFTRHard
 		default:
 			fatal(fmt.Errorf("unknown scheme %q", name))
 		}
@@ -184,6 +221,12 @@ func main() {
 			N: *n, Seed: *seed, Workers: *workers, Batch: *batch,
 			RunTimeout: *timeout, TargetCI: *targetCI,
 			CheckpointPath: schemeCheckpoint(*ckBase, s),
+			Mix:            mix,
+			SkipWidth:      *skipWidth, BitWidth: *bitWidth,
+			Exhaustive: *exhaust,
+		}
+		if *exhaust {
+			fcfg.N = 0 // the enumerator derives the count from the region
 		}
 		before := o.M().Snapshot()
 		r, err := fault.Campaign(ctx, p, s, inst, fcfg)
@@ -206,6 +249,8 @@ func main() {
 		}
 		if *jsonOut {
 			row := toJSON(b.Name, label, r)
+			row.FaultModel = *faultKind
+			row.Exhaustive = r.Exhaustive
 			row.Metrics = delta
 			jsonRows = append(jsonRows, row)
 			continue

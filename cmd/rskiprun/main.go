@@ -27,7 +27,7 @@ func main() {
 	var (
 		benchName = flag.String("bench", "", "benchmark name (see rskiprun -list)")
 		list      = flag.Bool("list", false, "list benchmarks")
-		scheme    = flag.String("scheme", "rskip", "unsafe, swift, swiftr, rskip")
+		scheme    = flag.String("scheme", "rskip", "unsafe, swift, swiftr, rskip, swiftrhard")
 		ar        = flag.Float64("ar", 0.2, "acceptable range (0.2 = AR20)")
 		seed      = flag.Int("seed", 0, "test input index")
 		scaleName = flag.String("scale", "perf", "input scale: perf, fi, tiny")
@@ -90,6 +90,8 @@ func main() {
 		s = core.SWIFTR
 	case "rskip":
 		s = core.RSkip
+	case "swiftrhard", "swift-r-hard":
+		s = core.SWIFTRHard
 	default:
 		fatal(fmt.Errorf("unknown scheme %q", *scheme))
 	}

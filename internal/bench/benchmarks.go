@@ -65,9 +65,15 @@ func All() []Benchmark {
 	}
 }
 
-// ByName returns the named benchmark.
+// ByName returns the named benchmark — a Table 1 entry or one of the
+// skip-verification micro-kernels (Micros).
 func ByName(name string) (Benchmark, error) {
 	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	for _, b := range Micros() {
 		if b.Name == name {
 			return b, nil
 		}

@@ -54,9 +54,17 @@ func TestGoldenCountersFastVsReference(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential sweep is slow")
 	}
-	kinds := []machine.FaultKind{
-		machine.FaultResultBit, machine.FaultSourceBit,
-		machine.FaultOpcode, machine.FaultRegFile,
+	// One probe per fault kind, plus burst/multi-bit width variants:
+	// the width machinery (skip continuation across blocks, adjacent-bit
+	// flips) must behave identically on both interpreter paths too.
+	probes := []struct {
+		kind  machine.FaultKind
+		width uint
+	}{
+		{machine.FaultResultBit, 0}, {machine.FaultSourceBit, 0},
+		{machine.FaultOpcode, 0}, {machine.FaultRegFile, 0},
+		{machine.FaultSkip, 1}, {machine.FaultSkip, 3},
+		{machine.FaultMultiBit, 2}, {machine.FaultMultiBit, 5},
 	}
 	for _, b := range bench.All() {
 		b := b
@@ -70,7 +78,7 @@ func TestGoldenCountersFastVsReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			inst := b.Gen(bench.TestSeed(1), bench.ScaleFI)
-			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip} {
+			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip, core.SWIFTRHard} {
 				clean := p.Run(s, inst, core.RunOpts{Reference: true})
 				t.Run(s.String()+"/clean", func(t *testing.T) {
 					runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI), core.RunOpts{})
@@ -80,14 +88,15 @@ func TestGoldenCountersFastVsReference(t *testing.T) {
 					continue
 				}
 				budget := 3 * clean.Result.Instrs
-				for i, kind := range kinds {
+				for i, pr := range probes {
 					plan := machine.FaultPlan{
-						Kind:   kind,
-						Target: region * uint64(i) / uint64(len(kinds)),
+						Kind:   pr.kind,
+						Target: region * uint64(i) / uint64(len(probes)),
 						Bit:    uint(7 * (i + 1) % 64),
 						Pick:   i,
+						Width:  pr.width,
 					}
-					t.Run(fmt.Sprintf("%s/%v@%d", s, kind, plan.Target), func(t *testing.T) {
+					t.Run(fmt.Sprintf("%s/%v.w%d@%d", s, pr.kind, pr.width, plan.Target), func(t *testing.T) {
 						runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI),
 							core.RunOpts{Fault: &plan, MaxInstrs: budget})
 					})

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"math/rand"
+
+	"rskip/internal/machine"
+)
+
+// The micro-kernels are not part of the paper's Table 1 set (All()
+// keeps returning exactly nine); they exist for the exhaustive
+// skip-verification harness. Their detected loops are deliberately
+// tiny — a few hundred dynamic in-region instructions — so enumerating
+// every single-skip point (and every multi-bit flip site) stays cheap,
+// and they avoid the constructs whose skip behavior is out of scope
+// for the hardening argument: no division or float-to-int in the
+// region (a corrupted operand would trap instead of being voted
+// away), and no in-region calls (a skipped callee return is a
+// control-flow wormhole CFC cannot sign).
+
+const musumSrc = `
+// musum: windowed sums. Structure mirrors conv1d — an outer repeat
+// loop, a detected output loop, and an inner reduction — shrunk to
+// enumeration size.
+void kernel(int input[], int output[], int n, int k) {
+	for (int f = 0; f < 2; f = f + 1) {
+		for (int i = 0; i < n - k + 1; i = i + 1) {
+			int sum = 0;
+			for (int j = 0; j < k; j = j + 1) {
+				sum = sum + input[i + j];
+			}
+			output[f * (n - k + 1) + i] = sum;
+		}
+	}
+}
+`
+
+const mudotSrc = `
+// mudot: sliding dot product against a small weight vector, the
+// multiply-accumulate shape of conv1d at enumeration size.
+void kernel(int input[], int weight[], int output[], int n, int k) {
+	for (int f = 0; f < 2; f = f + 1) {
+		for (int i = 0; i < n - k + 1; i = i + 1) {
+			int acc = 0;
+			for (int j = 0; j < k; j = j + 1) {
+				acc = acc + input[i + j] * weight[j];
+			}
+			output[f * (n - k + 1) + i] = acc;
+		}
+	}
+}
+`
+
+const mumaxSrc = `
+// mumax: windowed maximum — the inner reduction carries a conditional,
+// exercising skip faults on compare-and-branch sequences inside the
+// value computation.
+void kernel(int input[], int output[], int n, int k) {
+	for (int f = 0; f < 2; f = f + 1) {
+		for (int i = 0; i < n - k + 1; i = i + 1) {
+			int m = input[i];
+			for (int j = 1; j < k; j = j + 1) {
+				if (input[i + j] > m) {
+					m = input[i + j];
+				}
+			}
+			output[f * (n - k + 1) + i] = m;
+		}
+	}
+}
+`
+
+// Micros returns the skip-verification micro-kernels. They are
+// reachable through ByName (and therefore through every tool and the
+// server) but excluded from All(), so the Table 1 experiment set and
+// its goldens are unchanged.
+func Micros() []Benchmark {
+	return []Benchmark{
+		microBench("musum", "Windowed sums", musumSrc, nil),
+		microBench("mudot", "Sliding dot product", mudotSrc, weightInput),
+		microBench("mumax", "Windowed maximum", mumaxSrc, nil),
+	}
+}
+
+// weightInput marks the micro-kernels that take a second input array.
+func weightInput(rng *rand.Rand, k int) []int64 { return smoothInts(rng, k, 1, 6, 0.3) }
+
+func microBench(name, desc, src string, weights func(*rand.Rand, int) []int64) Benchmark {
+	return Benchmark{
+		Name:        name,
+		Domain:      "Skip-verification micro-kernel",
+		Description: desc,
+		Pattern:     "A reduction loop",
+		Location:    "Inside an outer loop",
+		Kernel:      "kernel",
+		Source:      src,
+		Gen: func(seed int64, scale Scale) Instance {
+			rng := rand.New(rand.NewSource(seed))
+			// One size for every scale: the whole point of a
+			// micro-kernel is that exhaustive enumeration stays small.
+			n, k := 24, 4
+			input := smoothInts(rng, n, 0, 500, 0.1)
+			var weight []int64
+			if weights != nil {
+				weight = weights(rng, k)
+			}
+			outLen := 2 * (n - k + 1)
+			return Instance{
+				Elements: outLen,
+				Setup: func(mem *machine.Memory) []uint64 {
+					in := allocInts(mem, input)
+					args := []uint64{uint64(in)}
+					if weight != nil {
+						args = append(args, uint64(allocInts(mem, weight)))
+					}
+					out := mem.Alloc(int64(outLen))
+					args = append(args, uint64(out),
+						uint64(int64(n)), uint64(int64(k)))
+					return args
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					base := int64(n + len(weight))
+					return readWords(mem, base, outLen)
+				},
+			}
+		},
+	}
+}

@@ -124,6 +124,46 @@ func TestRskipfiTable(t *testing.T) {
 	Golden(t, "rskipfi_conv1d_table", res.Stdout, *update)
 }
 
+// TestRskipfiSkipTable pins a sampled instruction-skip campaign — the
+// -fault-kind knob end to end, including the per-kind metrics counters
+// in the summary lines.
+func TestRskipfiSkipTable(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	res := Run(t, bin, "-bench", "conv1d", "-n", "30", "-seed", "123",
+		"-fault-kind", "skip", "-schemes", "unsafe,swiftr,swiftrhard",
+		"-train", "2", "-workers", "2")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\n%s", res.Code, res.Stderr)
+	}
+	Golden(t, "rskipfi_conv1d_skip_table", res.Stdout, *update)
+}
+
+// TestRskipfiExhaustiveMicro pins the exhaustive skip-verification
+// story on a micro-kernel: every single-skip site enumerated, the
+// hardened scheme at 100% protection, plain SWIFT below it.
+func TestRskipfiExhaustiveMicro(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	res := Run(t, bin, "-bench", "musum", "-fault-kind", "skip", "-exhaustive",
+		"-schemes", "swift,swiftrhard", "-train", "2", "-workers", "2")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\n%s", res.Code, res.Stderr)
+	}
+	Golden(t, "rskipfi_musum_skip_exhaustive", res.Stdout, *update)
+}
+
+// TestRskipfiUnknownFaultKind checks the threat-model front door fails
+// loudly with the model vocabulary in the diagnostic.
+func TestRskipfiUnknownFaultKind(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	res := Run(t, bin, "-bench", "conv1d", "-fault-kind", "cosmic-ray")
+	if res.Code == 0 {
+		t.Fatal("unknown fault model exited 0")
+	}
+	if !strings.Contains(res.Stderr, "unknown fault model") || !strings.Contains(res.Stderr, "multibit") {
+		t.Errorf("stderr %q does not explain the fault-model vocabulary", res.Stderr)
+	}
+}
+
 // TestRskipfiJSON checks the machine-readable form agrees with the
 // table on the headline numbers without pinning the whole document
 // (the metrics block is environment-stable but verbose).

@@ -29,10 +29,11 @@ type Scheme int
 
 // Schemes.
 const (
-	Unsafe Scheme = iota // no protection
-	SWIFT                // detection-only duplication
-	SWIFTR               // TMR duplication (baseline)
-	RSkip                // prediction-based protection
+	Unsafe     Scheme = iota // no protection
+	SWIFT                    // detection-only duplication
+	SWIFTR                   // TMR duplication (baseline)
+	RSkip                    // prediction-based protection
+	SWIFTRHard               // skip-hardened TMR + control-flow checking
 )
 
 func (s Scheme) String() string {
@@ -45,6 +46,8 @@ func (s Scheme) String() string {
 		return "SWIFT-R"
 	case RSkip:
 		return "RSkip"
+	case SWIFTRHard:
+		return "SWIFT-R-HARD"
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
@@ -127,7 +130,7 @@ type Program struct {
 }
 
 // schemeOrder is the canonical variant list a build derives.
-var schemeOrder = []Scheme{Unsafe, SWIFT, SWIFTR, RSkip}
+var schemeOrder = []Scheme{Unsafe, SWIFT, SWIFTR, RSkip, SWIFTRHard}
 
 // pipelineName maps the scheme enum to its registered pass pipeline.
 func (s Scheme) pipelineName() string {
@@ -138,15 +141,18 @@ func (s Scheme) pipelineName() string {
 		return "swiftr"
 	case RSkip:
 		return "rskip"
+	case SWIFTRHard:
+		return "swiftrhard"
 	}
 	return "unsafe"
 }
 
 // schemeExtras returns the config-dependent passes appended to a
 // scheme's registered pipeline: CFC protects the protected variants
-// only (the unprotected baseline must stay untouched).
+// only (the unprotected baseline must stay untouched, and the
+// hardened pipeline already ends in cfc).
 func schemeExtras(s Scheme, cfg Config) []string {
-	if cfg.EnableCFC && s != Unsafe {
+	if cfg.EnableCFC && s != Unsafe && s != SWIFTRHard {
 		return []string{"cfc"}
 	}
 	return nil

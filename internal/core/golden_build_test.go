@@ -73,7 +73,7 @@ func buildGoldenMap(t *testing.T) (map[string]goldenEntry, time.Duration) {
 			if err != nil {
 				t.Fatalf("build %s/%s: %v", b.Name, cc.Name, err)
 			}
-			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip} {
+			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip, core.SWIFTRHard} {
 				var rir bytes.Buffer
 				if err := p.Module(s).MarshalText(&rir); err != nil {
 					t.Fatalf("marshal %s/%s/%s: %v", b.Name, cc.Name, s, err)

@@ -56,9 +56,28 @@ type Config struct {
 	// HangFactor sets the instruction budget as a multiple of the
 	// scheme's fault-free run (default 50).
 	HangFactor uint64
-	// Mix sets the sampling weights of the three fault kinds; zero
-	// uses DefaultMix.
+	// Mix sets the sampling weights of the fault kinds; zero uses
+	// DefaultMix.
 	Mix Mix
+	// SkipWidth is the number of consecutive instructions a FaultSkip
+	// suppresses (default 1; Moro et al.'s multi-skip bursts use more).
+	SkipWidth int
+	// BitWidth is the number of adjacent bits a FaultMultiBit flips
+	// (default 2).
+	BitWidth int
+	// Exhaustive switches from statistical sampling to exhaustive
+	// enumeration: one run per fault site instead of N random draws.
+	// It requires a pure single-kind Mix (only Skip or only MultiBit
+	// weighted), N = 0 (the count is derived from the region), and no
+	// TargetCI. Skip mode enumerates every in-region dynamic
+	// instruction; multibit mode enumerates every (instruction,
+	// starting bit) pair. Enumerated campaigns stay deterministic,
+	// checkpointable by index and parallel like sampled ones.
+	Exhaustive bool
+	// ExhaustiveBudget caps the enumerated run count (default 200000);
+	// a region too large to enumerate under the budget is an error, not
+	// a silent truncation.
+	ExhaustiveBudget int
 	// RunTimeout, when positive, bounds each injected run by
 	// wall-clock time; a run that exceeds it is classified Hang. Note
 	// that wall-clock deadlines make outcomes timing-dependent — leave
@@ -113,6 +132,15 @@ func (cfg *Config) Validate() error {
 	if cfg.TargetCI < 0 || math.IsNaN(cfg.TargetCI) {
 		return fmt.Errorf("fault: config: TargetCI = %v, want >= 0", cfg.TargetCI)
 	}
+	if cfg.SkipWidth < 0 {
+		return fmt.Errorf("fault: config: SkipWidth = %d, want >= 0", cfg.SkipWidth)
+	}
+	if cfg.BitWidth < 0 {
+		return fmt.Errorf("fault: config: BitWidth = %d, want >= 0", cfg.BitWidth)
+	}
+	if cfg.ExhaustiveBudget < 0 {
+		return fmt.Errorf("fault: config: ExhaustiveBudget = %d, want >= 0", cfg.ExhaustiveBudget)
+	}
 	for _, w := range []struct {
 		name string
 		v    float64
@@ -121,13 +149,29 @@ func (cfg *Config) Validate() error {
 		{"Result", cfg.Mix.Result},
 		{"Source", cfg.Mix.Source},
 		{"Opcode", cfg.Mix.Opcode},
+		{"Skip", cfg.Mix.Skip},
+		{"MultiBit", cfg.Mix.MultiBit},
 	} {
 		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
 			return fmt.Errorf("fault: config: Mix.%s = %v, want a finite weight >= 0", w.name, w.v)
 		}
 	}
-	if cfg.Mix != (Mix{}) && cfg.Mix.RegFile+cfg.Mix.Result+cfg.Mix.Source+cfg.Mix.Opcode == 0 {
+	if cfg.Mix != (Mix{}) && cfg.Mix.sum() == 0 {
 		return fmt.Errorf("fault: config: Mix weights sum to zero; leave Mix zero for DefaultMix or give at least one positive weight")
+	}
+	if cfg.Exhaustive {
+		seu := cfg.Mix.RegFile + cfg.Mix.Result + cfg.Mix.Source + cfg.Mix.Opcode
+		skipOnly := cfg.Mix.Skip > 0 && cfg.Mix.MultiBit == 0 && seu == 0
+		mbOnly := cfg.Mix.MultiBit > 0 && cfg.Mix.Skip == 0 && seu == 0
+		if !skipOnly && !mbOnly {
+			return fmt.Errorf("fault: config: Exhaustive requires a pure single-kind Mix (only Skip or only MultiBit weighted), got %+v", cfg.Mix)
+		}
+		if cfg.N != 0 {
+			return fmt.Errorf("fault: config: Exhaustive derives the run count from the region; leave N = 0 (got %d)", cfg.N)
+		}
+		if cfg.TargetCI > 0 {
+			return fmt.Errorf("fault: config: Exhaustive enumerates every site; adaptive sampling (TargetCI = %v) does not apply", cfg.TargetCI)
+		}
 	}
 	return nil
 }
@@ -148,14 +192,46 @@ type Progress struct {
 // Mix weights the fault kinds. Register-file strikes dominate real
 // SEU profiles (and provide the masking of dead registers); strikes on
 // in-flight results/operands and opcode-field flips are the residual
-// classes software-only schemes struggle with (§7.2).
+// classes software-only schemes struggle with (§7.2). Skip and
+// MultiBit select the adversarial threat models beyond the paper's
+// SEU setup: instruction-skip bursts (Moro et al.) and multi-bit
+// upsets; both default to zero weight.
 type Mix struct {
 	RegFile, Result, Source, Opcode float64
+	Skip, MultiBit                  float64
+}
+
+func (m Mix) sum() float64 {
+	return m.RegFile + m.Result + m.Source + m.Opcode + m.Skip + m.MultiBit
 }
 
 // DefaultMix follows the register-file-dominated SEU model of the
 // paper's gem5 setup.
 var DefaultMix = Mix{RegFile: 0.80, Result: 0.10, Source: 0.05, Opcode: 0.05}
+
+// UnknownModelError reports a fault-model name ModelMix does not know.
+type UnknownModelError struct{ Model string }
+
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("fault: unknown fault model %q (want seu, skip or multibit)", e.Model)
+}
+
+// ModelMix resolves a named threat model to its sampling mix: "seu"
+// (or empty) is the paper's single-event-upset DefaultMix, "skip" is a
+// pure instruction-skip campaign, "multibit" a pure multi-bit-upset
+// campaign. The names are the wire/CLI vocabulary of rskipfi's
+// -fault-kind flag and rskipd's fault_model field.
+func ModelMix(model string) (Mix, error) {
+	switch model {
+	case "", "seu":
+		return DefaultMix, nil
+	case "skip":
+		return Mix{Skip: 1}, nil
+	case "multibit":
+		return Mix{MultiBit: 1}, nil
+	}
+	return Mix{}, &UnknownModelError{Model: model}
+}
 
 // Result summarizes one campaign.
 type Result struct {
@@ -180,6 +256,10 @@ type Result struct {
 	// EarlyStopped reports that TargetCI adaptive sampling reached its
 	// precision target before Requested runs.
 	EarlyStopped bool
+	// Exhaustive reports that the campaign enumerated every fault site
+	// instead of sampling: the rates are exact population values, not
+	// estimates (the Wilson CIs still describe the finite run set).
+	Exhaustive bool
 	// Errors is the per-class error taxonomy of abnormal runs: for
 	// each class, how many runs terminated with each distinct error
 	// string. Contained worker panics appear under CoreDump with a
@@ -225,7 +305,11 @@ func (r *Result) FalseNegRate() float64 {
 }
 
 func drawKind(rng *rand.Rand, m Mix) machine.FaultKind {
-	t := rng.Float64() * (m.RegFile + m.Result + m.Source + m.Opcode)
+	// The thresholds accumulate in declaration order with the same
+	// additions the pre-extension code used, so legacy mixes (Skip =
+	// MultiBit = 0) draw bit-identical kinds from a given seed and old
+	// checkpoints stay resumable.
+	t := rng.Float64() * m.sum()
 	switch {
 	case t < m.RegFile:
 		return machine.FaultRegFile
@@ -233,7 +317,15 @@ func drawKind(rng *rand.Rand, m Mix) machine.FaultKind {
 		return machine.FaultResultBit
 	case t < m.RegFile+m.Result+m.Source:
 		return machine.FaultSourceBit
+	case t < m.RegFile+m.Result+m.Source+m.Opcode:
+		return machine.FaultOpcode
+	case t < m.RegFile+m.Result+m.Source+m.Opcode+m.Skip:
+		return machine.FaultSkip
+	case m.MultiBit > 0:
+		return machine.FaultMultiBit
 	default:
+		// Rounding pushed t to the top of a mix with no MultiBit
+		// weight; keep the legacy fallback.
 		return machine.FaultOpcode
 	}
 }

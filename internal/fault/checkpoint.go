@@ -43,13 +43,37 @@ type Checkpoint struct {
 }
 
 // checkpointKey fingerprints everything that determines the fault
-// plans and their outcomes (modulo wall-clock effects).
+// plans and their outcomes (modulo wall-clock effects). The skip /
+// multibit extension only appends to the key when one of the new
+// models is in play, so checkpoints of plain SEU campaigns written
+// before the extension keep resuming.
 func checkpointKey(p *core.Program, s core.Scheme, cfg Config) string {
-	return fmt.Sprintf("bench=%s|cfg=%s|scheme=%s|n=%d|seed=%d|mix=%g/%g/%g/%g|hang=%d",
+	key := fmt.Sprintf("bench=%s|cfg=%s|scheme=%s|n=%d|seed=%d|mix=%g/%g/%g/%g|hang=%d",
 		p.Bench.Name, p.Cfg.Key(), s, cfg.N, cfg.Seed,
 		cfg.Mix.RegFile, cfg.Mix.Result, cfg.Mix.Source, cfg.Mix.Opcode,
 		cfg.HangFactor)
+	if cfg.Mix.Skip != 0 || cfg.Mix.MultiBit != 0 || cfg.Exhaustive {
+		key += fmt.Sprintf("|xmix=%g/%g|sw=%d|bw=%d|ex=%v",
+			cfg.Mix.Skip, cfg.Mix.MultiBit, cfg.SkipWidth, cfg.BitWidth, cfg.Exhaustive)
+	}
+	return key
 }
+
+// CorruptCheckpointError reports a checkpoint file that exists but
+// cannot be decoded — truncated by a crash mid-write outside the
+// atomic rename path, or damaged on disk. Callers distinguish it from
+// key mismatches (a healthy checkpoint of a different campaign) to
+// decide whether deleting the file is safe.
+type CorruptCheckpointError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("fault: checkpoint %s is corrupt or truncated (delete it to restart the campaign): %v", e.Path, e.Err)
+}
+
+func (e *CorruptCheckpointError) Unwrap() error { return e.Err }
 
 // LoadCheckpoint reads a campaign checkpoint. A missing file is not an
 // error — it returns (nil, nil) so callers can treat it as a fresh
@@ -64,10 +88,14 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	var ck Checkpoint
 	if err := json.Unmarshal(data, &ck); err != nil {
-		return nil, fmt.Errorf("fault: parsing checkpoint %s: %w", path, err)
+		return nil, &CorruptCheckpointError{Path: path, Err: err}
 	}
 	if ck.Version != checkpointVersion {
 		return nil, fmt.Errorf("fault: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if len(ck.Records) != ck.N {
+		return nil, &CorruptCheckpointError{Path: path,
+			Err: fmt.Errorf("holds %d records for n = %d", len(ck.Records), ck.N)}
 	}
 	return &ck, nil
 }

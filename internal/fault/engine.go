@@ -40,7 +40,7 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.N == 0 {
+	if cfg.N == 0 && !cfg.Exhaustive {
 		cfg.N = 1000
 	}
 	if cfg.HangFactor == 0 {
@@ -73,25 +73,38 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 		return Result{}, err
 	}
 
+	// Pre-draw (or enumerate) all fault plans so the campaign is
+	// deterministic regardless of worker scheduling — and resumable by
+	// index.
+	var plans []machine.FaultPlan
+	if cfg.Exhaustive {
+		plans, err = enumeratePlans(cfg, profile.Result.Region)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.N = len(plans)
+		sp.SetAttr("exhaustive_n", cfg.N)
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		plans = make([]machine.FaultPlan, cfg.N)
+		for i := range plans {
+			plans[i] = machine.FaultPlan{
+				Kind:   drawKind(rng, cfg.Mix),
+				Target: uint64(rng.Int63n(int64(profile.Result.Region))),
+				Bit:    uint(rng.Intn(64)),
+				Pick:   rng.Intn(1 << 20),
+			}
+			plans[i].Width = planWidth(plans[i].Kind, cfg)
+		}
+	}
+
 	e := &engine{
 		p: p, s: s, inst: inst, cfg: cfg,
 		golden:  profile.Output,
 		budget:  profile.Result.Instrs * cfg.HangFactor,
+		plans:   plans,
 		records: make([]RunRecord, cfg.N),
 		met:     met,
-	}
-
-	// Pre-draw all fault plans so the campaign is deterministic
-	// regardless of worker scheduling — and resumable by index.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	e.plans = make([]machine.FaultPlan, cfg.N)
-	for i := range e.plans {
-		e.plans[i] = machine.FaultPlan{
-			Kind:   drawKind(rng, cfg.Mix),
-			Target: uint64(rng.Int63n(int64(profile.Result.Region))),
-			Bit:    uint(rng.Intn(64)),
-			Pick:   rng.Intn(1 << 20),
-		}
 	}
 
 	key := checkpointKey(p, s, cfg)
@@ -152,6 +165,7 @@ batches:
 
 	res := e.aggregate(stop)
 	res.EarlyStopped = earlyStopped
+	res.Exhaustive = cfg.Exhaustive
 	if runErr != nil {
 		return res, fmt.Errorf("fault: campaign interrupted after %d/%d runs: %w", res.N, cfg.N, runErr)
 	}
@@ -190,6 +204,7 @@ type campaignMetrics struct {
 	panics     *obs.Counter
 	ckWrites   *obs.Counter
 	classes    [NumClasses]*obs.Counter
+	kinds      [machine.NumFaultKinds]*obs.Counter
 }
 
 func newCampaignMetrics(m *obs.Metrics) *campaignMetrics {
@@ -205,13 +220,21 @@ func newCampaignMetrics(m *obs.Metrics) *campaignMetrics {
 		slug := strings.ReplaceAll(strings.ToLower(c.String()), " ", "_")
 		cm.classes[c] = m.Counter("fault_class_"+slug+"_total", "runs classified "+c.String())
 	}
+	for k := range cm.kinds {
+		kind := machine.FaultKind(k)
+		slug := strings.ReplaceAll(kind.String(), "-", "_")
+		cm.kinds[k] = m.Counter("fault_kind_"+slug+"_total", "injections of the "+kind.String()+" fault kind")
+	}
 	return cm
 }
 
-// record notes one completed injection run.
-func (cm *campaignMetrics) record(rec *RunRecord) {
+// record notes one completed injection run of the planned kind.
+func (cm *campaignMetrics) record(rec *RunRecord, kind machine.FaultKind) {
 	cm.injections.Inc()
 	cm.classes[rec.Class].Inc()
+	if int(kind) < len(cm.kinds) {
+		cm.kinds[kind].Inc()
+	}
 	if rec.Fired {
 		cm.fired.Inc()
 	}
@@ -248,7 +271,7 @@ func (e *engine) runBatch(ctx context.Context, lo, hi int) error {
 			for i := range idx {
 				if rec, ok := e.runOne(ctx, i); ok {
 					e.records[i] = rec
-					e.met.record(&rec)
+					e.met.record(&rec, e.plans[i].Kind)
 				}
 			}
 		}()

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"fmt"
+
+	"rskip/internal/machine"
+)
+
+// defaultExhaustiveBudget caps enumerated campaigns; micro-kernels sit
+// far below it, full benchmarks far above — which is the point: the
+// budget turns "I asked for exhaustive on conv2d" into an immediate
+// error instead of a day-long run.
+const defaultExhaustiveBudget = 200000
+
+// multiBitSites is the number of starting-bit positions enumerated per
+// in-region instruction in exhaustive multibit mode — one per
+// architectural bit of the 32-bit register model.
+const multiBitSites = 32
+
+// planWidth resolves a plan's event width from the config: skip bursts
+// default to a single instruction, multi-bit upsets to two adjacent
+// bits (the dominant multi-cell upset geometry).
+func planWidth(k machine.FaultKind, cfg Config) uint {
+	switch k {
+	case machine.FaultSkip:
+		if cfg.SkipWidth > 1 {
+			return uint(cfg.SkipWidth)
+		}
+	case machine.FaultMultiBit:
+		if cfg.BitWidth > 0 {
+			return uint(cfg.BitWidth)
+		}
+		return 2
+	}
+	return 1
+}
+
+// enumeratePlans walks every fault site of the configured pure-kind
+// mix instead of sampling: one plan per in-region dynamic instruction
+// for skip campaigns, one per (instruction, starting bit) pair for
+// multibit campaigns. Plans are ordered by target (then bit), so run
+// index i is a pure function of the site — the property checkpointed
+// resume relies on. Validate has already guaranteed the mix is pure.
+func enumeratePlans(cfg Config, region uint64) ([]machine.FaultPlan, error) {
+	budget := cfg.ExhaustiveBudget
+	if budget == 0 {
+		budget = defaultExhaustiveBudget
+	}
+	kind := machine.FaultSkip
+	sites := region
+	if cfg.Mix.MultiBit > 0 {
+		kind = machine.FaultMultiBit
+		sites = region * multiBitSites
+	}
+	if sites > uint64(budget) {
+		return nil, fmt.Errorf("fault: exhaustive %s enumeration needs %d runs for a region of %d instructions, over the budget of %d; use a smaller kernel or raise ExhaustiveBudget",
+			kind, sites, region, budget)
+	}
+	width := planWidth(kind, cfg)
+	plans := make([]machine.FaultPlan, 0, sites)
+	for target := uint64(0); target < region; target++ {
+		if kind == machine.FaultSkip {
+			plans = append(plans, machine.FaultPlan{
+				Kind: kind, Target: target, Width: width,
+			})
+			continue
+		}
+		for bit := uint(0); bit < multiBitSites; bit++ {
+			plans = append(plans, machine.FaultPlan{
+				Kind: kind, Target: target, Bit: bit, Width: width,
+			})
+		}
+	}
+	return plans, nil
+}

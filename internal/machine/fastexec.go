@@ -65,7 +65,10 @@ func (m *Machine) runBlock() error {
 		}
 	}
 	careful := m.cfg.Trace != nil ||
-		m.C.Dyn+blk.uops > m.cfg.MaxInstrs
+		m.C.Dyn+blk.uops > m.cfg.MaxInstrs ||
+		// An in-flight multi-skip burst suppresses every instruction
+		// until it drains, so the whole block must step exactly.
+		m.fault.skipsLeft > 0
 	if !careful && m.fault.armed && !m.fault.fired && inRegion &&
 		m.C.Region+uint64(len(blk.ins)-f.ip) > m.fault.plan.Target {
 		// The armed fault's target falls inside this block: take the

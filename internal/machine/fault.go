@@ -1,6 +1,10 @@
 package machine
 
-import "rskip/internal/ir"
+import (
+	"fmt"
+
+	"rskip/internal/ir"
+)
 
 // FaultKind selects where in the simulated core a single event upset
 // lands. The campaign mixes the kinds so the residual vulnerabilities
@@ -30,7 +34,38 @@ const (
 	// stale at any instant, which is where the high masking rates of
 	// §7.2 (UNSAFE ≈77% Correct) come from.
 	FaultRegFile
+	// FaultSkip suppresses the target instruction entirely — the
+	// instruction-skip attack model of Moro et al. (a glitched fetch or
+	// corrupted program counter). With Width > 1 it suppresses that many
+	// consecutive dynamic instructions (multi-skip), continuing across
+	// block and region boundaries like a real glitch burst would.
+	FaultSkip
+	// FaultMultiBit flips Width adjacent bits of the struck register (a
+	// multi-bit upset from one particle hitting neighboring cells). It
+	// lands like FaultResultBit — on the destination right after the
+	// instruction executes, falling back to a source strike for
+	// dst-less instructions.
+	FaultMultiBit
+
+	// NumFaultKinds bounds dense per-kind tables.
+	NumFaultKinds = int(FaultMultiBit) + 1
 )
+
+var faultKindNames = [NumFaultKinds]string{
+	FaultResultBit: "result-bit",
+	FaultSourceBit: "source-bit",
+	FaultOpcode:    "opcode",
+	FaultRegFile:   "regfile",
+	FaultSkip:      "skip",
+	FaultMultiBit:  "multibit",
+}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) && faultKindNames[k] != "" {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
 
 // FaultPlan describes one single-event upset to inject.
 type FaultPlan struct {
@@ -42,6 +77,11 @@ type FaultPlan struct {
 	Bit uint
 	// Pick selects among multiple source operands.
 	Pick int
+	// Width widens the event: consecutive instructions suppressed for
+	// FaultSkip, adjacent bits flipped for FaultMultiBit. 0 and 1 both
+	// mean a single-instruction / single-bit event; other kinds ignore
+	// it.
+	Width uint
 }
 
 type faultState struct {
@@ -51,6 +91,10 @@ type faultState struct {
 	firedTag ir.InstrTag
 	firedOp  ir.Op
 	firedFn  int
+	// skipsLeft counts the remaining instructions of a multi-skip burst
+	// after the first one fired; the burst continues unconditionally
+	// (across blocks, frames and region boundaries).
+	skipsLeft uint
 }
 
 // FaultFired reports whether the armed fault was injected during the
@@ -84,6 +128,13 @@ const (
 // instruction and, if so, how it manifests. Must be called after the
 // region counter is updated for this instruction.
 func (m *Machine) decideFault(inRegion bool, in *ir.Instr) faultAction {
+	// An in-flight multi-skip burst suppresses instructions
+	// unconditionally until it drains — the glitch does not respect
+	// region or block boundaries.
+	if m.fault.skipsLeft > 0 {
+		m.fault.skipsLeft--
+		return faultSkip
+	}
 	if !m.fault.armed || m.fault.fired || !inRegion {
 		return faultNone
 	}
@@ -132,32 +183,59 @@ func (m *Machine) decideFault(inRegion bool, in *ir.Instr) faultAction {
 		}
 	case FaultRegFile:
 		return faultRegFile
+	case FaultSkip:
+		if m.fault.plan.Width > 1 {
+			m.fault.skipsLeft = m.fault.plan.Width - 1
+		}
+		return faultSkip
+	case FaultMultiBit:
+		// Same landing rules as a result strike; flipBit widens the
+		// upset to the planned number of adjacent bits.
+		if hasDst {
+			return faultPost
+		}
+		if len(in.Args) > 0 {
+			return faultPre
+		}
+		return faultSkip
 	}
 	return faultNone
 }
 
-// flipBit flips the planned bit in the given register of frame f. The
-// fault model follows the paper's ARMv7-A setup: registers are 32 bits
-// wide, so the planned bit is reduced modulo 32 and, for float-typed
-// registers, mapped onto the float64 representation so the *relative*
-// perturbation matches an FP32 strike (mantissa bit k of 23 →
-// mantissa bit k+29 of 52; exponent and sign bits likewise).
+// flipBit flips the planned bit(s) in the given register of frame f.
+// The fault model follows the paper's ARMv7-A setup: registers are 32
+// bits wide, so each planned bit is reduced modulo 32 and, for
+// float-typed registers, mapped onto the float64 representation so the
+// *relative* perturbation matches an FP32 strike (mantissa bit k of 23
+// → mantissa bit k+29 of 52; exponent and sign bits likewise). A
+// FaultMultiBit plan flips Width adjacent architectural bits (wrapping
+// within the 32-bit register) through the same mapping.
 func (m *Machine) flipBit(f *frame, r ir.Reg) {
 	if r == ir.NoReg || int(r) >= len(f.regs) {
 		return
 	}
-	b := uint(m.fault.plan.Bit) % 32
-	if f.fn.RegType[r] == ir.Float {
-		switch {
-		case b == 31: // sign
-			b = 63
-		case b >= 23: // exponent bit (b-23) of 8 → fp64 exponent bit
-			b = 52 + (b - 23)
-		default: // mantissa bit b of 23 → same relative weight in fp64
-			b = 29 + b
+	width := uint(1)
+	if m.fault.plan.Kind == FaultMultiBit && m.fault.plan.Width > 1 {
+		width = m.fault.plan.Width
+		if width > 32 {
+			width = 32
 		}
 	}
-	f.regs[r] ^= 1 << b
+	isFloat := f.fn.RegType[r] == ir.Float
+	for i := uint(0); i < width; i++ {
+		b := (uint(m.fault.plan.Bit) + i) % 32
+		if isFloat {
+			switch {
+			case b == 31: // sign
+				b = 63
+			case b >= 23: // exponent bit (b-23) of 8 → fp64 exponent bit
+				b = 52 + (b - 23)
+			default: // mantissa bit b of 23 → same relative weight in fp64
+				b = 29 + b
+			}
+		}
+		f.regs[r] ^= 1 << b
+	}
 }
 
 // garbage derives a deterministic corrupted value from the plan.

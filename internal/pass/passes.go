@@ -25,6 +25,10 @@ func init() {
 	Register(Pass{Name: "rskip", Run: func(pc *Context, m *ir.Module) error {
 		return transform.RSkipInPlace(m, pc.Opt, pc.AM)
 	}})
+	Register(Pass{Name: "swiftrhard", Run: func(pc *Context, m *ir.Module) error {
+		transform.ApplySWIFTRHard(m)
+		return nil
+	}})
 	Register(Pass{Name: "cfc", Run: func(pc *Context, m *ir.Module) error {
 		transform.ApplyCFC(m)
 		return nil
@@ -37,4 +41,7 @@ func init() {
 	RegisterScheme("swift", "swift")
 	RegisterScheme("swiftr", "swiftr")
 	RegisterScheme("rskip", "rskip")
+	// The hardened variant always carries CFC: skipped terminators are
+	// the one hole register-level hardening cannot see.
+	RegisterScheme("swiftrhard", "swiftrhard", "cfc")
 }

@@ -73,8 +73,10 @@ func parseScheme(name string) (core.Scheme, error) {
 		return core.SWIFTR, nil
 	case "rskip":
 		return core.RSkip, nil
+	case "swiftrhard", "swift-r-hard":
+		return core.SWIFTRHard, nil
 	}
-	return 0, fmt.Errorf("unknown scheme %q (want unsafe, swift, swiftr or rskip)", name)
+	return 0, fmt.Errorf("unknown scheme %q (want unsafe, swift, swiftr, rskip or swiftrhard)", name)
 }
 
 // compileRequest is the body of POST /v1/compile. Exactly one of
@@ -180,6 +182,17 @@ type campaignRequest struct {
 	// RunTimeoutMS bounds each injected run by wall-clock time
 	// (capped by the server's max-run-timeout).
 	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
+	// FaultModel selects the threat model: "seu" (default), "skip"
+	// (instruction-skip bursts) or "multibit" (adjacent-bit upsets).
+	// Unknown models are rejected with code unknown_fault_model.
+	FaultModel string `json:"fault_model,omitempty"`
+	// SkipWidth is the skip burst length (default 1).
+	SkipWidth int `json:"skip_width,omitempty"`
+	// BitWidth is the adjacent-bit flip width (default 2).
+	BitWidth int `json:"bit_width,omitempty"`
+	// Exhaustive enumerates every fault site of the model instead of
+	// sampling N faults; N must be omitted (the region derives it).
+	Exhaustive bool `json:"exhaustive,omitempty"`
 }
 
 // campaignSubmitResponse acknowledges an accepted job (202).
@@ -197,6 +210,7 @@ type campaignResultJSON struct {
 	N            int            `json:"n"`
 	Requested    int            `json:"requested"`
 	EarlyStopped bool           `json:"early_stopped,omitempty"`
+	Exhaustive   bool           `json:"exhaustive,omitempty"`
 	Counts       map[string]int `json:"counts"`
 	Protection   float64        `json:"protection_rate"`
 	ProtectionCI [2]float64     `json:"protection_ci95"`
@@ -208,7 +222,7 @@ type campaignResultJSON struct {
 func toCampaignResult(r fault.Result) *campaignResultJSON {
 	j := &campaignResultJSON{
 		Scheme: r.Scheme.String(), N: r.N, Requested: r.Requested,
-		EarlyStopped: r.EarlyStopped,
+		EarlyStopped: r.EarlyStopped, Exhaustive: r.Exhaustive,
 		Counts:       map[string]int{},
 		Protection:   r.ProtectionRate(),
 		Fired:        r.Fired, FalseNeg: r.FalseNeg, Recovered: r.Recovered,

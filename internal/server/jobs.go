@@ -57,6 +57,10 @@ type job struct {
 	scheme core.Scheme
 	state  string
 	done   int
+	// n is the resolved run count. Exhaustive jobs submit with N = 0
+	// (the enumerator derives the count from the region), so the first
+	// progress snapshot fills this in; sampled jobs echo the request.
+	n      int
 	result *campaignResultJSON
 	errMsg string
 	// cancel interrupts the running campaign; userCancel distinguishes
@@ -74,9 +78,16 @@ func (j *job) status() campaignStatus {
 	defer j.mu.Unlock()
 	return campaignStatus{
 		ID: j.spec.ID, State: j.state, Bench: j.spec.Request.Bench,
-		Done: j.done, N: j.spec.Request.N,
+		Done: j.done, N: j.nLocked(),
 		Result: j.result, Error: j.errMsg,
 	}
+}
+
+func (j *job) nLocked() int {
+	if j.n > 0 {
+		return j.n
+	}
+	return j.spec.Request.N
 }
 
 // event renders the current state as one stream line.
@@ -88,7 +99,7 @@ func (j *job) event() progressEvent {
 
 func (j *job) eventLocked() progressEvent {
 	ev := progressEvent{
-		ID: j.spec.ID, State: j.state, Done: j.done, N: j.spec.Request.N,
+		ID: j.spec.ID, State: j.state, Done: j.done, N: j.nLocked(),
 		Error: j.errMsg,
 	}
 	if j.result != nil {
@@ -129,6 +140,7 @@ func (j *job) unsubscribe(ch chan progressEvent) {
 func (j *job) publishProgress(pr fault.Progress) {
 	j.mu.Lock()
 	j.done = pr.Done
+	j.n = pr.N
 	j.result = toCampaignResult(pr.Result)
 	ev := j.eventLocked()
 	for ch := range j.subs {
@@ -391,14 +403,15 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, err
 		}
 	}
 	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
-	fcfg := fault.Config{
-		N: req.N, Seed: req.Seed, Workers: req.Workers, Batch: req.Batch,
-		TargetCI:   req.TargetCI,
-		OnProgress: j.publishProgress,
+	fcfg, err := req.faultConfig()
+	if err != nil {
+		return fault.Result{}, err
 	}
+	fcfg.OnProgress = j.publishProgress
 	// Campaigns default to the deterministic instruction budget only:
 	// a wall-clock per-run timeout makes outcomes timing-dependent,
 	// which would break bit-identical resume. Clients opt in.
+	fcfg.RunTimeout = 0
 	if req.RunTimeoutMS > 0 {
 		fcfg.RunTimeout = s.capRunTimeout(time.Duration(req.RunTimeoutMS) * time.Millisecond)
 	}
@@ -424,16 +437,34 @@ func validateCampaignRequest(req *campaignRequest) (core.Scheme, error) {
 	if err != nil {
 		return 0, err
 	}
-	if req.N == 0 {
+	if req.N == 0 && !req.Exhaustive {
 		req.N = 1000
 	}
 	if req.Seed == 0 {
 		req.Seed = 20200222
 	}
-	fcfg := fault.Config{N: req.N, Workers: req.Workers, Batch: req.Batch,
-		TargetCI: req.TargetCI, RunTimeout: time.Duration(req.RunTimeoutMS) * time.Millisecond}
+	fcfg, err := req.faultConfig()
+	if err != nil {
+		return 0, err
+	}
 	if err := fcfg.Validate(); err != nil {
 		return 0, err
 	}
 	return scheme, nil
+}
+
+// faultConfig maps the wire request to the engine config. ModelMix
+// rejection surfaces as *fault.UnknownModelError so the HTTP layer can
+// give it a dedicated error code.
+func (req *campaignRequest) faultConfig() (fault.Config, error) {
+	mix, err := fault.ModelMix(req.FaultModel)
+	if err != nil {
+		return fault.Config{}, err
+	}
+	return fault.Config{
+		N: req.N, Seed: req.Seed, Workers: req.Workers, Batch: req.Batch,
+		TargetCI: req.TargetCI, RunTimeout: time.Duration(req.RunTimeoutMS) * time.Millisecond,
+		Mix: mix, SkipWidth: req.SkipWidth, BitWidth: req.BitWidth,
+		Exhaustive: req.Exhaustive,
+	}, nil
 }

@@ -42,6 +42,7 @@ import (
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
+	"rskip/internal/fault"
 	"rskip/internal/obs"
 )
 
@@ -492,7 +493,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// resolveSchemes parses the requested scheme list (default: all).
+// resolveSchemes parses the requested scheme list (default: the
+// paper's four variants; swiftrhard is reported only on request).
 func resolveSchemes(names []string) ([]core.Scheme, error) {
 	if len(names) == 0 {
 		return []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip}, nil
@@ -633,8 +635,11 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	scheme, err := validateCampaignRequest(&req)
 	if err != nil {
 		status, code := http.StatusBadRequest, "bad_campaign"
+		var unknownModel *fault.UnknownModelError
 		if strings.Contains(err.Error(), "unknown benchmark") {
 			status, code = http.StatusNotFound, "unknown_bench"
+		} else if errors.As(err, &unknownModel) {
+			code = "unknown_fault_model"
 		}
 		writeErr(w, status, code, "%v", err)
 		return

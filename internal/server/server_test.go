@@ -342,8 +342,10 @@ type statusResp struct {
 	N      int    `json:"n"`
 	Error  string `json:"error"`
 	Result *struct {
-		N      int            `json:"n"`
-		Counts map[string]int `json:"counts"`
+		N          int            `json:"n"`
+		Counts     map[string]int `json:"counts"`
+		Exhaustive bool           `json:"exhaustive"`
+		Protection float64        `json:"protection_rate"`
 	} `json:"result"`
 }
 
@@ -767,4 +769,91 @@ func firstCounts(st statusResp) map[string]int {
 		return nil
 	}
 	return st.Result.Counts
+}
+
+// TestCampaignFaultModels exercises the fault_model field end to end:
+// structured 400s for unknown models and bad exhaustive requests, a
+// sampled skip campaign bit-identical to the direct engine, and an
+// exhaustive skip job on a micro-kernel proving the hardened scheme.
+func TestCampaignFaultModels(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	// Unknown model: structured 400 with a dedicated code.
+	var raw map[string]any
+	code := postJSON(t, ts.URL+"/v1/campaigns", map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "fault_model": "cosmic-ray",
+	}, &raw)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown fault model status %d, want 400", code)
+	}
+	if got := errCode(t, raw); got != "unknown_fault_model" {
+		t.Errorf("unknown fault model code %q, want unknown_fault_model", got)
+	}
+
+	// Exhaustive with an explicit n: rejected at validation, before a
+	// queue slot is consumed.
+	raw = nil
+	code = postJSON(t, ts.URL+"/v1/campaigns", map[string]any{
+		"bench": "musum", "scheme": "swiftrhard", "fault_model": "skip",
+		"exhaustive": true, "n": 50,
+	}, &raw)
+	if code != http.StatusBadRequest {
+		t.Fatalf("exhaustive+n status %d, want 400", code)
+	}
+	if got := errCode(t, raw); got != "bad_campaign" {
+		t.Errorf("exhaustive+n code %q, want bad_campaign", got)
+	}
+
+	// Sampled skip campaign: bit-identical to the direct engine with
+	// the same seed and mix.
+	const n, seed = 80, 4242
+	id := submitCampaign(t, ts, map[string]any{
+		"bench": "conv1d", "scheme": "swiftr", "fault_model": "skip",
+		"n": n, "seed": seed,
+	})
+	st := waitFor(t, ts, id, 120*time.Second, terminal)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("skip job finished %q (%s)", st.State, st.Error)
+	}
+	b, err := bench.ByName("conv1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fault.Campaign(context.Background(), p, core.SWIFTR,
+		b.Gen(bench.TestSeed(0), bench.ScaleFI),
+		fault.Config{N: n, Seed: seed, Mix: fault.Mix{Skip: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := fault.Correct; c < fault.NumClasses; c++ {
+		if st.Result.Counts[c.String()] != ref.Counts[c] {
+			t.Errorf("class %s: server %d, direct %d — skip campaign not bit-identical",
+				c, st.Result.Counts[c.String()], ref.Counts[c])
+		}
+	}
+
+	// Exhaustive skip enumeration on a micro-kernel under the hardened
+	// scheme: the run count is derived from the region, surfaces in the
+	// status, and the protection rate is exactly 100%.
+	id = submitCampaign(t, ts, map[string]any{
+		"bench": "musum", "scheme": "swiftrhard", "fault_model": "skip",
+		"exhaustive": true,
+	})
+	st = waitFor(t, ts, id, 300*time.Second, terminal)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("exhaustive job finished %q (%s)", st.State, st.Error)
+	}
+	if !st.Result.Exhaustive || st.Result.N == 0 {
+		t.Fatalf("exhaustive result %+v, want exhaustive with a derived run count", st.Result)
+	}
+	if st.N != st.Result.N || st.Done != st.Result.N {
+		t.Errorf("status n=%d done=%d, want both equal to the derived count %d", st.N, st.Done, st.Result.N)
+	}
+	if st.Result.Protection != 100 {
+		t.Errorf("swiftrhard protection %.2f%% under exhaustive single skips, want exactly 100%%", st.Result.Protection)
+	}
 }

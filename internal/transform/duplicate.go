@@ -34,12 +34,20 @@ func ApplySWIFTR(m *ir.Module) {
 type duplicator struct {
 	f      *ir.Func
 	copies int
+	// hard enables the skip-hardening extensions (SWIFT-R-HARD): load
+	// addresses are voted before the loads consume them, and every
+	// store is emitted twice. See harden.go for the threat model.
+	hard   bool
 	shadow []map[ir.Reg]ir.Reg
 	out    []ir.Instr
 }
 
 func duplicateFunc(f *ir.Func, copies int) {
-	d := &duplicator{f: f, copies: copies}
+	dupFunc(&duplicator{f: f, copies: copies})
+}
+
+func dupFunc(d *duplicator) {
+	f, copies := d.f, d.copies
 	d.shadow = make([]map[ir.Reg]ir.Reg, copies)
 	for k := range d.shadow {
 		d.shadow[k] = map[ir.Reg]ir.Reg{}
@@ -144,6 +152,15 @@ func (d *duplicator) instr(in *ir.Instr) {
 
 	switch {
 	case in.Op.IsPure():
+		if d.hard && in.Op == ir.OpLoad {
+			// Skip hardening: an instruction-skip that drops the mov
+			// feeding an address leaves master and shadows disagreeing
+			// on where to load from — or, on the first iteration, leaves
+			// a copy holding the zero a fresh register starts with.
+			// Voting the address here repairs the master and refreshes
+			// both shadows before any copy dereferences it.
+			d.syncAll(in.Args...)
+		}
 		d.emit(*in)
 		for k := 0; k < d.copies; k++ {
 			clone := *in
@@ -165,6 +182,16 @@ func (d *duplicator) instr(in *ir.Instr) {
 			d.syncAll(in.Args[0], in.Args[1])
 		}
 		d.emit(*in)
+		if d.hard {
+			// Skip hardening: stores are the only in-region effect a
+			// voter cannot replay, so a skipped store is silent data
+			// corruption. Issuing the (idempotent — both copies write
+			// the voted value) store twice means a single skip always
+			// leaves one standing.
+			clone := *in
+			clone.Tag = ir.TagShadow
+			d.emit(clone)
+		}
 
 	case in.Op == ir.OpAlloca:
 		d.emit(*in)

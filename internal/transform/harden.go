@@ -1,0 +1,33 @@
+package transform
+
+import "rskip/internal/ir"
+
+// ApplySWIFTRHard rewrites every non-internal function with the
+// skip-hardened variant of SWIFT-R. Plain SWIFT-R assumes faults
+// corrupt values; an instruction-skip fault (Moro et al.) instead
+// deletes an effect, which opens two holes TMR voting cannot close:
+//
+//   - a skipped store loses the update silently (SDC): no later vote
+//     inspects memory, so all three register copies agree on a value
+//     that never landed;
+//   - a skipped address-forming mov leaves one copy of a load address
+//     stale (first iteration: the zero a fresh register starts with),
+//     so the load itself dereferences garbage (segfault) before any
+//     synchronization point votes on its result.
+//
+// The hard duplicator closes both: load addresses are majority-voted
+// immediately before the load consumes them (the vote repairs the
+// master and rewrites both shadows), and every store is issued twice —
+// idempotent, since both copies write the already-voted value, so a
+// single skip always leaves one intact. Combined with control-flow
+// checking (the swiftrhard scheme runs the cfc pass after this one) to
+// catch skipped terminators, a single instruction-skip of any width-1
+// burst is either masked or detected; the exhaustive enumerator in
+// internal/fault proves this on the micro-kernels.
+func ApplySWIFTRHard(m *ir.Module) {
+	for _, f := range m.Funcs {
+		if !f.Internal {
+			dupFunc(&duplicator{f: f, copies: 2, hard: true})
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package transform
+
+import (
+	"testing"
+
+	"rskip/internal/ir"
+)
+
+func TestSWIFTRHardPreservesSemantics(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	golden := runKernel(t, mod, nil, 12)
+	hard := mod.Clone()
+	ApplySWIFTRHard(hard)
+	if err := ir.Verify(hard); err != nil {
+		t.Fatalf("SWIFT-R-HARD output invalid: %v", err)
+	}
+	got := runKernel(t, hard, nil, 12)
+	for i := range golden {
+		if got[i] != golden[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], golden[i])
+		}
+	}
+}
+
+// The hard duplicator's two skip counter-measures must be visible in
+// the emitted IR: every non-PP store appears twice (the duplicate
+// tagged as shadow work), and every load is preceded by a vote on its
+// address registers, so the hardened module carries strictly more
+// checks than plain SWIFT-R.
+func TestSWIFTRHardStructure(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	tmr := mod.Clone()
+	ApplySWIFTR(tmr)
+	hard := mod.Clone()
+	ApplySWIFTRHard(hard)
+
+	count := func(m *ir.Module, op ir.Op, tag ir.InstrTag, wantTag bool) int {
+		n := 0
+		for _, f := range m.Funcs {
+			for bi := range f.Blocks {
+				for _, in := range f.Blocks[bi].Instrs {
+					if in.Op == op && (!wantTag || in.Tag == tag) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+
+	tmrStores := count(tmr, ir.OpStore, 0, false)
+	hardStores := count(hard, ir.OpStore, 0, false)
+	if hardStores != 2*tmrStores {
+		t.Errorf("hardened module has %d stores, want exactly double SWIFT-R's %d", hardStores, tmrStores)
+	}
+	if n := count(hard, ir.OpStore, ir.TagShadow, true); n != tmrStores {
+		t.Errorf("%d shadow-tagged duplicate stores, want %d", n, tmrStores)
+	}
+	tmrVotes := count(tmr, ir.OpVote3, 0, false)
+	hardVotes := count(hard, ir.OpVote3, 0, false)
+	if hardVotes <= tmrVotes {
+		t.Errorf("hardened module has %d votes, want more than SWIFT-R's %d (load addresses must be voted)", hardVotes, tmrVotes)
+	}
+}
+
+// A single skipped store must not lose the update: deleting either
+// copy of a duplicated store from the IR leaves a module that still
+// computes the golden output (the duplicate is idempotent).
+func TestSWIFTRHardStoreDuplicateIsIdempotent(t *testing.T) {
+	mod := compile(t, kernelSrc)
+	golden := runKernel(t, mod, nil, 12)
+	for drop := 0; drop < 2; drop++ {
+		hard := mod.Clone()
+		ApplySWIFTRHard(hard)
+		// Remove the first or second copy of the first duplicated
+		// store pair in the kernel.
+		fi := hard.FuncByName("kernel")
+		removed := false
+	blocks:
+		for bi := range hard.Funcs[fi].Blocks {
+			instrs := hard.Funcs[fi].Blocks[bi].Instrs
+			for ii := 0; ii+1 < len(instrs); ii++ {
+				if instrs[ii].Op == ir.OpStore && instrs[ii+1].Op == ir.OpStore {
+					cut := ii + drop
+					hard.Funcs[fi].Blocks[bi].Instrs = append(instrs[:cut:cut], instrs[cut+1:]...)
+					removed = true
+					break blocks
+				}
+			}
+		}
+		if !removed {
+			t.Fatal("no duplicated store pair found in the hardened kernel")
+		}
+		got := runKernel(t, hard, nil, 12)
+		for i := range golden {
+			if got[i] != golden[i] {
+				t.Fatalf("dropping store copy %d: out[%d] = %d, want %d", drop, i, got[i], golden[i])
+			}
+		}
+	}
+}

@@ -53,6 +53,35 @@ until curl -fsS "http://$ADDR/v1/campaigns/$ID" | grep -q '"state": *"done"'; do
 done
 echo "ok    campaign"
 
+# Skip-model leg: an exhaustive instruction-skip campaign over a
+# micro-kernel under the hardened scheme must finish at exactly 100%
+# protection, and an unknown model must 400 with its dedicated code.
+SKIP_ID=$(curl -fsS -X POST "http://$ADDR/v1/campaigns" \
+	-d '{"bench":"musum","scheme":"swiftrhard","fault_model":"skip","exhaustive":true}' |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$SKIP_ID" ]
+i=0
+until curl -fsS "http://$ADDR/v1/campaigns/$SKIP_ID" | grep -q '"state": *"done"'; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "FAIL: skip campaign $SKIP_ID never finished"
+		curl -fsS "http://$ADDR/v1/campaigns/$SKIP_ID" || true
+		cat "$LOG"
+		exit 1
+	fi
+	sleep 0.2
+done
+curl -fsS "http://$ADDR/v1/campaigns/$SKIP_ID" | grep -q '"protection_rate": *100' || {
+	echo "FAIL: hardened scheme below 100% under exhaustive skips"
+	curl -fsS "http://$ADDR/v1/campaigns/$SKIP_ID" || true
+	exit 1
+}
+# -f would abort on the expected 400; read the body instead.
+curl -sS -X POST "http://$ADDR/v1/campaigns" \
+	-d '{"bench":"conv1d","scheme":"unsafe","fault_model":"cosmic-ray"}' |
+	grep -q '"unknown_fault_model"'
+echo "ok    skip model"
+
 curl -fsS "http://$ADDR/metrics" | grep -q 'server_requests_total'
 echo "ok    metrics"
 

@@ -12,6 +12,7 @@
 //
 //	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
 //	        [-fault-kind seu|skip|multibit] [-skip-width N] [-bit-width N] [-exhaustive]
+//	        [-backend compiled|fast|reference]
 //	        [-json] [-checkpoint path] [-timeout 30s] [-target-ci 2.0] [-workers N]
 //	        [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
 //
@@ -45,6 +46,7 @@ import (
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/fault"
+	"rskip/internal/machine"
 	"rskip/internal/obs"
 	"rskip/internal/stats"
 )
@@ -118,6 +120,7 @@ func main() {
 		schemes   = flag.String("schemes", "unsafe,swiftr,rskip", "comma-separated schemes")
 		seed      = flag.Int64("seed", 20200222, "fault sampling seed")
 		faultKind = flag.String("fault-kind", "seu", "threat model: seu (paper's single-event-upset mix), skip (instruction-skip bursts) or multibit (adjacent-bit upsets)")
+		backend   = flag.String("backend", "compiled", "execution engine: fast, compiled or reference (all bit-identical; compiled is the campaign default)")
 		skipWidth = flag.Int("skip-width", 1, "consecutive instructions suppressed per skip fault")
 		bitWidth  = flag.Int("bit-width", 2, "adjacent bits flipped per multibit fault")
 		exhaust   = flag.Bool("exhaustive", false, "enumerate every fault site instead of sampling n faults (skip/multibit only; -n is ignored)")
@@ -168,6 +171,10 @@ func main() {
 	}
 	cfg := core.DefaultConfig()
 	cfg.AR = *ar
+	cfg.Backend, err = machine.ParseBackend(*backend)
+	if err != nil {
+		fatal(err)
+	}
 	p, err := core.BuildContext(ctx, b, cfg)
 	if err != nil {
 		fatal(err)
@@ -311,6 +318,13 @@ func metricsSummary(label string, delta map[string]float64) string {
 	}
 	var rest []string
 	for k := range delta {
+		// Arena-pool reuse depends on which worker claims which batch
+		// (each worker builds one pooled machine per batch it runs), so
+		// those counters are scheduling noise here — the summary must
+		// stay a pure function of the flags. They remain in -metrics.
+		if strings.HasPrefix(k, "machine_arena_pool_") {
+			continue
+		}
 		if !inLead[k] && !strings.Contains(k, "_bucket") {
 			rest = append(rest, k)
 		}

@@ -1,10 +1,11 @@
-// Golden-counters differential test: the pre-decoded fast interpreter
-// and the seed reference interpreter must be indistinguishable — on
-// every kernel, under every protection scheme, with and without
-// injected faults, the dynamic-instruction counters, per-opcode
-// histogram, cycle counts, outputs and fault outcomes are bit for bit
-// identical. This is the contract that lets campaigns run on the fast
-// path while the reference interpreter stays the spec.
+// Golden-counters differential test: the pre-decoded fast
+// interpreter, the compiled closure-threaded backend and the seed
+// reference interpreter must be indistinguishable — on every kernel,
+// under every protection scheme, with and without injected faults,
+// the dynamic-instruction counters, per-opcode histogram, cycle
+// counts, outputs and fault outcomes are bit for bit identical. This
+// is the contract that lets campaigns run on the fastest path while
+// the reference interpreter stays the spec.
 package bench_test
 
 import (
@@ -16,47 +17,52 @@ import (
 	"rskip/internal/machine"
 )
 
-// runPair executes the same instance twice — fast and reference — and
-// reports any observable divergence.
-func runPair(t *testing.T, p *core.Program, s core.Scheme, inst bench.Instance, opts core.RunOpts) {
+// runTriple executes the same instance on all three backends — fast,
+// compiled, reference — and reports any observable divergence from
+// the reference.
+func runTriple(t *testing.T, p *core.Program, s core.Scheme, gen func() bench.Instance, opts core.RunOpts) {
 	t.Helper()
-	fast := p.Run(s, inst, opts)
-	opts.Reference = true
-	ref := p.Run(s, inst, opts)
+	refOpts := opts
+	refOpts.Reference = true
+	ref := p.Run(s, gen(), refOpts)
 
-	if fast.Result != ref.Result {
-		t.Errorf("RunResult diverged:\n fast %+v\n  ref %+v", fast.Result, ref.Result)
-	}
-	if fmt.Sprint(fast.Err) != fmt.Sprint(ref.Err) {
-		t.Errorf("error diverged: fast %v, ref %v", fast.Err, ref.Err)
-	}
-	if fast.FaultFired != ref.FaultFired || fast.FaultTag != ref.FaultTag || fast.FaultOp != ref.FaultOp {
-		t.Errorf("fault outcome diverged: fast fired=%v tag=%v op=%v, ref fired=%v tag=%v op=%v",
-			fast.FaultFired, fast.FaultTag, fast.FaultOp,
-			ref.FaultFired, ref.FaultTag, ref.FaultOp)
-	}
-	if len(fast.Output) != len(ref.Output) {
-		t.Fatalf("output length diverged: fast %d, ref %d", len(fast.Output), len(ref.Output))
-	}
-	for i := range fast.Output {
-		if fast.Output[i] != ref.Output[i] {
-			t.Fatalf("output[%d] diverged: fast %#x, ref %#x", i, fast.Output[i], ref.Output[i])
+	for _, bk := range []machine.Backend{machine.BackendFast, machine.BackendCompiled} {
+		opts.Backend = bk
+		got := p.Run(s, gen(), opts)
+		if got.Result != ref.Result {
+			t.Errorf("%v RunResult diverged:\n  %v %+v\n  ref %+v", bk, bk, got.Result, ref.Result)
 		}
-	}
-	// The accounting invariant must hold on real runs, not just the
-	// unit test: every charged instruction lands in the histogram.
-	if got, want := fast.Result.Counter.OpTotal(), fast.Result.Counter.Dyn; got != want {
-		t.Errorf("opcode histogram does not reconcile: OpTotal = %d, Dyn = %d", got, want)
+		if fmt.Sprint(got.Err) != fmt.Sprint(ref.Err) {
+			t.Errorf("%v error diverged: got %v, ref %v", bk, got.Err, ref.Err)
+		}
+		if got.FaultFired != ref.FaultFired || got.FaultTag != ref.FaultTag || got.FaultOp != ref.FaultOp {
+			t.Errorf("%v fault outcome diverged: got fired=%v tag=%v op=%v, ref fired=%v tag=%v op=%v",
+				bk, got.FaultFired, got.FaultTag, got.FaultOp,
+				ref.FaultFired, ref.FaultTag, ref.FaultOp)
+		}
+		if len(got.Output) != len(ref.Output) {
+			t.Fatalf("%v output length diverged: got %d, ref %d", bk, len(got.Output), len(ref.Output))
+		}
+		for i := range got.Output {
+			if got.Output[i] != ref.Output[i] {
+				t.Fatalf("%v output[%d] diverged: got %#x, ref %#x", bk, i, got.Output[i], ref.Output[i])
+			}
+		}
+		// The accounting invariant must hold on real runs, not just the
+		// unit test: every charged instruction lands in the histogram.
+		if got, want := got.Result.Counter.OpTotal(), got.Result.Counter.Dyn; got != want {
+			t.Errorf("%v opcode histogram does not reconcile: OpTotal = %d, Dyn = %d", bk, got, want)
+		}
 	}
 }
 
-func TestGoldenCountersFastVsReference(t *testing.T) {
+func TestGoldenCountersThreeWay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential sweep is slow")
 	}
 	// One probe per fault kind, plus burst/multi-bit width variants:
 	// the width machinery (skip continuation across blocks, adjacent-bit
-	// flips) must behave identically on both interpreter paths too.
+	// flips) must behave identically on all execution paths too.
 	probes := []struct {
 		kind  machine.FaultKind
 		width uint
@@ -80,8 +86,9 @@ func TestGoldenCountersFastVsReference(t *testing.T) {
 			inst := b.Gen(bench.TestSeed(1), bench.ScaleFI)
 			for _, s := range []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip, core.SWIFTRHard} {
 				clean := p.Run(s, inst, core.RunOpts{Reference: true})
+				gen := func() bench.Instance { return b.Gen(bench.TestSeed(1), bench.ScaleFI) }
 				t.Run(s.String()+"/clean", func(t *testing.T) {
-					runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI), core.RunOpts{})
+					runTriple(t, p, s, gen, core.RunOpts{})
 				})
 				region := clean.Result.Region
 				if region == 0 {
@@ -97,7 +104,7 @@ func TestGoldenCountersFastVsReference(t *testing.T) {
 						Width:  pr.width,
 					}
 					t.Run(fmt.Sprintf("%s/%v.w%d@%d", s, pr.kind, pr.width, plan.Target), func(t *testing.T) {
-						runPair(t, p, s, b.Gen(bench.TestSeed(1), bench.ScaleFI),
+						runTriple(t, p, s, gen,
 							core.RunOpts{Fault: &plan, MaxInstrs: budget})
 					})
 				}

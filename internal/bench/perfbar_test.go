@@ -1,0 +1,63 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/machine"
+)
+
+// TestCompiledBackendFaster is the CI performance bar for the
+// closure-threaded backend: over interleaved min-of-N kernel runs in
+// one process, compiled must beat the pre-decoded fast interpreter by
+// a coarse margin. The bar is deliberately loose — the measured gap
+// is ~1.3-1.5× but shared CI machines are noisy, so the test takes
+// the minimum of several interleaved rounds (immune to machine-wide
+// drift during the test) and only demands 1.05×. A regression that
+// makes the compiled backend pointless (at or below fast) fails; a
+// few percent of erosion does not flake the build.
+func TestCompiledBackendFaster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing bar skipped in -short")
+	}
+	bm, err := bench.ByName("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(bm, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := bm.Gen(bench.TestSeed(0), bench.ScaleFI)
+
+	run := func(be machine.Backend) time.Duration {
+		start := time.Now()
+		o := p.Run(core.Unsafe, inst, core.RunOpts{Backend: be})
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		return time.Since(start)
+	}
+	// Warm both engines: the decoded and compiled code objects are
+	// built lazily and cached on the Program.
+	run(machine.BackendFast)
+	run(machine.BackendCompiled)
+
+	const rounds = 7
+	minFast, minComp := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < rounds; i++ {
+		if d := run(machine.BackendFast); d < minFast {
+			minFast = d
+		}
+		if d := run(machine.BackendCompiled); d < minComp {
+			minComp = d
+		}
+	}
+	ratio := float64(minFast) / float64(minComp)
+	t.Logf("sgemm min-of-%d: fast %v, compiled %v (%.2fx)", rounds, minFast, minComp, ratio)
+	if ratio < 1.05 {
+		t.Errorf("compiled backend is not meaningfully faster than fast: %.2fx (want >= 1.05x)", ratio)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/fault"
+	"rskip/internal/machine"
 )
 
 // buildFor compiles one benchmark for the speed benchmarks, failing
@@ -27,25 +28,30 @@ func buildFor(b *testing.B, name string) (*core.Program, bench.Instance) {
 // BenchmarkStep measures interpreter throughput as ns per simulated
 // dynamic instruction: one full kernel run per iteration (machine
 // construction, setup and teardown included — that is what a campaign
-// pays per injection). The fast/reference pair is the speedup the
-// pre-decoded interpreter buys over the seed per-instruction one.
+// pays per injection). The compiled/fast/reference triple is the
+// speedup each execution backend buys over the seed per-instruction
+// interpreter.
 //
 // Profile the hot path with:
 //
-//	go test -bench BenchmarkStep/conv1d/fast -benchtime 3s \
+//	go test -bench BenchmarkStep/conv1d/compiled -benchtime 3s \
 //	    -cpuprofile cpu.out ./internal/bench/ && go tool pprof cpu.out
 func BenchmarkStep(b *testing.B) {
 	for _, name := range []string{"conv1d", "sgemm", "blackscholes", "lud"} {
 		p, inst := buildFor(b, name)
 		for _, mode := range []struct {
 			label string
-			ref   bool
-		}{{"fast", false}, {"reference", true}} {
+			opts  core.RunOpts
+		}{
+			{"compiled", core.RunOpts{Backend: machine.BackendCompiled}},
+			{"fast", core.RunOpts{Backend: machine.BackendFast}},
+			{"reference", core.RunOpts{Reference: true}},
+		} {
 			b.Run(name+"/"+mode.label, func(b *testing.B) {
 				var instrs uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					o := p.Run(core.Unsafe, inst, core.RunOpts{Reference: mode.ref})
+					o := p.Run(core.Unsafe, inst, mode.opts)
 					if o.Err != nil {
 						b.Fatal(o.Err)
 					}

@@ -82,6 +82,14 @@ type Config struct {
 	// SWIFT, SWIFT-R and RSkip variants — the companion technique that
 	// fail-stops illegal control transfers.
 	EnableCFC bool
+	// Backend selects the default execution engine for this program's
+	// runs (fast pre-decoded interpreter, compiled closure-threaded
+	// code, or the seed reference interpreter); RunOpts.Backend
+	// overrides it per run. It is a run-time choice only — all
+	// backends execute the same build artifacts bit-identically — so
+	// it is deliberately excluded from Key and never affects the build
+	// cache or the build goldens.
+	Backend machine.Backend
 }
 
 // DefaultConfig returns the paper's AR20 deployment.
@@ -434,8 +442,12 @@ type RunOpts struct {
 	TraceLimit uint64
 	// Reference runs the seed per-instruction interpreter instead of
 	// the pre-decoded fast path; used by the golden-counters
-	// differential test and speedup benchmarks.
+	// differential test and speedup benchmarks. It overrides Backend.
 	Reference bool
+	// Backend selects the execution engine for this run; the zero
+	// value (BackendAuto) falls back to the program's Config.Backend,
+	// and that falling back to the fast interpreter.
+	Backend machine.Backend
 }
 
 // Outcome reports one execution.
@@ -487,10 +499,13 @@ func (o *Outcome) DISkipRate() float64 {
 	return float64(skip) / float64(tot)
 }
 
-// Run executes one instance under the scheme. The returned outcome
-// always carries counters, even for abnormal terminations.
-func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
-	mod := p.Module(s)
+// machineConfig assembles the machine configuration (and, for RSkip,
+// the per-run rtm manager) for one execution of scheme s.
+func (p *Program) machineConfig(s Scheme, mod *ir.Module, opts RunOpts) (machine.Config, *rtm.Manager) {
+	backend := opts.Backend
+	if backend == machine.BackendAuto {
+		backend = p.Cfg.Backend
+	}
 	mcfg := machine.Config{
 		MaxInstrs:    opts.MaxInstrs,
 		Fault:        opts.Fault,
@@ -499,6 +514,7 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		IssueWidth:   p.Cfg.IssueWidth,
 		TraceFn:      -1,
 		Code:         p.Code(s),
+		Backend:      backend,
 		Reference:    opts.Reference,
 		Metrics:      p.obs.M(),
 	}
@@ -530,8 +546,13 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		mgr = rtm.NewManager(mod, rcfg)
 		mcfg = mgr.MachineConfig(mcfg)
 	}
-	m := machine.New(mod, mcfg)
-	defer m.Release()
+	return mcfg, mgr
+}
+
+// runOn executes one instance on an already-configured machine and
+// assembles the outcome. Shared by Run (one machine per call) and
+// Injector.Run (one pooled machine across many replicas).
+func (p *Program) runOn(m *machine.Machine, mod *ir.Module, mgr *rtm.Manager, inst bench.Instance) Outcome {
 	args := inst.Setup(m.Mem)
 	res, err := m.Run(p.Kernel, args)
 	out := Outcome{Result: res, Err: err, FaultFired: m.FaultFired()}
@@ -551,6 +572,66 @@ func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
 		out.Output = inst.Output(m.Mem)
 	}
 	return out
+}
+
+// Run executes one instance under the scheme. The returned outcome
+// always carries counters, even for abnormal terminations.
+func (p *Program) Run(s Scheme, inst bench.Instance, opts RunOpts) Outcome {
+	mod := p.Module(s)
+	mcfg, mgr := p.machineConfig(s, mod, opts)
+	m := machine.New(mod, mcfg)
+	defer m.Release()
+	return p.runOn(m, mod, mgr, inst)
+}
+
+// Injector executes many runs of one scheme through a single pooled
+// machine: the decoded (and, under the compiled backend, closure-
+// threaded) code object, the memory arena and the frame register
+// slabs are all reused across replicas via machine.Reset, so a fault
+// campaign pays construction cost once per worker instead of once per
+// injection. Results are bit-identical to calling Run per replica —
+// the replica-equality test in core proves it.
+//
+// An Injector is single-goroutine (campaign workers own one each);
+// Close releases the pooled arena.
+type Injector struct {
+	p   *Program
+	s   Scheme
+	mod *ir.Module
+	m   *machine.Machine
+}
+
+// NewInjector returns a pooled runner for one scheme's replicas.
+func (p *Program) NewInjector(s Scheme) *Injector {
+	return &Injector{p: p, s: s, mod: p.Module(s)}
+}
+
+// Run executes one replica, reusing the pooled machine. Every RunOpts
+// field is honored per call except that opts.Reference and
+// opts.Backend must not change between calls (the engine is fixed at
+// the first Run; a changed engine needs a fresh Injector).
+func (in *Injector) Run(inst bench.Instance, opts RunOpts) Outcome {
+	mcfg, mgr := in.p.machineConfig(in.s, in.mod, opts)
+	if in.m == nil {
+		in.m = machine.New(in.mod, mcfg)
+	} else {
+		in.m.Reset(mcfg)
+	}
+	return in.p.runOn(in.m, in.mod, mgr, inst)
+}
+
+// Discard drops the pooled machine without releasing its arena back
+// to the pool — the contained-panic path, where per-run state may be
+// arbitrarily corrupt. The next Run builds a fresh machine.
+func (in *Injector) Discard() { in.m = nil }
+
+// Close releases the pooled machine's arena. The Injector must not be
+// used afterwards.
+func (in *Injector) Close() {
+	if in.m != nil {
+		in.m.Release()
+		in.m = nil
+	}
 }
 
 // feedRTM folds one RSkip run's loop statistics into the prediction

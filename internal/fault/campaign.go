@@ -42,7 +42,14 @@ const (
 
 var classNames = [...]string{"Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected"}
 
-func (c Class) String() string { return classNames[c] }
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		// Out-of-range values (NumClasses, corrupted checkpoints) must
+		// format, not panic — String is called from error paths.
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
 
 // Config parameterizes a campaign.
 type Config struct {
@@ -323,10 +330,25 @@ func drawKind(rng *rand.Rand, m Mix) machine.FaultKind {
 		return machine.FaultSkip
 	case m.MultiBit > 0:
 		return machine.FaultMultiBit
-	default:
-		// Rounding pushed t to the top of a mix with no MultiBit
-		// weight; keep the legacy fallback.
+	}
+	// Rounding pushed t past every accumulated threshold (the float
+	// sums above can land just below t even though their exact values
+	// equal m.sum()). Fall back to the last positively weighted kind in
+	// declaration order, so a pure-skip mix draws FaultSkip — never a
+	// kind whose weight is zero. For the legacy SEU mixes (Opcode
+	// weighted, Skip = MultiBit = 0) this is the pre-fix FaultOpcode
+	// fallback, so seeded draws and old checkpoints are unchanged.
+	switch {
+	case m.Skip > 0:
+		return machine.FaultSkip
+	case m.Opcode > 0:
 		return machine.FaultOpcode
+	case m.Source > 0:
+		return machine.FaultSourceBit
+	case m.Result > 0:
+		return machine.FaultResultBit
+	default:
+		return machine.FaultRegFile
 	}
 }
 

@@ -268,8 +268,13 @@ func (e *engine) runBatch(ctx context.Context, lo, hi int) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled machine per worker: replicas reuse the decoded
+			// and compiled code, memory arena and register slabs through
+			// machine.Reset instead of paying construction per injection.
+			inj := e.p.NewInjector(e.s)
+			defer inj.Close()
 			for i := range idx {
-				if rec, ok := e.runOne(ctx, i); ok {
+				if rec, ok := e.runOne(ctx, inj, i); ok {
 					e.records[i] = rec
 					e.met.record(&rec, e.plans[i].Kind)
 				}
@@ -292,14 +297,17 @@ feed:
 	return ctx.Err()
 }
 
-// runOne executes and classifies injection i. The recover barrier
-// turns an interpreter panic into a CoreDump record — the simulated
-// machine's own failure modes are part of the fault model, not a
-// tooling hazard. ok=false means the run did not complete (campaign
-// cancelled) and must not be recorded.
-func (e *engine) runOne(ctx context.Context, i int) (rec RunRecord, ok bool) {
+// runOne executes and classifies injection i on the worker's pooled
+// injector. The recover barrier turns an interpreter panic into a
+// CoreDump record — the simulated machine's own failure modes are part
+// of the fault model, not a tooling hazard — and discards the pooled
+// machine, whose state a panic may have left arbitrarily corrupt.
+// ok=false means the run did not complete (campaign cancelled) and
+// must not be recorded.
+func (e *engine) runOne(ctx context.Context, inj *core.Injector, i int) (rec RunRecord, ok bool) {
 	defer func() {
 		if v := recover(); v != nil {
+			inj.Discard()
 			rec = RunRecord{Done: true, Class: CoreDump, Err: fmt.Sprintf("panic: %v", v)}
 			ok = true
 			e.met.panics.Inc()
@@ -321,7 +329,7 @@ func (e *engine) runOne(ctx context.Context, i int) (rec RunRecord, ok bool) {
 		e.cfg.runHook(i)
 	}
 	plan := e.plans[i]
-	o := e.p.Run(e.s, e.inst, core.RunOpts{Fault: &plan, MaxInstrs: e.budget, Cancel: rctx.Done()})
+	o := inj.Run(e.inst, core.RunOpts{Fault: &plan, MaxInstrs: e.budget, Cancel: rctx.Done()})
 	if _, cancelled := o.Err.(*machine.CancelError); cancelled {
 		if ctx.Err() != nil {
 			// Campaign-level cancellation: the run is incomplete.

@@ -2,10 +2,13 @@ package fault
 
 import (
 	"context"
+	"math"
+	"math/rand"
 	"testing"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
+	"rskip/internal/machine"
 )
 
 func buildTrained(t *testing.T, name string, ar float64) (*core.Program, bench.Instance) {
@@ -134,6 +137,83 @@ func TestClassStrings(t *testing.T) {
 	for c := Correct; c < NumClasses; c++ {
 		if c.String() != want[c] {
 			t.Errorf("class %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}
+
+func TestClassStringOutOfRange(t *testing.T) {
+	// Out-of-range classes must format, not panic: wire payloads and
+	// future checkpoints may carry values this build doesn't know.
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Class(NumClasses), "Class(6)"},
+		{Class(17), "Class(17)"},
+		{Class(-1), "Class(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c.c), got, c.want)
+		}
+	}
+}
+
+func kindWeight(m Mix, k machine.FaultKind) float64 {
+	switch k {
+	case machine.FaultRegFile:
+		return m.RegFile
+	case machine.FaultResultBit:
+		return m.Result
+	case machine.FaultSourceBit:
+		return m.Source
+	case machine.FaultOpcode:
+		return m.Opcode
+	case machine.FaultSkip:
+		return m.Skip
+	case machine.FaultMultiBit:
+		return m.MultiBit
+	}
+	return 0
+}
+
+func TestDrawKindNeverZeroWeight(t *testing.T) {
+	// The first mix is rounding-hostile by construction: with a single
+	// denormal weight, rng.Float64()*m.sum() rounds to exactly sum()
+	// about half the time, pushing the draw past every accumulated
+	// threshold into the fallback. The pre-fix fallback returned
+	// FaultOpcode even when Opcode had zero weight, corrupting
+	// pure-skip campaigns.
+	mixes := []Mix{
+		{Skip: math.SmallestNonzeroFloat64},
+		{Skip: 1},
+		{MultiBit: 1},
+		{MultiBit: 0.3, Skip: 0.7},
+		{RegFile: 0.1, Skip: 0.9},
+		{Source: 0.5, Opcode: 0.5},
+		DefaultMix,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range mixes {
+		for i := 0; i < 5000; i++ {
+			k := drawKind(rng, m)
+			if kindWeight(m, k) <= 0 {
+				t.Fatalf("mix %+v drew zero-weighted kind %v", m, k)
+			}
+		}
+	}
+}
+
+func TestDrawKindLegacyFallbackUnchanged(t *testing.T) {
+	// Legacy SEU mixes (Opcode weighted, Skip = MultiBit = 0) must
+	// keep the pre-fix FaultOpcode rounding fallback so seeded draws
+	// and old checkpoints replay bit-identically. A denormal-Opcode
+	// mix forces the fallback on roughly half the draws.
+	m := Mix{Opcode: math.SmallestNonzeroFloat64}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		if k := drawKind(rng, m); k != machine.FaultOpcode {
+			t.Fatalf("legacy mix drew %v, want opcode", k)
 		}
 	}
 }

@@ -1,0 +1,221 @@
+package machine
+
+import (
+	"testing"
+
+	"rskip/internal/ir"
+)
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"", BackendAuto, true},
+		{"auto", BackendAuto, true},
+		{"fast", BackendFast, true},
+		{"compiled", BackendCompiled, true},
+		{"reference", BackendReference, true},
+		{"native", BackendAuto, false},
+		{"Fast", BackendAuto, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseBackend(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", c.in, got, c.want)
+		}
+		if c.ok && got.String() != c.in && c.in != "" {
+			t.Errorf("round trip: %v.String() = %q, want %q", got, got.String(), c.in)
+		}
+	}
+}
+
+// TestFlipBitBit31Wrap pins the multi-bit adjacency wrap: a width-2
+// upset at bit 31 strikes architectural bits {31, 0}, never bit 32 of
+// the host word.
+func TestFlipBitBit31Wrap(t *testing.T) {
+	f := &frame{
+		fn:   &ir.Func{NumRegs: 1, RegType: []ir.Type{ir.Int}},
+		regs: []uint64{0},
+	}
+	m := &Machine{fault: faultState{plan: FaultPlan{
+		Kind: FaultMultiBit, Bit: 31, Width: 2,
+	}}}
+	m.flipBit(f, 0)
+	if want := uint64(1<<31 | 1<<0); f.regs[0] != want {
+		t.Errorf("int width-2 at bit 31: got %#x, want %#x (wrap to bit 0)", f.regs[0], want)
+	}
+
+	// Float registers apply the same wrap before the FP32→FP64 bit
+	// mapping: bit 31 → sign (63), wrapped bit 0 → mantissa (29).
+	f.fn.RegType[0] = ir.Float
+	f.regs[0] = f2b(1.5)
+	m.flipBit(f, 0)
+	if want := f2b(1.5) ^ (1<<63 | 1<<29); f.regs[0] != want {
+		t.Errorf("float width-2 at bit 31: got %#x, want %#x", f.regs[0], want)
+	}
+
+	// Width clamps to the 32-bit architectural register: an absurd
+	// width flips exactly the low 32 bits, once each.
+	f.fn.RegType[0] = ir.Int
+	f.regs[0] = 0
+	m.fault.plan.Width = 40
+	m.flipBit(f, 0)
+	if want := uint64(0xFFFFFFFF); f.regs[0] != want {
+		t.Errorf("clamped width: got %#x, want %#x", f.regs[0], want)
+	}
+}
+
+// runFaultOn is runWithFault with an explicit execution backend.
+func runFaultOn(t *testing.T, mod *ir.Module, fi int, plan *FaultPlan, be Backend) (RunResult, []int64, error) {
+	t.Helper()
+	region := map[int]bool{}
+	for bi := range mod.Funcs[fi].Blocks {
+		region[bi] = true
+	}
+	m := New(mod, Config{
+		RegionBlocks: map[int]map[int]bool{fi: region},
+		Fault:        plan,
+		MaxInstrs:    1 << 22,
+		TraceFn:      -1,
+		Backend:      be,
+	})
+	n := int64(16)
+	a := m.Mem.Alloc(n + 4)
+	for i := int64(0); i < n+4; i++ {
+		m.Mem.SetInt(a+i, 100+i)
+	}
+	out := m.Mem.Alloc(n)
+	res, err := m.Run(fi, []uint64{uint64(a), uint64(out), uint64(n)})
+	var vals []int64
+	if err == nil {
+		vals = m.Mem.ReadInts(out, int(n))
+	}
+	return res, vals, err
+}
+
+var allBackends = []Backend{BackendFast, BackendCompiled, BackendReference}
+
+// TestMultiBitWrapBackendsAgree injects width-2 upsets at bit 31 (the
+// wrap case) across a sweep of targets and demands bit-identical
+// outcomes from all three execution backends.
+func TestMultiBitWrapBackendsAgree(t *testing.T) {
+	mod, fi := faultHarness(t)
+	for target := uint64(0); target < 48; target += 5 {
+		plan := &FaultPlan{Kind: FaultMultiBit, Target: target, Bit: 31, Width: 2}
+		ref, refVals, refErr := runFaultOn(t, mod, fi, plan, BackendReference)
+		for _, be := range []Backend{BackendFast, BackendCompiled} {
+			res, vals, err := runFaultOn(t, mod, fi, plan, be)
+			if (err == nil) != (refErr == nil) ||
+				(err != nil && err.Error() != refErr.Error()) {
+				t.Fatalf("target %d backend %v: err %v, reference err %v", target, be, err, refErr)
+			}
+			if res != ref {
+				t.Fatalf("target %d backend %v: result %+v, reference %+v", target, be, res, ref)
+			}
+			for i := range refVals {
+				if vals[i] != refVals[i] {
+					t.Fatalf("target %d backend %v: out[%d] = %d, reference %d",
+						target, be, i, vals[i], refVals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSkipFinalTerminatorWrapsToBlockZero pins the semantics of
+// skipping the terminator of a function's final block: control falls
+// through to (block+1) mod len(blocks) — block 0 — so the body runs a
+// second time and the Ret executes on the second pass. All three
+// backends must implement the wrap identically.
+func TestSkipFinalTerminatorWrapsToBlockZero(t *testing.T) {
+	b := ir.NewBuilder("k", nil, ir.Int)
+	c := b.ConstInt(42)
+	body := b.NewBlock("body")
+	b.Br(body)
+	b.SetBlock(body)
+	b.Ret(c)
+	mod := &ir.Module{Name: "t", Funcs: []*ir.Func{b.F}}
+	if err := ir.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+
+	region := map[int]bool{0: true, 1: true}
+	run := func(plan *FaultPlan, be Backend) (RunResult, bool, error) {
+		m := New(mod, Config{
+			RegionBlocks: map[int]map[int]bool{0: region},
+			Fault:        plan,
+			MaxInstrs:    1 << 16,
+			TraceFn:      -1,
+			Backend:      be,
+		})
+		res, err := m.Run(0, nil)
+		return res, m.FaultFired(), err
+	}
+
+	clean, _, err := run(nil, BackendFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dynamic region order: ConstInt(0), Br(1), Ret(2). Skip the Ret.
+	plan := &FaultPlan{Kind: FaultSkip, Target: 2}
+	ref, refFired, refErr := run(plan, BackendReference)
+	if refErr != nil {
+		t.Fatalf("reference: %v", refErr)
+	}
+	if !refFired {
+		t.Fatal("fault did not fire on the final terminator")
+	}
+	if ref.Ret != 42 {
+		t.Fatalf("ret after wrap = %d, want 42 (Ret executes on second pass)", ref.Ret)
+	}
+	// The wrap re-executes the whole two-block body exactly once: the
+	// skipped Ret is still charged, so the dynamic count doubles.
+	if ref.Instrs != 2*clean.Instrs {
+		t.Fatalf("instrs after wrap = %d, want %d (clean %d doubled)",
+			ref.Instrs, 2*clean.Instrs, clean.Instrs)
+	}
+	for _, be := range []Backend{BackendFast, BackendCompiled} {
+		res, fired, err := run(plan, be)
+		if err != nil {
+			t.Fatalf("backend %v: %v", be, err)
+		}
+		if !fired {
+			t.Fatalf("backend %v: fault did not fire", be)
+		}
+		if res != ref {
+			t.Fatalf("backend %v: result %+v, reference %+v", be, res, ref)
+		}
+	}
+}
+
+// TestBackendsAgreeCleanRun is the cheap always-on slice of the
+// golden three-way sweep: one clean kernel run per backend must agree
+// exactly (the full fault-probe sweep lives in internal/bench and is
+// skipped under -short).
+func TestBackendsAgreeCleanRun(t *testing.T) {
+	mod, fi := faultHarness(t)
+	ref, refVals, refErr := runFaultOn(t, mod, fi, nil, BackendReference)
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	for _, be := range []Backend{BackendFast, BackendCompiled} {
+		res, vals, err := runFaultOn(t, mod, fi, nil, be)
+		if err != nil {
+			t.Fatalf("backend %v: %v", be, err)
+		}
+		if res != ref {
+			t.Fatalf("backend %v: result %+v, reference %+v", be, res, ref)
+		}
+		for i := range refVals {
+			if vals[i] != refVals[i] {
+				t.Fatalf("backend %v: out[%d] = %d, reference %d", be, i, vals[i], refVals[i])
+			}
+		}
+	}
+}

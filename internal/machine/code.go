@@ -1,6 +1,10 @@
 package machine
 
-import "rskip/internal/ir"
+import (
+	"sync"
+
+	"rskip/internal/ir"
+)
 
 // Code is a module pre-decoded for fast interpretation: every function
 // flattened into contiguous decoded-instruction arrays with the
@@ -11,6 +15,20 @@ import "rskip/internal/ir"
 type Code struct {
 	mod *ir.Module
 	fns []fcode
+
+	// compiled is the closure-threaded form (compiled.go), built
+	// lazily the first time a BackendCompiled machine uses this Code
+	// and shared by every such machine afterwards — the batch-campaign
+	// "one compiled code object per module".
+	compiledOnce sync.Once
+	compiled     *ccode
+}
+
+// compiledForm returns the closure-threaded form, compiling it on
+// first use. Safe for concurrent machines (campaign workers).
+func (c *Code) compiledForm() *ccode {
+	c.compiledOnce.Do(func() { c.compiled = compileClosures(c) })
+	return c.compiled
 }
 
 // fcode is one pre-decoded function.

@@ -89,27 +89,36 @@ func (c Cost) Add(o Cost) Cost {
 // slots — the mechanism behind SWIFT-R's IPC boost in Fig. 7d, which
 // hides part but not all of its extra instructions.
 type pipeline struct {
-	width int
+	width uint16
 
-	floor   uint64   // no μop issues before this cycle
-	maxDone uint64   // completion cycle of the latest-finishing μop
-	last    uint64   // issue cycle of the most recent μop
-	used    []uint16 // slot counts for cycles [floor, floor+len(used))
+	floor   uint64 // no μop issues before this cycle
+	maxDone uint64 // completion cycle of the latest-finishing μop
+	last    uint64 // issue cycle of the most recent μop
+	head    uint32 // ring cursor (masked by robWindow-1)
 
-	ring []uint64 // issue cycles of the last robWindow μops
-	head int
+	// Fixed-size arrays keep the per-μop slot probes free of slice
+	// headers and bounds checks (all indices are masked by a
+	// power-of-two size): issue runs once per simulated instruction,
+	// so its code shape is a first-order term of interpreter speed.
+	ring [robWindow]uint64 // issue cycles of the last robWindow μops
+	used [slotSpan]uint16  // slot counts for cycles [floor, floor+slotSpan)
 }
 
-// robWindow approximates the reorder-buffer capacity.
+// robWindow approximates the reorder-buffer capacity (power of two).
 const robWindow = 64
 
-// slotSpan is the modeled horizon of schedulable cycles past floor.
+// slotSpan is the modeled horizon of schedulable cycles past floor
+// (power of two).
 const slotSpan = 8192
 
 func (p *pipeline) init(width int) {
-	p.width = width
-	p.used = make([]uint16, slotSpan)
-	p.ring = make([]uint64, robWindow)
+	p.width = uint16(width)
+	p.floor = 0
+	p.maxDone = 0
+	p.last = 0
+	p.head = 0
+	clear(p.ring[:])
+	clear(p.used[:])
 }
 
 // advanceFloor raises the window floor, recycling slot entries.
@@ -118,12 +127,10 @@ func (p *pipeline) advanceFloor(to uint64) {
 		return
 	}
 	if to-p.floor >= slotSpan {
-		for i := range p.used {
-			p.used[i] = 0
-		}
+		clear(p.used[:])
 	} else {
 		for c := p.floor; c < to; c++ {
-			p.used[c%slotSpan] = 0
+			p.used[c&(slotSpan-1)] = 0
 		}
 	}
 	p.floor = to
@@ -134,25 +141,33 @@ func (p *pipeline) advanceFloor(to uint64) {
 func (p *pipeline) issue(readyAt uint64, lat uint64) uint64 {
 	// In-flight window: this μop cannot issue before the μop robWindow
 	// back did (monotone floor keeps the slot array consistent).
-	p.advanceFloor(p.ring[p.head])
-	c := readyAt
-	if c < p.floor {
-		c = p.floor
+	ri := p.head & (robWindow - 1)
+	if to := p.ring[ri]; to > p.floor {
+		p.advanceFloor(to)
 	}
-	if c-p.floor >= slotSpan {
-		// Far-future issue (very long dependence chain): everything in
-		// between is idle anyway.
-		p.advanceFloor(c - slotSpan/2)
+	c := p.floor
+	if readyAt > c {
+		c = readyAt
+		if c-p.floor >= slotSpan {
+			// Far-future issue (very long dependence chain): everything
+			// in between is idle anyway.
+			p.advanceFloor(c - slotSpan/2)
+		}
 	}
-	for p.used[c%slotSpan] >= uint16(p.width) {
+	width := p.width
+	ui := c & (slotSpan - 1)
+	u := p.used[ui]
+	for u >= width {
 		c++
 		if c-p.floor >= slotSpan {
 			p.advanceFloor(c - slotSpan/2)
 		}
+		ui = c & (slotSpan - 1)
+		u = p.used[ui]
 	}
-	p.used[c%slotSpan]++
-	p.ring[p.head] = c
-	p.head = (p.head + 1) % robWindow
+	p.used[ui] = u + 1
+	p.ring[ri] = c
+	p.head++
 	p.last = c
 	done := c + lat
 	if done > p.maxDone {

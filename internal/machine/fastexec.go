@@ -78,7 +78,16 @@ func (m *Machine) runBlock() error {
 	if careful {
 		return m.stepCareful(f, blk, inRegion)
 	}
+	return m.runPlain(f, blk, inRegion)
+}
 
+// runPlain executes from f.ip to the block's next break instruction
+// with per-instruction accounting but no per-instruction checks (the
+// caller's block-boundary checks proved none can trigger). It is also
+// the compiled backend's mid-segment entry path: resuming inside a
+// segment after careful stepping charges the remaining instructions
+// one at a time, which lands on the identical counter totals.
+func (m *Machine) runPlain(f *frame, blk *dblock, inRegion bool) error {
 	regionInc := uint64(0)
 	if inRegion {
 		regionInc = 1

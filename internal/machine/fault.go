@@ -202,14 +202,24 @@ func (m *Machine) decideFault(inRegion bool, in *ir.Instr) faultAction {
 	return faultNone
 }
 
+// regWidth is the architectural register width of the modeled target
+// (the paper's ARMv7-A setup): every strike lands within a 32-bit
+// register, whatever the interpreter's host word size.
+const regWidth = 32
+
 // flipBit flips the planned bit(s) in the given register of frame f.
-// The fault model follows the paper's ARMv7-A setup: registers are 32
-// bits wide, so each planned bit is reduced modulo 32 and, for
-// float-typed registers, mapped onto the float64 representation so the
-// *relative* perturbation matches an FP32 strike (mantissa bit k of 23
-// → mantissa bit k+29 of 52; exponent and sign bits likewise). A
-// FaultMultiBit plan flips Width adjacent architectural bits (wrapping
-// within the 32-bit register) through the same mapping.
+// The fault model follows the paper's ARMv7-A setup: registers are
+// regWidth (32) bits wide, so each planned bit is reduced modulo 32
+// and, for float-typed registers, mapped onto the float64
+// representation so the *relative* perturbation matches an FP32 strike
+// (mantissa bit k of 23 → mantissa bit k+29 of 52; exponent and sign
+// bits likewise). A FaultMultiBit plan flips Width adjacent
+// architectural bits through the same mapping, and adjacency wraps
+// modulo regWidth: a width-2 upset at bit 31 strikes bits {31, 0} —
+// the event stays inside the 32-bit register, it never escapes into
+// bit 32 of the host word. Every execution backend fires faults
+// through this one function (the careful-step path), so the wrap
+// semantics cannot diverge between interpreters.
 func (m *Machine) flipBit(f *frame, r ir.Reg) {
 	if r == ir.NoReg || int(r) >= len(f.regs) {
 		return
@@ -217,13 +227,13 @@ func (m *Machine) flipBit(f *frame, r ir.Reg) {
 	width := uint(1)
 	if m.fault.plan.Kind == FaultMultiBit && m.fault.plan.Width > 1 {
 		width = m.fault.plan.Width
-		if width > 32 {
-			width = 32
+		if width > regWidth {
+			width = regWidth
 		}
 	}
 	isFloat := f.fn.RegType[r] == ir.Float
 	for i := uint(0); i < width; i++ {
-		b := (uint(m.fault.plan.Bit) + i) % 32
+		b := (uint(m.fault.plan.Bit) + i) % regWidth
 		if isFloat {
 			switch {
 			case b == 31: // sign

@@ -137,11 +137,18 @@ type Config struct {
 	// run pass a shared Code so the decode cost is paid once; when nil
 	// (or built for a different module), New decodes on the spot.
 	Code *Code
+	// Backend selects the execution engine: the pre-decoded fast
+	// interpreter (default), the compiled closure-threaded backend, or
+	// the seed reference interpreter. All three are bit-identical in
+	// counters, cycles, outputs and fault outcomes; they differ only
+	// in speed. BackendAuto (the zero value) means BackendFast.
+	Backend Backend
 	// Reference selects the seed per-instruction interpreter instead
 	// of the pre-decoded fast path. Semantics are identical — the
 	// golden-counters differential test proves counters, outputs and
 	// fault outcomes match bit for bit — so the only reason to set it
-	// is that comparison itself (or benchmarking the speedup).
+	// is that comparison itself (or benchmarking the speedup). It
+	// predates Backend and overrides it when set.
 	Reference bool
 	// Trace, when non-nil, receives one line per executed instruction
 	// (capped by TraceLimit, default 10000) — the compiler-debugging
@@ -191,7 +198,6 @@ type Machine struct {
 	Mem *Memory
 	C   Counters
 	cfg Config
-	pl  pipeline
 	fr  []frame
 	// loadOverride redirects loads of a single address during
 	// re-computation of read-modify-write loops (the paper's
@@ -207,10 +213,24 @@ type Machine struct {
 	lastRet      uint64                // return value of the most recently returned frame
 	cancelAt     uint64                // Dyn threshold for the next Cancel poll
 
-	code   *Code    // pre-decoded module (shared, immutable)
-	region [][]bool // per-function per-block in-region flags (from cfg.RegionBlocks)
-	hookOp ir.Op    // runtime-hook opcode whose dispatch is in progress (Charge attribution)
-	met    *machineMetrics
+	code    *Code    // pre-decoded module (shared, immutable)
+	ccode   *ccode   // closure-threaded form (BackendCompiled only; shared, immutable)
+	backend Backend  // resolved execution engine
+	region  [][]bool // per-function per-block in-region flags (from cfg.RegionBlocks)
+	hookOp  ir.Op    // runtime-hook opcode whose dispatch is in progress (Charge attribution)
+	met     *machineMetrics
+
+	// Compiled-backend state: lazy per-segment execution counts
+	// (folded into C once per Run) and the conservative block-entry
+	// trigger thresholds — see compiled.go.
+	segHits       []uint64
+	dynTrigger    uint64
+	regionTrigger uint64
+
+	// pl sits last: its fixed slot/ring arrays span several pages, and
+	// keeping them past the scalar fields keeps every other hot field
+	// of the struct within the first cache lines.
+	pl pipeline
 }
 
 // cancelPollInterval bounds how many dynamic instructions execute
@@ -251,6 +271,10 @@ type frame struct {
 	block, ip int
 	stackMark int64
 	retDst    ir.Reg
+	// nseg is the compiled backend's next-segment hint: -1 or exactly
+	// the global segment starting at (block, ip) when this frame is on
+	// top — see runBlockC. Other backends leave it at -1.
+	nseg      int32
 	inRegion  bool
 	savedArgs []uint64 // captured for CallTracer when this is the traced fn
 }
@@ -286,12 +310,69 @@ func New(mod *ir.Module, cfg Config) *Machine {
 		code = CompileCode(mod)
 	}
 	m.code = code
+	m.backend = cfg.resolveBackend()
+	if m.backend == BackendCompiled {
+		m.ccode = code.compiledForm()
+	}
 	m.region = code.regionFlags(&m.cfg)
 	m.hookOp = ir.OpRTObserve
 	if cfg.Fault != nil {
 		m.fault = faultState{plan: *cfg.Fault, armed: true}
 	}
+	if m.backend == BackendCompiled {
+		m.segHits = make([]uint64, len(m.ccode.segs))
+		m.recalcTriggers()
+	}
 	return m
+}
+
+// Reset restores the machine to its just-constructed state for
+// another run of the same module, replacing the per-run configuration
+// (fault plan, cancel channel, hooks, budget, tracing) with cfg while
+// keeping every pooled allocation: the memory arena (watermark-
+// cleared), the frame stack's register slabs, the shared decoded and
+// compiled code, and the register-tag cache. Campaign workers reset
+// one machine per replica instead of building one machine per run.
+//
+// The build-affecting fields — Code, Backend/Reference, IssueWidth,
+// MemWords, RegionBlocks — must match the config the machine was
+// created with; Reset does not re-derive the decoded code, region
+// flags or backend. Callers that need a different module or backend
+// create a new machine.
+func (m *Machine) Reset(cfg Config) {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 22
+	}
+	if cfg.IssueWidth == 0 {
+		cfg.IssueWidth = 4
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = DefaultMaxInstrs
+	}
+	m.cfg = cfg
+	m.C = Counters{}
+	m.pl.init(cfg.IssueWidth)
+	m.fr = m.fr[:0]
+	m.Mem.reset()
+	m.overrideActive = false
+	m.overrideAddr = 0
+	m.overrideVal = 0
+	m.fault = faultState{}
+	if cfg.Fault != nil {
+		m.fault = faultState{plan: *cfg.Fault, armed: true}
+	}
+	m.faultFrameFn = 0
+	m.traced = 0
+	m.lastRet = 0
+	m.cancelAt = 0
+	m.hookOp = ir.OpRTObserve
+	if m.backend == BackendCompiled {
+		// Run folds-and-clears segHits on every exit, so the counts are
+		// already zero unless the previous run died in a contained panic
+		// — clear defensively so a reused machine never inherits them.
+		clear(m.segHits)
+		m.recalcTriggers()
+	}
 }
 
 // Release returns the machine's pooled resources (its memory arena)
@@ -333,6 +414,9 @@ func (m *Machine) Run(fnIdx int, args []uint64) (RunResult, error) {
 		return RunResult{}, err
 	}
 	err := m.runToDepth(0)
+	if m.segHits != nil {
+		m.foldSegCounters()
+	}
 	res := RunResult{
 		Ret:     m.lastRet,
 		Instrs:  m.C.Dyn,
@@ -380,13 +464,21 @@ func (m *Machine) pushFrame(fnIdx int, args []uint64, retDst ir.Reg) error {
 			f.ready[i] = 0
 		}
 	} else {
-		f.regs = make([]uint64, nr)
-		f.ready = make([]uint64, nr)
+		// One struct-of-arrays slab per frame: the register values and
+		// their ready cycles sit adjacent, so the value/ready pair an
+		// instruction touches shares cache lines across the whole file.
+		s := make([]uint64, 2*nr)
+		f.regs = s[:nr:nr]
+		f.ready = s[nr:]
 	}
 	f.fn = fn
 	f.fi = fnIdx
 	f.block = 0
 	f.ip = 0
+	f.nseg = -1
+	if m.ccode != nil {
+		f.nseg = m.ccode.entrySeg[fnIdx]
+	}
 	f.stackMark = m.Mem.StackMark()
 	f.retDst = retDst
 	f.savedArgs = nil
@@ -413,9 +505,11 @@ func (m *Machine) popFrame() {
 	m.fr = m.fr[:len(m.fr)-1]
 }
 
-// runToDepth steps until the frame stack shrinks to the given depth.
+// runToDepth steps until the frame stack shrinks to the given depth,
+// using whichever execution engine the config selected.
 func (m *Machine) runToDepth(depth int) error {
-	if m.cfg.Reference {
+	switch m.backend {
+	case BackendReference:
 		for len(m.fr) > depth {
 			if err := m.step(); err != nil {
 				// Unwind so nested invocations leave a consistent stack.
@@ -426,6 +520,8 @@ func (m *Machine) runToDepth(depth int) error {
 			}
 		}
 		return nil
+	case BackendCompiled:
+		return m.runCompiled(depth)
 	}
 	return m.runFast(depth)
 }

@@ -6,6 +6,7 @@ import (
 
 	"rskip/internal/core"
 	"rskip/internal/fault"
+	"rskip/internal/machine"
 )
 
 // Wire types of the rskipd JSON API (version v1). Field names are the
@@ -38,13 +39,17 @@ type configJSON struct {
 	FixedStride   int      `json:"fixed_stride,omitempty"`
 	IssueWidth    int      `json:"issue_width,omitempty"`
 	EnableCFC     bool     `json:"enable_cfc,omitempty"`
+	// Backend selects the execution engine ("fast", "compiled" or
+	// "reference"; absent or "auto" means the server default). All
+	// backends are bit-identical, so it never affects the build cache.
+	Backend string `json:"backend,omitempty"`
 }
 
 // toCoreConfig overlays the request config on the default deployment.
-func (c *configJSON) toCoreConfig() core.Config {
+func (c *configJSON) toCoreConfig() (core.Config, error) {
 	cfg := core.DefaultConfig()
 	if c == nil {
-		return cfg
+		return cfg, nil
 	}
 	if c.AR != nil {
 		cfg.AR = *c.AR
@@ -59,7 +64,11 @@ func (c *configJSON) toCoreConfig() core.Config {
 	cfg.FixedStride = c.FixedStride
 	cfg.IssueWidth = c.IssueWidth
 	cfg.EnableCFC = c.EnableCFC
-	return cfg
+	var err error
+	if cfg.Backend, err = machine.ParseBackend(c.Backend); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
 }
 
 // parseScheme maps the wire scheme slug to the core enum.
@@ -223,9 +232,9 @@ func toCampaignResult(r fault.Result) *campaignResultJSON {
 	j := &campaignResultJSON{
 		Scheme: r.Scheme.String(), N: r.N, Requested: r.Requested,
 		EarlyStopped: r.EarlyStopped, Exhaustive: r.Exhaustive,
-		Counts:       map[string]int{},
-		Protection:   r.ProtectionRate(),
-		Fired:        r.Fired, FalseNeg: r.FalseNeg, Recovered: r.Recovered,
+		Counts:     map[string]int{},
+		Protection: r.ProtectionRate(),
+		Fired:      r.Fired, FalseNeg: r.FalseNeg, Recovered: r.Recovered,
 	}
 	lo, hi := r.ProtectionCI()
 	j.ProtectionCI = [2]float64{lo, hi}

@@ -385,7 +385,11 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, err
 	if err != nil {
 		return fault.Result{}, err
 	}
-	p, err := core.BuildContext(ctx, b, req.Config.toCoreConfig())
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		return fault.Result{}, err
+	}
+	p, err := core.BuildContext(ctx, b, cfg)
 	if err != nil {
 		return fault.Result{}, err
 	}
@@ -448,6 +452,11 @@ func validateCampaignRequest(req *campaignRequest) (core.Scheme, error) {
 		return 0, err
 	}
 	if err := fcfg.Validate(); err != nil {
+		return 0, err
+	}
+	// Reject an unknown backend at submit time, not when the queued
+	// job finally builds.
+	if _, err := req.Config.toCoreConfig(); err != nil {
 		return 0, err
 	}
 	return scheme, nil

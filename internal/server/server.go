@@ -441,9 +441,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSync()
 
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_backend", "%v", err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CompileTimeout)
 	defer cancel()
-	p, cached, err := core.BuildContextCached(ctx, b, req.Config.toCoreConfig())
+	p, cached, err := core.BuildContextCached(ctx, b, cfg)
 	if err != nil {
 		switch {
 		case ctx.Err() != nil:
@@ -545,11 +550,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSync()
 
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_backend", "%v", err)
+		return
+	}
 	// The build is bounded by the compile budget; the client's run
 	// timeout only starts ticking once execution begins, so a cold
 	// cache never converts a short run budget into a compile failure.
 	buildCtx, buildCancel := context.WithTimeout(r.Context(), s.cfg.CompileTimeout)
-	p, cached, err := core.BuildContextCached(buildCtx, b, req.Config.toCoreConfig())
+	p, cached, err := core.BuildContextCached(buildCtx, b, cfg)
 	buildCancel()
 	if err != nil {
 		if buildCtx.Err() != nil {

@@ -857,3 +857,51 @@ func TestCampaignFaultModels(t *testing.T) {
 		t.Errorf("swiftrhard protection %.2f%% under exhaustive single skips, want exactly 100%%", st.Result.Protection)
 	}
 }
+
+// TestRunBackendField exercises the wire backend selector: every
+// backend must produce identical simulated counters for the same
+// request (they are bit-identical engines), and an unknown name is a
+// structured 400 at submit time.
+func TestRunBackendField(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	type counts struct {
+		Instrs uint64 `json:"instrs"`
+		Cycles uint64 `json:"cycles"`
+	}
+	var ref counts
+	for i, be := range []string{"reference", "fast", "compiled"} {
+		var resp counts
+		code := postJSON(t, ts.URL+"/v1/run", map[string]any{
+			"bench": "conv1d", "scheme": "swiftr", "scale": "tiny",
+			"config": map[string]any{"backend": be},
+		}, &resp)
+		if code != 200 {
+			t.Fatalf("backend %q: status %d", be, code)
+		}
+		if i == 0 {
+			ref = resp
+			continue
+		}
+		if resp != ref {
+			t.Errorf("backend %q: instrs/cycles %+v, reference %+v", be, resp, ref)
+		}
+	}
+
+	var raw map[string]any
+	if code := postJSON(t, ts.URL+"/v1/run", map[string]any{
+		"bench": "conv1d", "scheme": "swiftr", "scale": "tiny",
+		"config": map[string]any{"backend": "turbo"},
+	}, &raw); code != 400 {
+		t.Fatalf("unknown backend: status %d", code)
+	} else if errCode(t, raw) != "unknown_backend" {
+		t.Errorf("unknown backend: code %v", raw)
+	}
+
+	// Campaign submissions reject bad backends before queueing.
+	if code := postJSON(t, ts.URL+"/v1/campaigns", map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": 1,
+		"config": map[string]any{"backend": "turbo"},
+	}, &raw); code != 400 {
+		t.Fatalf("campaign unknown backend: status %d", code)
+	}
+}

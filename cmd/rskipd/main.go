@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rskipd [-addr :8321] [-workers 2] [-queue 16] [-sync 4]
-//	       [-max-body 1048576] [-checkpoint-dir dir]
+//	       [-max-body 1048576] [-checkpoint-dir dir] [-result-cache-dir dir]
 //	       [-compile-timeout 30s] [-run-timeout 30s] [-max-run-timeout 2m]
 //	       [-drain-timeout 30s]
 //	       [-trace out.jsonl] [-trace-tree] [-metrics out.json]
@@ -42,6 +42,7 @@ func main() {
 		syncLimit      = flag.Int("sync", 0, "concurrent synchronous compile/run slots (0 = 2×workers)")
 		maxBody        = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		ckDir          = flag.String("checkpoint-dir", "", "persist jobs + campaign checkpoints here (resumable across restarts)")
+		resultDir      = flag.String("result-cache-dir", "", "content-addressed per-region campaign results here (enables incremental campaigns)")
 		compileTimeout = flag.Duration("compile-timeout", 30*time.Second, "per-request build timeout")
 		runTimeout     = flag.Duration("run-timeout", 30*time.Second, "default /v1/run wall-clock timeout")
 		maxRunTimeout  = flag.Duration("max-run-timeout", 2*time.Minute, "cap on client-requested run timeouts")
@@ -78,9 +79,10 @@ func main() {
 		Workers: *workers, QueueDepth: *queue, SyncLimit: *syncLimit,
 		MaxBodyBytes:   *maxBody,
 		CompileTimeout: *compileTimeout, DefaultRunTimeout: *runTimeout,
-		MaxRunTimeout: *maxRunTimeout,
-		CheckpointDir: *ckDir,
-		Obs:           o,
+		MaxRunTimeout:  *maxRunTimeout,
+		CheckpointDir:  *ckDir,
+		ResultCacheDir: *resultDir,
+		Obs:            o,
 	})
 	if err != nil {
 		fatal(err)

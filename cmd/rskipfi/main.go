@@ -12,6 +12,7 @@
 //
 //	rskipfi -bench sgemm [-n 1000] [-ar 0.2] [-schemes unsafe,swiftr,rskip] [-seed N]
 //	        [-fault-kind seu|skip|multibit] [-skip-width N] [-bit-width N] [-exhaustive]
+//	        [-stratify] [-incremental] [-result-cache-dir dir]
 //	        [-backend compiled|fast|reference]
 //	        [-json] [-checkpoint path] [-timeout 30s] [-target-ci 2.0] [-workers N]
 //	        [-trace out.jsonl] [-trace-tree] [-metrics out.json] [-pprof addr]
@@ -24,6 +25,15 @@
 // instruction for skip, every instruction × starting bit for
 // multibit) — meant for the micro-kernels (musum, mudot, mumax) and
 // the swiftrhard scheme, whose single-skip immunity it proves.
+//
+// -stratify allocates the n replicas across instruction-class strata
+// (ALU, float, memory, ...) in proportion to the profiled stream, so
+// rare classes are sampled deliberately and the protection CI uses
+// the weighted stratified estimator. -incremental switches to the
+// compositional analyzer: one campaign of n replicas per
+// candidate-loop region, composed into program-level figures; with
+// -result-cache-dir, per-region results persist content-addressed, so
+// after a source edit only the edited region's campaign re-runs.
 //
 // Each campaign's row (table and -json alike) carries a metrics
 // summary — the pipeline counters that moved during that campaign —
@@ -48,19 +58,29 @@ import (
 	"rskip/internal/fault"
 	"rskip/internal/machine"
 	"rskip/internal/obs"
+	"rskip/internal/result"
 	"rskip/internal/stats"
 )
 
 // campaignJSON is the machine-readable form of one campaign, for
 // downstream tooling and bench trajectory files.
 type campaignJSON struct {
-	Bench        string                    `json:"bench"`
-	Scheme       string                    `json:"scheme"`
-	N            int                       `json:"n"`
-	Requested    int                       `json:"requested"`
-	EarlyStopped bool                      `json:"early_stopped,omitempty"`
-	FaultModel   string                    `json:"fault_model,omitempty"`
-	Exhaustive   bool                      `json:"exhaustive,omitempty"`
+	Bench        string `json:"bench"`
+	Scheme       string `json:"scheme"`
+	N            int    `json:"n"`
+	Requested    int    `json:"requested"`
+	EarlyStopped bool   `json:"early_stopped,omitempty"`
+	FaultModel   string `json:"fault_model,omitempty"`
+	Exhaustive   bool   `json:"exhaustive,omitempty"`
+	// Incremental marks a compositional per-region analysis; Regions,
+	// CacheHits and CacheMisses describe its cache traffic.
+	Incremental bool `json:"incremental,omitempty"`
+	Regions     int  `json:"regions,omitempty"`
+	CacheHits   int  `json:"cache_hits,omitempty"`
+	CacheMisses int  `json:"cache_misses,omitempty"`
+	// Strata is the per-instruction-class breakdown of a -stratify
+	// campaign.
+	Strata       []strataJSON              `json:"strata,omitempty"`
 	Counts       map[string]int            `json:"counts"`
 	Rates        map[string]float64        `json:"rates"`
 	CI95         map[string][2]float64     `json:"ci95"`
@@ -74,6 +94,14 @@ type campaignJSON struct {
 	// Metrics holds the pipeline counters that moved during this
 	// campaign (after-minus-before snapshot deltas).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// strataJSON is one instruction-class stratum of a -stratify campaign.
+type strataJSON struct {
+	Class     string  `json:"class"`
+	Weight    float64 `json:"weight"`
+	N         int     `json:"n"`
+	Protected int     `json:"protected"`
 }
 
 func toJSON(benchName, label string, r fault.Result) campaignJSON {
@@ -98,6 +126,12 @@ func toJSON(benchName, label string, r fault.Result) campaignJSON {
 			j.Errors = map[string]map[string]int{}
 		}
 		j.Errors[cls.String()] = byMsg
+	}
+	for _, st := range r.Strata {
+		j.Strata = append(j.Strata, strataJSON{
+			Class: st.Class.String(), Weight: st.Weight,
+			N: st.N, Protected: st.Protected,
+		})
 	}
 	return j
 }
@@ -124,6 +158,9 @@ func main() {
 		skipWidth = flag.Int("skip-width", 1, "consecutive instructions suppressed per skip fault")
 		bitWidth  = flag.Int("bit-width", 2, "adjacent bits flipped per multibit fault")
 		exhaust   = flag.Bool("exhaustive", false, "enumerate every fault site instead of sampling n faults (skip/multibit only; -n is ignored)")
+		stratify  = flag.Bool("stratify", false, "allocate the n replicas across instruction-class strata in proportion to the profiled stream (tighter CIs at equal n)")
+		increment = flag.Bool("incremental", false, "compositional per-region analysis: one campaign of n replicas per candidate-loop region, composed to program-level figures (pairs with -result-cache-dir)")
+		cacheDir  = flag.String("result-cache-dir", "", "content-addressed per-region result cache for -incremental: unedited regions are served from cache across runs")
 		trainN    = flag.Int("train", 3, "number of training inputs")
 		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 		ckBase    = flag.String("checkpoint", "", "checkpoint file base path (per-scheme files derive from it); an interrupted sweep resumes from it")
@@ -137,6 +174,25 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// The incremental analyzer owns its sampling discipline (fixed
+	// replicas per region, region-keyed seeds), so the knobs that
+	// reshape a monolithic campaign's plan list conflict with it.
+	if *increment {
+		switch {
+		case *exhaust:
+			fatal(errors.New("-incremental and -exhaustive conflict: exhaustive enumeration is already per-site; there is nothing to compose or cache"))
+		case *targetCI > 0:
+			fatal(errors.New("-incremental and -target-ci conflict: early stopping would make cached per-region counts depend on when a previous run stopped"))
+		case *stratify:
+			fatal(errors.New("-incremental and -stratify conflict: the incremental analyzer already stratifies by region; per-class strata inside a region are not cacheable yet"))
+		case *ckBase != "":
+			fatal(errors.New("-incremental and -checkpoint conflict: the result cache is the incremental analyzer's persistence"))
+		}
+	}
+	if *cacheDir != "" && !*increment {
+		fatal(errors.New("-result-cache-dir only applies to -incremental analyses"))
+	}
 
 	cli, err := obs.SetupCLI(obs.CLIConfig{
 		TracePath: *tracePath, TraceTree: *traceTree,
@@ -204,8 +260,18 @@ func main() {
 	if *exhaust {
 		title = fmt.Sprintf("fault injection — %s, exhaustive enumeration per scheme (%s; 95%% Wilson CIs)", b.Name, faultDesc)
 	}
-	t := stats.NewTable(title,
-		"scheme", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]", "false neg", "recovered")
+	headers := []string{"scheme", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]", "false neg", "recovered"}
+	var resultCache *result.Cache
+	if *increment {
+		title = fmt.Sprintf("fault injection — %s, incremental per-region analysis, %d replicas per region (%s; weighted 95%% CIs)", b.Name, *n, faultDesc)
+		headers = []string{"scheme", "regions", "cached", "runs", "Correct", "SDC", "Segfault", "Core dump", "Hang", "Detected", "protection [95% CI]"}
+		if *cacheDir != "" {
+			if resultCache, err = result.Open(*cacheDir); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	t := stats.NewTable(title, headers...)
 	var jsonRows []campaignJSON
 	var summaries []string
 	for _, name := range strings.Split(*schemes, ",") {
@@ -224,13 +290,58 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown scheme %q", name))
 		}
+		label := s.String()
+		if s == core.RSkip {
+			label = fmt.Sprintf("RSkip AR%.0f", *ar*100)
+		}
+		if *increment {
+			before := o.M().Snapshot()
+			rep, err := result.Analyze(ctx, p, s, inst, result.Options{
+				Cache: resultCache, PerRegionN: *n, Seed: *seed,
+				InstKey: "test0/fi", Mix: mix,
+				SkipWidth: *skipWidth, BitWidth: *bitWidth,
+				Workers: *workers,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			delta := obs.Delta(before, o.M().Snapshot())
+			r := rep.Composed
+			if *jsonOut {
+				row := toJSON(b.Name, label, r)
+				row.FaultModel = *faultKind
+				row.Incremental = true
+				row.Regions = len(rep.Regions)
+				row.CacheHits, row.CacheMisses = rep.CacheHits, rep.CacheMisses
+				// The weighted program-level figures replace the pooled
+				// ones (pooling weights regions by replica count).
+				row.Protection = rep.Protection
+				row.ProtectionCI = rep.ProtectionCI
+				row.Metrics = delta
+				jsonRows = append(jsonRows, row)
+				continue
+			}
+			summaries = append(summaries, metricsSummary(label, delta))
+			t.Row(label,
+				fmt.Sprintf("%d", len(rep.Regions)),
+				fmt.Sprintf("%d", rep.CacheHits),
+				fmt.Sprintf("%d", r.N),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.Correct)),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.SDC)),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.Segfault)),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.CoreDump)),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.Hang)),
+				fmt.Sprintf("%.1f%%", r.Rate(fault.Detected)),
+				fmt.Sprintf("%.1f%% [%.1f, %.1f]", rep.Protection, rep.ProtectionCI[0], rep.ProtectionCI[1]))
+			continue
+		}
 		fcfg := fault.Config{
 			N: *n, Seed: *seed, Workers: *workers, Batch: *batch,
 			RunTimeout: *timeout, TargetCI: *targetCI,
 			CheckpointPath: schemeCheckpoint(*ckBase, s),
 			Mix:            mix,
 			SkipWidth:      *skipWidth, BitWidth: *bitWidth,
-			Exhaustive: *exhaust,
+			Exhaustive: *exhaust, Stratify: *stratify,
 		}
 		if *exhaust {
 			fcfg.N = 0 // the enumerator derives the count from the region
@@ -250,10 +361,6 @@ func main() {
 			fatal(err)
 		}
 		delta := obs.Delta(before, o.M().Snapshot())
-		label := s.String()
-		if s == core.RSkip {
-			label = fmt.Sprintf("RSkip AR%.0f", *ar*100)
-		}
 		if *jsonOut {
 			row := toJSON(b.Name, label, r)
 			row.FaultModel = *faultKind

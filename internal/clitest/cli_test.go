@@ -181,3 +181,107 @@ func TestRskipfiJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRskipfiIncrementalColdWarm pins the incremental analysis report
+// across a cold and a warm run against the same result cache. The two
+// tables must carry identical figures — the warm run differs only in
+// its cached column and in the metrics block, which shrinks to the
+// single profile run that fingerprints the regions.
+func TestRskipfiIncrementalColdWarm(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	cache := filepath.Join(t.TempDir(), "results")
+	args := []string{"-bench", "conv1d", "-n", "40", "-seed", "123",
+		"-schemes", "unsafe,rskip", "-train", "2", "-workers", "2",
+		"-incremental", "-result-cache-dir", cache}
+	cold := Run(t, bin, args...)
+	if cold.Code != 0 {
+		t.Fatalf("cold run: exit %d\n%s", cold.Code, cold.Stderr)
+	}
+	warm := Run(t, bin, args...)
+	if warm.Code != 0 {
+		t.Fatalf("warm run: exit %d\n%s", warm.Code, warm.Stderr)
+	}
+	Golden(t, "rskipfi_conv1d_incremental",
+		cold.Stdout+"=== warm re-run against the same cache ===\n"+warm.Stdout, *update)
+}
+
+// TestRskipfiIncrementalJSON checks the machine-readable incremental
+// report exposes the cache traffic that proves incrementality.
+func TestRskipfiIncrementalJSON(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	cache := filepath.Join(t.TempDir(), "results")
+	args := []string{"-bench", "conv1d", "-n", "40", "-seed", "123",
+		"-schemes", "rskip", "-train", "2", "-workers", "2", "-json",
+		"-incremental", "-result-cache-dir", cache}
+	cold := Run(t, bin, args...)
+	if cold.Code != 0 {
+		t.Fatalf("cold run: exit %d\n%s", cold.Code, cold.Stderr)
+	}
+	for _, want := range []string{`"incremental": true`, `"regions": 1`, `"cache_misses": 1`} {
+		if !strings.Contains(cold.Stdout, want) {
+			t.Errorf("cold JSON lacks %s\n%s", want, cold.Stdout)
+		}
+	}
+	warm := Run(t, bin, args...)
+	if warm.Code != 0 {
+		t.Fatalf("warm run: exit %d\n%s", warm.Code, warm.Stderr)
+	}
+	if !strings.Contains(warm.Stdout, `"cache_hits": 1`) {
+		t.Errorf("warm JSON lacks \"cache_hits\": 1\n%s", warm.Stdout)
+	}
+	if strings.Contains(warm.Stdout, `"cache_misses"`) {
+		t.Errorf("warm JSON still reports cache misses\n%s", warm.Stdout)
+	}
+}
+
+// TestRskipfiStratifyTable pins a stratified sweep: allocation by
+// instruction class changes which replicas run, so the table differs
+// from the plain sampled golden under the same seed.
+func TestRskipfiStratifyTable(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	res := Run(t, bin, "-bench", "conv1d", "-n", "60", "-seed", "123",
+		"-schemes", "unsafe,swift", "-train", "2", "-workers", "2", "-stratify")
+	if res.Code != 0 {
+		t.Fatalf("exit %d\n%s", res.Code, res.Stderr)
+	}
+	Golden(t, "rskipfi_conv1d_stratify_table", res.Stdout, *update)
+}
+
+// TestRskipfiIncrementalFlagConflicts checks the option-conflict front
+// door: each rejected combination exits nonzero with a diagnostic that
+// names both flags.
+func TestRskipfiIncrementalFlagConflicts(t *testing.T) {
+	bin := Binary(t, "rskipfi")
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"incremental+exhaustive",
+			[]string{"-bench", "musum", "-fault-kind", "skip", "-incremental", "-exhaustive"},
+			"-incremental and -exhaustive"},
+		{"incremental+target-ci",
+			[]string{"-bench", "conv1d", "-incremental", "-target-ci", "0.05"},
+			"-incremental and -target-ci"},
+		{"incremental+stratify",
+			[]string{"-bench", "conv1d", "-incremental", "-stratify"},
+			"-incremental and -stratify"},
+		{"incremental+checkpoint",
+			[]string{"-bench", "conv1d", "-incremental", "-checkpoint", "ck.json"},
+			"-incremental and -checkpoint"},
+		{"cache dir without incremental",
+			[]string{"-bench", "conv1d", "-result-cache-dir", "results"},
+			"-result-cache-dir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Run(t, bin, tc.args...)
+			if res.Code == 0 {
+				t.Fatalf("conflicting flags exited 0\nstdout: %s", res.Stdout)
+			}
+			if !strings.Contains(res.Stderr, tc.want) {
+				t.Errorf("stderr %q does not name the conflict %q", res.Stderr, tc.want)
+			}
+		})
+	}
+}

@@ -44,6 +44,7 @@ type artifacts struct {
 	candidates   []analysis.Candidate
 	regionBlocks map[int]map[int]bool
 	regionFuncs  map[int]bool
+	regionOwner  map[int]int
 	variants     map[Scheme]*Variant
 }
 

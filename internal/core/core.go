@@ -118,6 +118,10 @@ type Program struct {
 	// RegionFuncs marks the outlined recompute slices of the RSkip
 	// variant, which execute in-region wherever they are called from.
 	RegionFuncs map[int]bool
+	// RegionOwner maps each outlined recompute slice back to the
+	// function its loop lives in, so region traces attribute the
+	// slice's execution to the owning region.
+	RegionOwner map[int]int
 
 	Trained *train.Result
 
@@ -164,6 +168,14 @@ func schemeExtras(s Scheme, cfg Config) []string {
 		return []string{"cfc"}
 	}
 	return nil
+}
+
+// PipelineSig is the content signature of the pass pipeline that
+// produces scheme s under cfg — the same signature the build cache
+// keys on. The campaign-result cache includes it so results computed
+// under one pipeline implementation never masquerade as another's.
+func PipelineSig(s Scheme, cfg Config) string {
+	return pass.PipelineSignature(s.pipelineName(), schemeExtras(s, cfg)...)
 }
 
 // rtmMetrics are the prediction counters fed after every RSkip run.
@@ -254,6 +266,7 @@ func newProgram(b bench.Benchmark, cfg Config, art *artifacts) *Program {
 		Candidates:   art.candidates,
 		RegionBlocks: art.regionBlocks,
 		RegionFuncs:  art.regionFuncs,
+		RegionOwner:  art.regionOwner,
 		variants:     art.variants,
 	}
 }
@@ -323,8 +336,10 @@ func buildArtifacts(ctx context.Context, b bench.Benchmark, cfg Config) (*artifa
 			rb[blk] = true
 		}
 	}
+	art.regionOwner = map[int]int{}
 	for _, li := range art.variants[RSkip].Mod.Loops {
 		art.regionFuncs[li.RecomputeFn] = true
+		art.regionOwner[li.RecomputeFn] = li.Func
 	}
 	return art, nil
 }
@@ -448,6 +463,12 @@ type RunOpts struct {
 	// value (BackendAuto) falls back to the program's Config.Backend,
 	// and that falling back to the fast interpreter.
 	Backend machine.Backend
+	// RegionTrace, when non-nil, records the owner/class layout of the
+	// in-region instruction stream. Tracing lives in the reference
+	// interpreter, so setting it forces Reference for this run; since
+	// all backends count regions bit-identically, the recorded layout
+	// holds for every backend.
+	RegionTrace *machine.RegionTrace
 }
 
 // Outcome reports one execution.
@@ -517,6 +538,11 @@ func (p *Program) machineConfig(s Scheme, mod *ir.Module, opts RunOpts) (machine
 		Backend:      backend,
 		Reference:    opts.Reference,
 		Metrics:      p.obs.M(),
+	}
+	if opts.RegionTrace != nil {
+		mcfg.RegionTrace = opts.RegionTrace
+		mcfg.Reference = true
+		mcfg.RegionOwner = p.RegionOwner
 	}
 	if opts.Trace != nil && opts.TraceLimit > 0 {
 		mcfg.Trace = opts.Trace

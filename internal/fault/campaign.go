@@ -63,6 +63,12 @@ type Config struct {
 	// HangFactor sets the instruction budget as a multiple of the
 	// scheme's fault-free run (default 50).
 	HangFactor uint64
+	// Budget, when positive, is the per-run instruction budget
+	// directly, overriding the HangFactor derivation. Compositional
+	// analysis (internal/result) pins it to a stable bucket so cached
+	// per-region results stay comparable across source edits that
+	// perturb the fault-free instruction count slightly.
+	Budget uint64
 	// Mix sets the sampling weights of the fault kinds; zero uses
 	// DefaultMix.
 	Mix Mix
@@ -85,6 +91,19 @@ type Config struct {
 	// a region too large to enumerate under the budget is an error, not
 	// a silent truncation.
 	ExhaustiveBudget int
+	// Stratify allocates the N replicas across instruction-class
+	// strata (ALU, float, memory, branch, ...) in proportion to each
+	// class's share of the in-region dynamic instruction stream,
+	// drawing targets uniformly within each class. Rare classes get
+	// dedicated replicas instead of relying on uniform sampling to hit
+	// them, and the protection CI becomes the merged stratified
+	// interval (stats.StratifiedWilson) — typically tighter at equal N
+	// when classes differ in vulnerability. Incompatible with
+	// Exhaustive (which already visits every site exactly once) and
+	// with TargetCI (early stop would truncate the class-major plan
+	// order and silently unbalance the allocation); Validate rejects
+	// both combinations with a ConfigConflictError.
+	Stratify bool
 	// RunTimeout, when positive, bounds each injected run by
 	// wall-clock time; a run that exceeds it is classified Hang. Note
 	// that wall-clock deadlines make outcomes timing-dependent — leave
@@ -166,6 +185,14 @@ func (cfg *Config) Validate() error {
 	if cfg.Mix != (Mix{}) && cfg.Mix.sum() == 0 {
 		return fmt.Errorf("fault: config: Mix weights sum to zero; leave Mix zero for DefaultMix or give at least one positive weight")
 	}
+	if cfg.Stratify && cfg.Exhaustive {
+		return &ConfigConflictError{Options: "Stratify and Exhaustive",
+			Reason: "exhaustive enumeration visits every fault site exactly once; a sampling allocation has nothing to decide"}
+	}
+	if cfg.Stratify && cfg.TargetCI > 0 {
+		return &ConfigConflictError{Options: "Stratify and TargetCI",
+			Reason: "early stopping truncates the class-major plan order and silently unbalances the per-class allocation"}
+	}
 	if cfg.Exhaustive {
 		seu := cfg.Mix.RegFile + cfg.Mix.Result + cfg.Mix.Source + cfg.Mix.Opcode
 		skipOnly := cfg.Mix.Skip > 0 && cfg.Mix.MultiBit == 0 && seu == 0
@@ -215,6 +242,19 @@ func (m Mix) sum() float64 {
 // DefaultMix follows the register-file-dominated SEU model of the
 // paper's gem5 setup.
 var DefaultMix = Mix{RegFile: 0.80, Result: 0.10, Source: 0.05, Opcode: 0.05}
+
+// ConfigConflictError reports two Config options that are
+// individually valid but meaningless together. It is a distinct type
+// so CLIs and the server can map it to a usage error instead of a
+// campaign failure.
+type ConfigConflictError struct {
+	Options string // the conflicting option pair, e.g. "Stratify and Exhaustive"
+	Reason  string
+}
+
+func (e *ConfigConflictError) Error() string {
+	return fmt.Sprintf("fault: config: %s cannot be combined: %s", e.Options, e.Reason)
+}
 
 // UnknownModelError reports a fault-model name ModelMix does not know.
 type UnknownModelError struct{ Model string }
@@ -272,6 +312,26 @@ type Result struct {
 	// string. Contained worker panics appear under CoreDump with a
 	// "panic: ..." message.
 	Errors map[Class]map[string]int
+	// Strata is the per-instruction-class breakdown of a stratified
+	// campaign (Config.Stratify), in class order; empty otherwise.
+	// When present, ProtectionRate and ProtectionCI use the weighted
+	// stratified estimator instead of pooling runs.
+	Strata []StratumResult
+}
+
+// StratumResult is one instruction-class stratum of a stratified
+// campaign.
+type StratumResult struct {
+	// Class is the instruction class the stratum samples.
+	Class machine.OpClass
+	// Weight is the class's share of the in-region dynamic
+	// instruction stream (weights sum to 1 across Strata).
+	Weight float64
+	// N is the number of completed runs in the stratum; Protected of
+	// them were Correct or Detected.
+	N         int
+	Protected int
+	Counts    [NumClasses]int
 }
 
 // Rate returns the percentage of completed runs in the class.
@@ -289,16 +349,38 @@ func (r *Result) CI(c Class) (lo, hi float64) {
 	return 100 * wl, 100 * wh
 }
 
+// protectionStrata views Strata as stats strata over the protection
+// event (Correct or Detected).
+func (r *Result) protectionStrata() []stats.Stratum {
+	s := make([]stats.Stratum, len(r.Strata))
+	for i, st := range r.Strata {
+		s[i] = stats.Stratum{W: st.Weight, K: st.Protected, N: st.N}
+	}
+	return s
+}
+
 // ProtectionRate is the paper's headline reliability metric: the
 // fraction of injected faults that did not corrupt the program
-// (Correct plus, for detection-only schemes, Detected).
+// (Correct plus, for detection-only schemes, Detected). A stratified
+// campaign reports the weighted estimate — each class's observed rate
+// scaled by the class's true population share — rather than the
+// pooled run count, which would bias toward over-sampled classes.
 func (r *Result) ProtectionRate() float64 {
+	if len(r.Strata) > 0 {
+		p, _, _ := stats.StratifiedWilson(r.protectionStrata(), stats.Z95)
+		return 100 * p
+	}
 	return r.Rate(Correct) + r.Rate(Detected)
 }
 
 // ProtectionCI returns the 95% Wilson confidence interval (in
-// percent) on the protection rate.
+// percent) on the protection rate; for stratified campaigns it is the
+// merged interval across class strata.
 func (r *Result) ProtectionCI() (lo, hi float64) {
+	if len(r.Strata) > 0 {
+		_, wl, wh := stats.StratifiedWilson(r.protectionStrata(), stats.Z95)
+		return 100 * wl, 100 * wh
+	}
 	wl, wh := stats.Wilson(r.Counts[Correct]+r.Counts[Detected], r.N, stats.Z95)
 	return 100 * wl, 100 * wh
 }

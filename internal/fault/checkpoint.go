@@ -1,12 +1,15 @@
 package fault
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"rskip/internal/core"
+	"rskip/internal/machine"
 )
 
 // checkpointVersion guards the on-disk format.
@@ -56,7 +59,38 @@ func checkpointKey(p *core.Program, s core.Scheme, cfg Config) string {
 		key += fmt.Sprintf("|xmix=%g/%g|sw=%d|bw=%d|ex=%v",
 			cfg.Mix.Skip, cfg.Mix.MultiBit, cfg.SkipWidth, cfg.BitWidth, cfg.Exhaustive)
 	}
+	// Same conditional-suffix discipline: stratified campaigns draw a
+	// different plan list from the same seed, so they must never resume
+	// a uniform campaign's checkpoint (or vice versa), while uniform
+	// checkpoints written before stratification keep their keys.
+	if cfg.Stratify {
+		key += "|strat=1"
+	}
+	if cfg.Budget > 0 {
+		key += fmt.Sprintf("|bud=%d", cfg.Budget)
+	}
 	return key
+}
+
+// plansHash fingerprints an explicit plan list for checkpoint
+// identity: every field that selects the fault each run injects.
+func plansHash(plans []machine.FaultPlan) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(len(plans)))
+	for i := range plans {
+		pl := &plans[i]
+		put(uint64(pl.Kind))
+		put(pl.Target)
+		put(uint64(pl.Bit))
+		put(uint64(pl.Pick))
+		put(uint64(pl.Width))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // CorruptCheckpointError reports a checkpoint file that exists but

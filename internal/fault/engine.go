@@ -65,9 +65,14 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	met.campaigns.Inc()
 
 	// Fault-free profile run of this scheme: golden output, region
-	// size, instruction budget.
+	// size, instruction budget — plus, for stratified sampling, the
+	// region layout trace the allocation derives from.
+	var trace *machine.RegionTrace
+	if cfg.Stratify {
+		trace = &machine.RegionTrace{}
+	}
 	_, spp := obs.Start(ctx, "campaign/profile")
-	profile, err := runProfile(p, s, inst)
+	profile, err := runProfile(p, s, inst, trace)
 	spp.End()
 	if err != nil {
 		return Result{}, err
@@ -76,38 +81,108 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	// Pre-draw (or enumerate) all fault plans so the campaign is
 	// deterministic regardless of worker scheduling — and resumable by
 	// index.
-	var plans []machine.FaultPlan
-	if cfg.Exhaustive {
-		plans, err = enumeratePlans(cfg, profile.Result.Region)
+	e := &engine{
+		p: p, s: s, inst: inst,
+		golden: profile.Output,
+		budget: runBudget(cfg, profile.Result.Instrs),
+		met:    met,
+	}
+	switch {
+	case cfg.Exhaustive:
+		e.plans, err = enumeratePlans(cfg, profile.Result.Region)
 		if err != nil {
 			return Result{}, err
 		}
-		cfg.N = len(plans)
+		cfg.N = len(e.plans)
 		sp.SetAttr("exhaustive_n", cfg.N)
-	} else {
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		plans = make([]machine.FaultPlan, cfg.N)
-		for i := range plans {
-			plans[i] = machine.FaultPlan{
-				Kind:   drawKind(rng, cfg.Mix),
-				Target: uint64(rng.Int63n(int64(profile.Result.Region))),
-				Bit:    uint(rng.Intn(64)),
-				Pick:   rng.Intn(1 << 20),
-			}
-			plans[i].Width = planWidth(plans[i].Kind, cfg)
+	case cfg.Stratify:
+		if err := trace.Err(); err != nil {
+			return Result{}, err
 		}
+		e.plans, e.strataOf, e.strata = stratifiedPlans(cfg, trace)
+	default:
+		e.plans = DrawPlans(cfg.Seed, cfg.N, cfg, profile.Result.Region)
+	}
+	e.cfg = cfg
+	e.records = make([]RunRecord, cfg.N)
+
+	return e.execute(ctx, checkpointKey(p, s, cfg))
+}
+
+// CampaignWithPlans runs a campaign over an explicit, caller-supplied
+// plan list instead of drawing plans from Config.Seed. It is the
+// substrate of compositional analysis (internal/result): because a
+// RunRecord is a pure function of (program, scheme, instance, plan,
+// budget), partitioning one campaign's plan list and running each part
+// through this entry point yields per-part counts that sum exactly to
+// the undivided campaign's — the bit-identity the differential tests
+// pin. N, sampling (Seed is ignored for drawing), Exhaustive, Stratify
+// and TargetCI do not apply; the first is derived and the rest are
+// rejected so a partition can never silently diverge from its whole.
+func CampaignWithPlans(ctx context.Context, p *core.Program, s core.Scheme, inst bench.Instance, cfg Config, plans []machine.FaultPlan) (Result, error) {
+	if cfg.Exhaustive || cfg.Stratify {
+		return Result{}, &ConfigConflictError{Options: "explicit plans and Exhaustive/Stratify",
+			Reason: "the caller supplies the plan list; there is no sampling or enumeration to configure"}
+	}
+	if cfg.TargetCI > 0 {
+		return Result{}, &ConfigConflictError{Options: "explicit plans and TargetCI",
+			Reason: "early stopping would run a prefix of the supplied plans, breaking the partition-sum identity compositional analysis relies on"}
+	}
+	if cfg.N != 0 && cfg.N != len(plans) {
+		return Result{}, fmt.Errorf("fault: config: N = %d does not match %d supplied plans; leave N = 0", cfg.N, len(plans))
+	}
+	cfg.N = len(plans)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.HangFactor == 0 {
+		cfg.HangFactor = 50
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = defaultBatch
 	}
 
+	ctx, sp := obs.Start(ctx, "fault/campaign_plans")
+	sp.SetAttr("scheme", s.String())
+	sp.SetAttr("bench", p.Bench.Name)
+	sp.SetAttr("n", cfg.N)
+	defer sp.End()
+	met := newCampaignMetrics(obs.From(ctx).M())
+	met.campaigns.Inc()
+
+	_, spp := obs.Start(ctx, "campaign/profile")
+	profile, err := runProfile(p, s, inst, nil)
+	spp.End()
+	if err != nil {
+		return Result{}, err
+	}
 	e := &engine{
 		p: p, s: s, inst: inst, cfg: cfg,
 		golden:  profile.Output,
-		budget:  profile.Result.Instrs * cfg.HangFactor,
+		budget:  runBudget(cfg, profile.Result.Instrs),
 		plans:   plans,
 		records: make([]RunRecord, cfg.N),
 		met:     met,
 	}
+	// Explicit plans are not recoverable from the config, so the
+	// checkpoint identity must cover their content.
+	return e.execute(ctx, checkpointKey(p, s, cfg)+"|ph="+plansHash(plans))
+}
 
-	key := checkpointKey(p, s, cfg)
+// execute drives the batched worker pool over the engine's prepared
+// plan list: checkpoint resume, batch loop with checkpoint saves and
+// progress snapshots, adaptive early stop, final aggregation.
+func (e *engine) execute(ctx context.Context, key string) (Result, error) {
+	cfg := e.cfg
 	if cfg.CheckpointPath != "" {
 		ck, err := LoadCheckpoint(cfg.CheckpointPath)
 		if err != nil {
@@ -118,7 +193,7 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 				return Result{}, err
 			}
 			copy(e.records, ck.Records)
-			met.skipped.Add(uint64(countDone(e.records)))
+			e.met.skipped.Add(uint64(countDone(e.records)))
 		}
 	}
 
@@ -142,7 +217,7 @@ batches:
 			if serr := ck.Save(cfg.CheckpointPath); serr != nil && batchErr == nil {
 				batchErr = serr
 			} else if serr == nil {
-				met.ckWrites.Inc()
+				e.met.ckWrites.Inc()
 			}
 		}
 		if cfg.OnProgress != nil {
@@ -172,17 +247,52 @@ batches:
 	return res, nil
 }
 
+// runBudget resolves the per-run instruction budget: an explicit
+// Config.Budget wins, otherwise HangFactor times the fault-free run.
+func runBudget(cfg Config, faultFreeInstrs uint64) uint64 {
+	if cfg.Budget > 0 {
+		return cfg.Budget
+	}
+	return faultFreeInstrs * cfg.HangFactor
+}
+
+// DrawPlans pre-draws n fault plans of cfg's mix from the seed, with
+// targets uniform over a population of count in-region indexes. A
+// campaign's uniform sampler is DrawPlans over the whole region;
+// compositional analysis (internal/result) draws each region's plans
+// from a region-keyed seed over the region's own population and maps
+// the local targets into the global stream. The draw sequence is part
+// of the checkpoint contract: a given (seed, cfg, count) always yields
+// the same plans.
+func DrawPlans(seed int64, n int, cfg Config, count uint64) []machine.FaultPlan {
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plans := make([]machine.FaultPlan, n)
+	for i := range plans {
+		plans[i] = machine.FaultPlan{
+			Kind:   drawKind(rng, cfg.Mix),
+			Target: uint64(rng.Int63n(int64(count))),
+			Bit:    uint(rng.Intn(64)),
+			Pick:   rng.Intn(1 << 20),
+		}
+		plans[i].Width = planWidth(plans[i].Kind, cfg)
+	}
+	return plans
+}
+
 // runProfile executes the fault-free reference run with the same
 // panic containment the campaign gives injected runs — a scheme whose
 // clean run crashes the interpreter should surface as an error, not
 // kill the process.
-func runProfile(p *core.Program, s core.Scheme, inst bench.Instance) (o core.Outcome, err error) {
+func runProfile(p *core.Program, s core.Scheme, inst bench.Instance, trace *machine.RegionTrace) (o core.Outcome, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = fmt.Errorf("fault: fault-free %s run panicked: %v", s, v)
 		}
 	}()
-	o = p.Run(s, inst, core.RunOpts{})
+	o = p.Run(s, inst, core.RunOpts{RegionTrace: trace})
 	if o.Err != nil {
 		return o, fmt.Errorf("fault: fault-free %s run failed: %w", s, o.Err)
 	}
@@ -251,6 +361,11 @@ type engine struct {
 	plans   []machine.FaultPlan
 	records []RunRecord
 	met     *campaignMetrics
+	// strataOf/strata describe a stratified campaign: plan i belongs
+	// to stratum strataOf[i], whose class and weight are in strata.
+	// Both are nil for unstratified campaigns.
+	strataOf []int
+	strata   []StratumResult
 }
 
 // runBatch executes every not-yet-done run in [lo, hi) on a worker
@@ -352,10 +467,24 @@ func (e *engine) runOne(ctx context.Context, inj *core.Injector, i int) (rec Run
 // worker count, interruption and resume history.
 func (e *engine) aggregate(stop int) Result {
 	res := Result{Scheme: e.s, Requested: e.cfg.N}
+	if e.strata != nil {
+		// Fresh copies: aggregate runs repeatedly (per batch, final)
+		// and must not accumulate into shared skeletons.
+		res.Strata = make([]StratumResult, len(e.strata))
+		copy(res.Strata, e.strata)
+	}
 	for i := 0; i < stop; i++ {
 		rec := &e.records[i]
 		if !rec.Done {
 			continue
+		}
+		if e.strataOf != nil {
+			st := &res.Strata[e.strataOf[i]]
+			st.N++
+			st.Counts[rec.Class]++
+			if rec.Class == Correct || rec.Class == Detected {
+				st.Protected++
+			}
 		}
 		res.N++
 		res.Counts[rec.Class]++

@@ -110,7 +110,7 @@ func TestExhaustiveSkipMatchesBruteForce(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	profile, err := runProfile(p, scheme, inst)
+	profile, err := runProfile(p, scheme, inst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

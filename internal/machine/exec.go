@@ -31,6 +31,9 @@ func (m *Machine) step() error {
 	inRegion := m.inRegionNow(f)
 	if inRegion {
 		m.C.Region++
+		if m.cfg.RegionTrace != nil {
+			m.cfg.RegionTrace.note(m.regionOwnerNow(), ClassOf(in.Op))
+		}
 	}
 	m.faultFrameFn = f.fi
 	if f.fn.Internal {

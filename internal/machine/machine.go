@@ -120,7 +120,16 @@ type Config struct {
 	// other code stays outside the region. Calls made from region
 	// blocks execute in-region transitively.
 	RegionBlocks map[int]map[int]bool
-	Fault        *FaultPlan
+	// RegionOwner maps forced-region function indexes (RegionFuncs) to
+	// the kernel function owning the loop they were outlined from, so
+	// region traces attribute recompute-slice execution to the loop's
+	// region rather than to the outlined helper.
+	RegionOwner map[int]int
+	// RegionTrace, when non-nil, records the owner/class layout of the
+	// in-region dynamic instruction stream (reference backend only; see
+	// regiontrace.go). Other backends ignore it.
+	RegionTrace *RegionTrace
+	Fault       *FaultPlan
 	// Cancel, when non-nil, stops the run with a CancelError once the
 	// channel closes. It is polled every cancelPollInterval dynamic
 	// instructions (and once at Run entry), so cancellation latency is

@@ -1,0 +1,5 @@
+//go:build !race
+
+package result
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package result
+
+// raceEnabled steers a few purely-deterministic (and very slow under
+// the race detector) proofs out of -race runs; every test that spawns
+// concurrent work stays in.
+const raceEnabled = true

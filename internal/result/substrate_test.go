@@ -1,0 +1,344 @@
+package result
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/machine"
+)
+
+// The differential test substrate: randomized multi-stage kernels
+// whose stages are separate functions over pairwise-disjoint input
+// and output arrays — the shape under which FastFlip-style
+// composition is exact, because a fault confined to one stage's
+// region can only perturb that stage's slice of the output. The
+// substrate proves two things bit-for-bit:
+//
+//  1. Partition-sum: a monolithic campaign's plan list, split along
+//     the region decomposition and re-run per region, composes to the
+//     monolithic counts exactly (no statistics involved).
+//  2. Incrementality: after editing one stage, a warm cached analysis
+//     re-runs only the edited region yet reports program-level
+//     figures bit-identical to a cold analysis of the edited program.
+
+// stageVariant is one inner-reduction shape a generated stage can take.
+type stageVariant int
+
+const (
+	varSum stageVariant = iota // acc += input * c
+	varAdd                     // acc += input + c
+	varMax                     // windowed max against c-scaled input
+	numVariants
+)
+
+// stageSpec is one generated stage: a reduction over its own arrays.
+type stageSpec struct {
+	variant stageVariant
+	c       int // constant folded into the reduction
+	k       int // window size
+}
+
+// kernelSpec is one generated multi-stage kernel.
+type kernelSpec struct {
+	stages []stageSpec
+	n      int // per-stage input length
+}
+
+// genKernel draws a random kernel: 2–4 stages, each with its own
+// variant, constant and window.
+func genKernel(rng *rand.Rand) kernelSpec {
+	ks := kernelSpec{n: 10 + rng.Intn(6)}
+	for s := 0; s < 2+rng.Intn(3); s++ {
+		ks.stages = append(ks.stages, stageSpec{
+			variant: stageVariant(rng.Intn(int(numVariants))),
+			c:       1 + rng.Intn(9),
+			k:       2 + rng.Intn(3),
+		})
+	}
+	return ks
+}
+
+// source renders the kernel to MiniC: one function per stage (each
+// mirroring the micro-kernel shape that candidate detection is known
+// to pick up), and a kernel that calls the stages in order on
+// disjoint arrays.
+func (ks kernelSpec) source() string {
+	var b strings.Builder
+	for i, st := range ks.stages {
+		fmt.Fprintf(&b, "void stage%d(int input[], int output[], int n) {\n", i)
+		fmt.Fprintf(&b, "\tfor (int f = 0; f < 2; f = f + 1) {\n")
+		fmt.Fprintf(&b, "\t\tfor (int i = 0; i < n - %d + 1; i = i + 1) {\n", st.k)
+		switch st.variant {
+		case varSum:
+			fmt.Fprintf(&b, "\t\t\tint acc = 0;\n")
+			fmt.Fprintf(&b, "\t\t\tfor (int j = 0; j < %d; j = j + 1) {\n", st.k)
+			fmt.Fprintf(&b, "\t\t\t\tacc = acc + input[i + j] * %d;\n", st.c)
+			fmt.Fprintf(&b, "\t\t\t}\n")
+		case varAdd:
+			fmt.Fprintf(&b, "\t\t\tint acc = 0;\n")
+			fmt.Fprintf(&b, "\t\t\tfor (int j = 0; j < %d; j = j + 1) {\n", st.k)
+			fmt.Fprintf(&b, "\t\t\t\tacc = acc + input[i + j] + %d;\n", st.c)
+			fmt.Fprintf(&b, "\t\t\t}\n")
+		case varMax:
+			fmt.Fprintf(&b, "\t\t\tint acc = input[i] * %d;\n", st.c)
+			fmt.Fprintf(&b, "\t\t\tfor (int j = 1; j < %d; j = j + 1) {\n", st.k)
+			fmt.Fprintf(&b, "\t\t\t\tif (input[i + j] * %d > acc) {\n", st.c)
+			fmt.Fprintf(&b, "\t\t\t\t\tacc = input[i + j] * %d;\n", st.c)
+			fmt.Fprintf(&b, "\t\t\t\t}\n")
+			fmt.Fprintf(&b, "\t\t\t}\n")
+		}
+		fmt.Fprintf(&b, "\t\t\toutput[f * (n - %d + 1) + i] = acc;\n", st.k)
+		fmt.Fprintf(&b, "\t\t}\n\t}\n}\n\n")
+	}
+	b.WriteString("void kernel(")
+	for i := range ks.stages {
+		fmt.Fprintf(&b, "int in%d[], int out%d[], ", i, i)
+	}
+	b.WriteString("int n) {\n")
+	for i := range ks.stages {
+		fmt.Fprintf(&b, "\tstage%d(in%d, out%d, n);\n", i, i, i)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// outLen is one stage's output length (the f-repeat doubles it).
+func (ks kernelSpec) outLen(s int) int { return 2 * (ks.n - ks.stages[s].k + 1) }
+
+// benchmark wraps the kernel as a bench.Benchmark whose Output
+// concatenates the per-stage output arrays.
+func (ks kernelSpec) benchmark(name string) bench.Benchmark {
+	return bench.Benchmark{
+		Name:        name,
+		Domain:      "Differential substrate",
+		Description: "Randomized multi-stage disjoint-array kernel",
+		Pattern:     "Per-stage reduction loops",
+		Location:    "One per stage function",
+		Kernel:      "kernel",
+		Source:      ks.source(),
+		Gen: func(seed int64, scale bench.Scale) bench.Instance {
+			rng := rand.New(rand.NewSource(seed))
+			inputs := make([][]int64, len(ks.stages))
+			for s := range inputs {
+				inputs[s] = make([]int64, ks.n)
+				for i := range inputs[s] {
+					inputs[s][i] = int64(rng.Intn(200))
+				}
+			}
+			total := 0
+			for s := range ks.stages {
+				total += ks.outLen(s)
+			}
+			var outBases []int64
+			return bench.Instance{
+				Elements: total,
+				Setup: func(mem *machine.Memory) []uint64 {
+					outBases = outBases[:0]
+					var args []uint64
+					for s := range ks.stages {
+						in := mem.Alloc(int64(ks.n))
+						mem.CopyInts(in, inputs[s])
+						out := mem.Alloc(int64(ks.outLen(s)))
+						outBases = append(outBases, out)
+						args = append(args, uint64(in), uint64(out))
+					}
+					return append(args, uint64(int64(ks.n)))
+				},
+				Output: func(mem *machine.Memory) []uint64 {
+					var all []uint64
+					for s, base := range outBases {
+						for i := 0; i < ks.outLen(s); i++ {
+							w, err := mem.LoadWord(base + int64(i))
+							if err != nil {
+								panic(err)
+							}
+							all = append(all, w)
+						}
+					}
+					return all
+				},
+			}
+		},
+	}
+}
+
+// buildKernel compiles and trains one generated kernel.
+func buildKernel(t *testing.T, ks kernelSpec, name string) (*core.Program, bench.Instance) {
+	t.Helper()
+	b := ks.benchmark(name)
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatalf("%s: build: %v\nsource:\n%s", name, err, b.Source)
+	}
+	if err := p.Train([]int64{bench.TrainSeed(0)}, bench.ScaleTiny); err != nil {
+		t.Fatalf("%s: train: %v", name, err)
+	}
+	return p, b.Gen(bench.TestSeed(0), bench.ScaleTiny)
+}
+
+// traceOf profiles one scheme run with a region trace.
+func traceOf(t *testing.T, p *core.Program, s core.Scheme, inst bench.Instance) *machine.RegionTrace {
+	t.Helper()
+	trace := &machine.RegionTrace{}
+	o := p.Run(s, inst, core.RunOpts{RegionTrace: trace})
+	if o.Err != nil {
+		t.Fatalf("fault-free %s run: %v", s, o.Err)
+	}
+	if err := trace.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Total() != o.Result.Region {
+		t.Fatalf("trace covers %d of %d in-region instructions", trace.Total(), o.Result.Region)
+	}
+	return trace
+}
+
+var allSchemes = []core.Scheme{core.Unsafe, core.SWIFT, core.SWIFTR, core.RSkip, core.SWIFTRHard}
+
+// The partition-sum property over the substrate: for 12 randomized
+// kernels and every scheme, a monolithic plan list split along the
+// region decomposition and re-run per region composes to counts
+// bit-identical to the monolithic campaign.
+func TestComposedMatchesMonolithicDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential substrate is not short")
+	}
+	const perKernelN = 40
+	for ki := 0; ki < 12; ki++ {
+		ki := ki
+		t.Run(fmt.Sprintf("kernel%02d", ki), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(1000 + ki)))
+			ks := genKernel(rng)
+			p, inst := buildKernel(t, ks, fmt.Sprintf("diffsub%02d", ki))
+			for _, s := range allSchemes {
+				trace := traceOf(t, p, s, inst)
+				cfg := fault.Config{Seed: int64(7 * (ki + 1)), Mix: fault.Mix{
+					RegFile: 0.3, Result: 0.3, Source: 0.2, Opcode: 0.1, Skip: 0.1,
+				}}
+				plans := fault.DrawPlans(cfg.Seed, perKernelN, cfg, trace.Total())
+
+				mono, err := fault.CampaignWithPlans(context.Background(), p, s, inst, cfg, plans)
+				if err != nil {
+					t.Fatalf("%s: monolithic: %v", s, err)
+				}
+
+				parts := Partition(plans, trace)
+				plansSeen := 0
+				var partRes []fault.Result
+				for owner, sub := range parts {
+					plansSeen += len(sub)
+					r, err := fault.CampaignWithPlans(context.Background(), p, s, inst, cfg, sub)
+					if err != nil {
+						t.Fatalf("%s: region %d: %v", s, owner, err)
+					}
+					partRes = append(partRes, r)
+				}
+				if plansSeen != len(plans) {
+					t.Fatalf("%s: partition covers %d of %d plans", s, plansSeen, len(plans))
+				}
+				if len(parts) < 2 {
+					t.Fatalf("%s: only %d regions partitioned; substrate kernels must span several", s, len(parts))
+				}
+
+				comp := ComposeCounts(s, partRes)
+				if comp.N != mono.N || comp.Counts != mono.Counts ||
+					comp.Fired != mono.Fired || comp.FalseNeg != mono.FalseNeg ||
+					comp.Recovered != mono.Recovered {
+					t.Errorf("%s: composed != monolithic:\n  composed  N=%d counts=%v fired=%d fn=%d rec=%d\n  monolithic N=%d counts=%v fired=%d fn=%d rec=%d",
+						s, comp.N, comp.Counts, comp.Fired, comp.FalseNeg, comp.Recovered,
+						mono.N, mono.Counts, mono.Fired, mono.FalseNeg, mono.Recovered)
+				}
+				if !reflect.DeepEqual(normalizeErrors(comp.Errors), normalizeErrors(mono.Errors)) {
+					t.Errorf("%s: composed error taxonomy diverges:\n  composed  %v\n  monolithic %v", s, comp.Errors, mono.Errors)
+				}
+			}
+		})
+	}
+}
+
+// normalizeErrors maps empty maps to nil so DeepEqual compares
+// taxonomies structurally.
+func normalizeErrors(m map[fault.Class]map[string]int) map[fault.Class]map[string]int {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// The stratified estimator against exhaustive ground truth: on a
+// micro-kernel whose skip-fault population can be enumerated exactly,
+// the stratified campaign's CI must bracket the exact protection rate
+// (fixed seed; the interval is 95%, the seed is chosen once).
+func TestStratifiedCIBracketsExhaustiveGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive ground truth is not short")
+	}
+	if raceEnabled {
+		// Exhaustive enumeration is a deterministic statistical proof
+		// with no concurrency of its own; under the race detector it
+		// costs ~2 minutes for zero extra coverage.
+		t.Skip("deterministic exhaustive proof; skipped under -race")
+	}
+	b, err := bench.ByName("musum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(b, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := b.Gen(bench.TestSeed(0), bench.ScaleTiny)
+	for _, s := range []core.Scheme{core.SWIFT, core.SWIFTRHard} {
+		exact, err := fault.Campaign(context.Background(), p, s, inst,
+			fault.Config{Mix: fault.Mix{Skip: 1}, Exhaustive: true})
+		if err != nil {
+			t.Fatalf("%s: exhaustive: %v", s, err)
+		}
+		truth := exact.ProtectionRate()
+
+		strat, err := fault.Campaign(context.Background(), p, s, inst,
+			fault.Config{N: 400, Seed: 21, Stratify: true, Mix: fault.Mix{Skip: 1}})
+		if err != nil {
+			t.Fatalf("%s: stratified: %v", s, err)
+		}
+		lo, hi := strat.ProtectionCI()
+		if truth < lo || truth > hi {
+			t.Errorf("%s: stratified CI [%.2f, %.2f] misses exhaustive rate %.2f",
+				s, lo, hi, truth)
+		}
+		if len(strat.Strata) == 0 {
+			t.Errorf("%s: stratified campaign reported no strata", s)
+		}
+	}
+}
+
+// sharedSub caches one substrate kernel build for tests that only
+// need a representative program.
+var (
+	subOnce sync.Once
+	subKS   kernelSpec
+	subP    *core.Program
+	subInst bench.Instance
+)
+
+func sharedSub(t *testing.T) (kernelSpec, *core.Program, bench.Instance) {
+	t.Helper()
+	subOnce.Do(func() {
+		rng := rand.New(rand.NewSource(42))
+		subKS = genKernel(rng)
+		subP, subInst = buildKernel(t, subKS, "diffsub-shared")
+	})
+	if subP == nil {
+		t.Fatal("shared substrate kernel failed to build")
+	}
+	return subKS, subP, subInst
+}

@@ -7,6 +7,7 @@ import (
 	"rskip/internal/core"
 	"rskip/internal/fault"
 	"rskip/internal/machine"
+	"rskip/internal/result"
 )
 
 // Wire types of the rskipd JSON API (version v1). Field names are the
@@ -202,6 +203,16 @@ type campaignRequest struct {
 	// Exhaustive enumerates every fault site of the model instead of
 	// sampling N faults; N must be omitted (the region derives it).
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Stratify allocates the N replicas across instruction-class
+	// strata in proportion to the profiled stream; conflicts with
+	// Exhaustive and TargetCI (code config_conflict).
+	Stratify bool `json:"stratify,omitempty"`
+	// Incremental runs the compositional per-region analyzer instead
+	// of one monolithic campaign: N replicas per candidate-loop
+	// region, served from the server's result cache when the region is
+	// unchanged. Requires the server to run with -result-cache-dir;
+	// conflicts with Exhaustive, TargetCI and Stratify.
+	Incremental bool `json:"incremental,omitempty"`
 }
 
 // campaignSubmitResponse acknowledges an accepted job (202).
@@ -226,6 +237,24 @@ type campaignResultJSON struct {
 	Fired        int            `json:"fired"`
 	FalseNeg     int            `json:"false_neg"`
 	Recovered    int            `json:"recovered"`
+	// Strata is the per-instruction-class breakdown of a stratified
+	// campaign.
+	Strata []stratumJSON `json:"strata,omitempty"`
+	// Incremental marks a compositional per-region analysis; Regions
+	// counts its campaign units and CacheHits/CacheMisses its result-
+	// cache traffic (a fully warm re-submission hits every region).
+	Incremental bool `json:"incremental,omitempty"`
+	Regions     int  `json:"regions,omitempty"`
+	CacheHits   int  `json:"cache_hits,omitempty"`
+	CacheMisses int  `json:"cache_misses,omitempty"`
+}
+
+// stratumJSON is one instruction-class stratum.
+type stratumJSON struct {
+	Class     string  `json:"class"`
+	Weight    float64 `json:"weight"`
+	N         int     `json:"n"`
+	Protected int     `json:"protected"`
 }
 
 func toCampaignResult(r fault.Result) *campaignResultJSON {
@@ -241,6 +270,26 @@ func toCampaignResult(r fault.Result) *campaignResultJSON {
 	for c := fault.Correct; c < fault.NumClasses; c++ {
 		j.Counts[c.String()] = r.Counts[c]
 	}
+	for _, st := range r.Strata {
+		j.Strata = append(j.Strata, stratumJSON{
+			Class: st.Class.String(), Weight: st.Weight,
+			N: st.N, Protected: st.Protected,
+		})
+	}
+	return j
+}
+
+// toIncrementalResult renders a compositional analysis: pooled counts
+// from the composed result, weighted program-level protection, and
+// the cache traffic that proves (or disproves) incrementality.
+func toIncrementalResult(rep *result.Report) *campaignResultJSON {
+	j := toCampaignResult(rep.Composed)
+	j.Scheme = rep.Scheme.String()
+	j.Protection = rep.Protection
+	j.ProtectionCI = rep.ProtectionCI
+	j.Incremental = true
+	j.Regions = len(rep.Regions)
+	j.CacheHits, j.CacheMisses = rep.CacheHits, rep.CacheMisses
 	return j
 }
 

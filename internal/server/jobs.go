@@ -17,6 +17,7 @@ import (
 	"rskip/internal/core"
 	"rskip/internal/fault"
 	"rskip/internal/obs"
+	"rskip/internal/result"
 )
 
 // Job states. queued → running → {done, failed, cancelled}. A drain
@@ -324,14 +325,25 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 	s.met.jobsStarted.Inc()
 
-	res, err := s.executeCampaign(ctx, j)
+	res, rep, err := s.executeCampaign(ctx, j)
+	// An incremental analysis reports through its composed Report; the
+	// monolithic path reports the raw campaign result.
+	render := func() *campaignResultJSON {
+		if rep != nil {
+			return toIncrementalResult(rep)
+		}
+		return toCampaignResult(res)
+	}
+	if rep != nil {
+		res = rep.Composed
+	}
 
 	j.mu.Lock()
 	j.cancel = nil
 	switch {
 	case err == nil:
 		j.state = jobDone
-		j.result = toCampaignResult(res)
+		j.result = render()
 		j.done = res.N
 		s.met.jobsDone.Inc()
 	case ctx.Err() != nil && !j.userCancel && s.isDraining():
@@ -339,14 +351,14 @@ func (s *Server) runJob(j *job) {
 		// checkpoint is already on disk; a restarted daemon on the same
 		// checkpoint dir completes the campaign bit-identically.
 		j.state = jobQueued
-		j.result = toCampaignResult(res)
+		j.result = render()
 		j.done = res.N
 		j.mu.Unlock()
 		s.met.jobsInterrupted.Inc()
 		return
 	case j.userCancel:
 		j.state = jobCancelled
-		j.result = toCampaignResult(res)
+		j.result = render()
 		j.done = res.N
 		j.errMsg = "cancelled by client"
 		s.met.jobsCancelled.Inc()
@@ -354,7 +366,7 @@ func (s *Server) runJob(j *job) {
 		j.state = jobFailed
 		j.errMsg = err.Error()
 		if res.N > 0 {
-			j.result = toCampaignResult(res)
+			j.result = render()
 			j.done = res.N
 		}
 		s.met.jobsFailed.Inc()
@@ -374,7 +386,7 @@ func (s *Server) runJob(j *job) {
 // executeCampaign builds, trains and injects. Build artifacts come
 // from the shared content-addressed cache, so concurrent jobs over the
 // same benchmark × config compile once.
-func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, error) {
+func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, *result.Report, error) {
 	req := j.spec.Request
 	ctx = obs.Into(ctx, s.obs)
 	ctx, sp := obs.Start(ctx, "server/job")
@@ -383,15 +395,15 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, err
 
 	b, err := bench.ByName(req.Bench)
 	if err != nil {
-		return fault.Result{}, err
+		return fault.Result{}, nil, err
 	}
 	cfg, err := req.Config.toCoreConfig()
 	if err != nil {
-		return fault.Result{}, err
+		return fault.Result{}, nil, err
 	}
 	p, err := core.BuildContext(ctx, b, cfg)
 	if err != nil {
-		return fault.Result{}, err
+		return fault.Result{}, nil, err
 	}
 	if j.scheme == core.RSkip {
 		train := req.Train
@@ -403,13 +415,33 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, err
 			seeds[i] = bench.TrainSeed(i)
 		}
 		if err := p.Train(seeds, bench.ScaleFI); err != nil {
-			return fault.Result{}, err
+			return fault.Result{}, nil, err
 		}
 	}
 	inst := b.Gen(bench.TestSeed(0), bench.ScaleFI)
 	fcfg, err := req.faultConfig()
 	if err != nil {
-		return fault.Result{}, err
+		return fault.Result{}, nil, err
+	}
+	if req.Incremental {
+		// Compositional analysis: per-region campaigns served from the
+		// content-addressed result cache, composed into program-level
+		// figures. Region granularity replaces checkpoint/progress
+		// streaming for these jobs.
+		rep, err := result.Analyze(ctx, p, j.scheme, inst, result.Options{
+			Cache:      s.resultCache,
+			PerRegionN: req.N,
+			Seed:       req.Seed,
+			InstKey:    "test0/fi",
+			Mix:        fcfg.Mix,
+			SkipWidth:  req.SkipWidth,
+			BitWidth:   req.BitWidth,
+			Workers:    req.Workers,
+		})
+		if err != nil {
+			return fault.Result{}, nil, err
+		}
+		return rep.Composed, rep, nil
 	}
 	fcfg.OnProgress = j.publishProgress
 	// Campaigns default to the deterministic instruction budget only:
@@ -422,12 +454,17 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, err
 	if s.store.dir != "" {
 		fcfg.CheckpointPath = s.store.ckPath(j.spec.ID)
 	}
-	return fault.Campaign(ctx, p, j.scheme, inst, fcfg)
+	res, err := fault.Campaign(ctx, p, j.scheme, inst, fcfg)
+	return res, nil, err
 }
+
+// errIncrementalUnavailable rejects incremental submissions on a
+// server that has no result cache to back them.
+var errIncrementalUnavailable = fmt.Errorf("incremental campaigns require the server to run with -result-cache-dir")
 
 // validateCampaignRequest normalizes and rejects bad submissions
 // before they consume a queue slot.
-func validateCampaignRequest(req *campaignRequest) (core.Scheme, error) {
+func validateCampaignRequest(req *campaignRequest, hasResultCache bool) (core.Scheme, error) {
 	if req.Bench == "" {
 		return 0, fmt.Errorf("missing \"bench\"")
 	}
@@ -440,6 +477,22 @@ func validateCampaignRequest(req *campaignRequest) (core.Scheme, error) {
 	scheme, err := parseScheme(req.Scheme)
 	if err != nil {
 		return 0, err
+	}
+	if req.Incremental {
+		if !hasResultCache {
+			return 0, errIncrementalUnavailable
+		}
+		switch {
+		case req.Exhaustive:
+			return 0, &fault.ConfigConflictError{Options: "incremental and exhaustive",
+				Reason: "exhaustive enumeration is already per-site; there is nothing to compose or cache"}
+		case req.TargetCI > 0:
+			return 0, &fault.ConfigConflictError{Options: "incremental and target_ci",
+				Reason: "early stopping would make cached per-region counts depend on when a previous run stopped"}
+		case req.Stratify:
+			return 0, &fault.ConfigConflictError{Options: "incremental and stratify",
+				Reason: "the incremental analyzer already stratifies by region; per-class strata inside a region are not cacheable yet"}
+		}
 	}
 	if req.N == 0 && !req.Exhaustive {
 		req.N = 1000
@@ -474,6 +527,6 @@ func (req *campaignRequest) faultConfig() (fault.Config, error) {
 		N: req.N, Seed: req.Seed, Workers: req.Workers, Batch: req.Batch,
 		TargetCI: req.TargetCI, RunTimeout: time.Duration(req.RunTimeoutMS) * time.Millisecond,
 		Mix: mix, SkipWidth: req.SkipWidth, BitWidth: req.BitWidth,
-		Exhaustive: req.Exhaustive,
+		Exhaustive: req.Exhaustive, Stratify: req.Stratify,
 	}, nil
 }

@@ -44,6 +44,7 @@ import (
 	"rskip/internal/core"
 	"rskip/internal/fault"
 	"rskip/internal/obs"
+	"rskip/internal/result"
 )
 
 // Config parameterizes a daemon instance.
@@ -70,6 +71,10 @@ type Config struct {
 	// terminal results, making jobs resumable across restarts. Empty
 	// disables persistence (jobs die with the process).
 	CheckpointDir string
+	// ResultCacheDir backs incremental campaigns with a content-
+	// addressed per-region result cache. Empty rejects incremental
+	// submissions (code incremental_unavailable).
+	ResultCacheDir string
 	// Obs is the daemon's telemetry handle. Nil gets a metrics-only
 	// registry: a Tracer retains every span for tree rendering, which
 	// a long-running daemon must opt into deliberately.
@@ -141,11 +146,12 @@ func newServerMetrics(m *obs.Metrics) serverMetrics {
 // Server is one rskipd instance. Create with New, mount Handler on an
 // http.Server, stop with Drain.
 type Server struct {
-	cfg   Config
-	obs   *obs.Obs
-	met   serverMetrics
-	mux   *http.ServeMux
-	store *jobStore
+	cfg         Config
+	obs         *obs.Obs
+	met         serverMetrics
+	mux         *http.ServeMux
+	store       *jobStore
+	resultCache *result.Cache
 
 	queue   chan *job
 	syncSem chan struct{}
@@ -179,6 +185,13 @@ func New(cfg Config) (*Server, error) {
 		started:  time.Now(),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.ResultCacheDir != "" {
+		cache, err := result.Open(cfg.ResultCacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: result cache dir: %w", err)
+		}
+		s.resultCache = cache
+	}
 
 	resumable, err := s.store.loadPersisted()
 	if err != nil {
@@ -642,14 +655,19 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	scheme, err := validateCampaignRequest(&req)
+	scheme, err := validateCampaignRequest(&req, s.resultCache != nil)
 	if err != nil {
 		status, code := http.StatusBadRequest, "bad_campaign"
 		var unknownModel *fault.UnknownModelError
+		var conflict *fault.ConfigConflictError
 		if strings.Contains(err.Error(), "unknown benchmark") {
 			status, code = http.StatusNotFound, "unknown_bench"
 		} else if errors.As(err, &unknownModel) {
 			code = "unknown_fault_model"
+		} else if errors.As(err, &conflict) {
+			code = "config_conflict"
+		} else if errors.Is(err, errIncrementalUnavailable) {
+			code = "incremental_unavailable"
 		}
 		writeErr(w, status, code, "%v", err)
 		return

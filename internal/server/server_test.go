@@ -342,10 +342,14 @@ type statusResp struct {
 	N      int    `json:"n"`
 	Error  string `json:"error"`
 	Result *struct {
-		N          int            `json:"n"`
-		Counts     map[string]int `json:"counts"`
-		Exhaustive bool           `json:"exhaustive"`
-		Protection float64        `json:"protection_rate"`
+		N           int            `json:"n"`
+		Counts      map[string]int `json:"counts"`
+		Exhaustive  bool           `json:"exhaustive"`
+		Protection  float64        `json:"protection_rate"`
+		Incremental bool           `json:"incremental"`
+		Regions     int            `json:"regions"`
+		CacheHits   int            `json:"cache_hits"`
+		CacheMisses int            `json:"cache_misses"`
 	} `json:"result"`
 }
 
@@ -903,5 +907,134 @@ func TestRunBackendField(t *testing.T) {
 		"config": map[string]any{"backend": "turbo"},
 	}, &raw); code != 400 {
 		t.Fatalf("campaign unknown backend: status %d", code)
+	}
+}
+
+// TestIncrementalCampaignValidation covers the submit-time rejections
+// for incremental and stratified campaigns: without a result cache the
+// server refuses incremental jobs with a dedicated code, and option
+// conflicts are structured 400s before a queue slot is consumed.
+func TestIncrementalCampaignValidation(t *testing.T) {
+	// No -result-cache-dir: incremental submissions are refused.
+	_, bare := newTestServer(t, server.Config{})
+	var raw map[string]any
+	code := postJSON(t, bare.URL+"/v1/campaigns", map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "incremental": true,
+	}, &raw)
+	if code != http.StatusBadRequest {
+		t.Fatalf("incremental without cache dir: status %d, want 400", code)
+	}
+	if got := errCode(t, raw); got != "incremental_unavailable" {
+		t.Errorf("incremental without cache dir: code %q, want incremental_unavailable", got)
+	}
+
+	// With a cache dir, conflicting options are config_conflict.
+	_, ts := newTestServer(t, server.Config{ResultCacheDir: t.TempDir()})
+	conflicts := []map[string]any{
+		{"bench": "musum", "scheme": "swift", "fault_model": "skip",
+			"incremental": true, "exhaustive": true},
+		{"bench": "conv1d", "scheme": "swift", "incremental": true, "target_ci": 0.05},
+		{"bench": "conv1d", "scheme": "swift", "incremental": true, "stratify": true},
+		{"bench": "musum", "scheme": "swift", "fault_model": "skip",
+			"stratify": true, "exhaustive": true},
+		{"bench": "conv1d", "scheme": "swift", "stratify": true, "target_ci": 0.05},
+	}
+	for _, body := range conflicts {
+		raw = nil
+		if code := postJSON(t, ts.URL+"/v1/campaigns", body, &raw); code != http.StatusBadRequest {
+			t.Fatalf("conflict %v: status %d, want 400", body, code)
+		}
+		if got := errCode(t, raw); got != "config_conflict" {
+			t.Errorf("conflict %v: code %q, want config_conflict", body, got)
+		}
+	}
+}
+
+// TestIncrementalCampaignCacheHit submits the same incremental
+// campaign twice against one result cache: the first run populates it
+// (all misses), the second is served entirely from it (all hits) with
+// figures identical to the cold run.
+func TestIncrementalCampaignCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ResultCacheDir: t.TempDir()})
+	body := map[string]any{
+		"bench": "conv1d", "scheme": "swift", "n": 60, "seed": 99,
+		"incremental": true,
+	}
+
+	cold := waitFor(t, ts, submitCampaign(t, ts, body), 120*time.Second, terminal)
+	if cold.State != "done" || cold.Result == nil {
+		t.Fatalf("cold job finished %q (%s)", cold.State, cold.Error)
+	}
+	if !cold.Result.Incremental || cold.Result.Regions < 1 {
+		t.Fatalf("cold result not incremental: %+v", cold.Result)
+	}
+	if cold.Result.CacheMisses != cold.Result.Regions || cold.Result.CacheHits != 0 {
+		t.Errorf("cold cache traffic hits=%d misses=%d, want 0/%d",
+			cold.Result.CacheHits, cold.Result.CacheMisses, cold.Result.Regions)
+	}
+
+	warm := waitFor(t, ts, submitCampaign(t, ts, body), 120*time.Second, terminal)
+	if warm.State != "done" || warm.Result == nil {
+		t.Fatalf("warm job finished %q (%s)", warm.State, warm.Error)
+	}
+	if warm.Result.CacheHits != warm.Result.Regions || warm.Result.CacheMisses != 0 {
+		t.Errorf("warm cache traffic hits=%d misses=%d, want %d/0",
+			warm.Result.CacheHits, warm.Result.CacheMisses, warm.Result.Regions)
+	}
+
+	// The served-from-cache figures are bit-identical to the cold run.
+	if warm.Result.N != cold.Result.N || warm.Result.Regions != cold.Result.Regions {
+		t.Errorf("warm n=%d regions=%d, cold n=%d regions=%d",
+			warm.Result.N, warm.Result.Regions, cold.Result.N, cold.Result.Regions)
+	}
+	for class, n := range cold.Result.Counts {
+		if warm.Result.Counts[class] != n {
+			t.Errorf("class %s: warm %d, cold %d", class, warm.Result.Counts[class], n)
+		}
+	}
+	if warm.Result.Protection != cold.Result.Protection {
+		t.Errorf("warm protection %.4f, cold %.4f", warm.Result.Protection, cold.Result.Protection)
+	}
+}
+
+// TestStratifiedCampaign runs a stratified campaign end to end and
+// checks the per-class strata surface on the wire result.
+func TestStratifiedCampaign(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	id := submitCampaign(t, ts, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": 80, "seed": 7, "stratify": true,
+	})
+	st := waitFor(t, ts, id, 120*time.Second, terminal)
+	if st.State != "done" || st.Result == nil {
+		t.Fatalf("stratified job finished %q (%s)", st.State, st.Error)
+	}
+	var full struct {
+		Result struct {
+			Strata []struct {
+				Class  string  `json:"class"`
+				Weight float64 `json:"weight"`
+				N      int     `json:"n"`
+			} `json:"strata"`
+		} `json:"result"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+id, nil, &full); code != 200 {
+		t.Fatalf("status endpoint returned %d", code)
+	}
+	if len(full.Result.Strata) == 0 {
+		t.Fatal("stratified result carries no strata")
+	}
+	total, weight := 0, 0.0
+	for _, s := range full.Result.Strata {
+		if s.Class == "" {
+			t.Error("stratum with empty class name")
+		}
+		total += s.N
+		weight += s.Weight
+	}
+	if total != st.Result.N {
+		t.Errorf("strata replica counts sum to %d, want %d", total, st.Result.N)
+	}
+	if weight < 0.999 || weight > 1.001 {
+		t.Errorf("strata weights sum to %.4f, want 1", weight)
 	}
 }

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Stratum is one sampling stratum of a stratified binomial estimate: a
+// subpopulation of weight W (its share of the population, need not be
+// pre-normalized) from which N trials were drawn and K succeeded.
+type Stratum struct {
+	W float64 // population weight (>= 0; normalized internally)
+	K int     // successes observed in this stratum
+	N int     // trials drawn from this stratum
+}
+
+// wilsonFloat is Wilson with a real-valued success count — needed for
+// stratified estimates where the effective success count p̂·n_eff is
+// not an integer. It mirrors Wilson exactly on integral k (the
+// single-stratum equivalence test pins this).
+func wilsonFloat(k, n float64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	p := k / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := p + z2/(2*n)
+	margin := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if k == 0 || lo < 0 {
+		lo = 0
+	}
+	if k == n || hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// StratifiedWilson merges per-stratum binomial outcomes into one
+// program-level estimate with a Wilson-style confidence interval.
+//
+// The point estimate is the weighted mean p̂ = Σ wₕ·p̂ₕ with weights
+// normalized over the strata that have trials (a stratum with N=0
+// contributes no information and is dropped; if its weight is
+// material the caller should sample it, not hide it here). The
+// variance of that estimator is Var = Σ wₕ²·p̂ₕ(1-p̂ₕ)/nₕ, from which
+// an effective sample size n_eff = p̂(1-p̂)/Var recovers the size of
+// an unstratified sample with the same precision; the interval is
+// Wilson on (p̂·n_eff, n_eff). When the variance degenerates — every
+// sampled stratum at p̂ₕ∈{0,1}, so Var = 0 — n_eff falls back to the
+// pooled trial count Σnₕ, which keeps the familiar Wilson behavior at
+// the closed ends (k=0 and k=n snap to exact bounds).
+//
+// The result is invariant under stratum order and under splitting a
+// stratum into identical halves. No strata (or none with trials)
+// returns p̂=0 with the vacuous interval [0,1].
+func StratifiedWilson(strata []Stratum, z float64) (p, lo, hi float64) {
+	// Canonicalize: order must not matter, and float summation is not
+	// associative, so sum in a deterministic sorted order.
+	s := make([]Stratum, 0, len(strata))
+	for _, st := range strata {
+		if st.N > 0 && st.W > 0 {
+			s = append(s, st)
+		}
+	}
+	if len(s) == 0 {
+		return 0, 0, 1
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].W != s[j].W {
+			return s[i].W < s[j].W
+		}
+		if s[i].N != s[j].N {
+			return s[i].N < s[j].N
+		}
+		return s[i].K < s[j].K
+	})
+	var wsum float64
+	for _, st := range s {
+		wsum += st.W
+	}
+	var pooled int
+	p = 0
+	va := 0.0
+	for _, st := range s {
+		w := st.W / wsum
+		k := st.K
+		if k < 0 {
+			k = 0
+		}
+		if k > st.N {
+			k = st.N
+		}
+		ph := float64(k) / float64(st.N)
+		p += w * ph
+		va += w * w * ph * (1 - ph) / float64(st.N)
+		pooled += st.N
+	}
+	neff := float64(pooled)
+	if va > 0 && p > 0 && p < 1 {
+		neff = p * (1 - p) / va
+	}
+	lo, hi = wilsonFloat(p*neff, neff, z)
+	return p, lo, hi
+}

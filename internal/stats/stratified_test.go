@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStratifiedWilsonSingleStratumEqualsWilson(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{0, 100}, {100, 100}, {1, 100}, {99, 100}, {37, 100},
+		{0, 1}, {1, 1}, {512, 4096}, {3, 7},
+	}
+	for _, c := range cases {
+		wlo, whi := Wilson(c.k, c.n, Z95)
+		p, lo, hi := StratifiedWilson([]Stratum{{W: 1, K: c.k, N: c.n}}, Z95)
+		if want := float64(c.k) / float64(c.n); math.Abs(p-want) > 1e-12 {
+			t.Errorf("k=%d n=%d: p = %g, want %g", c.k, c.n, p, want)
+		}
+		if math.Abs(lo-wlo) > 1e-12 || math.Abs(hi-whi) > 1e-12 {
+			t.Errorf("k=%d n=%d: stratified CI [%g,%g] != Wilson [%g,%g]",
+				c.k, c.n, lo, hi, wlo, whi)
+		}
+	}
+}
+
+func TestStratifiedWilsonDegenerateStrata(t *testing.T) {
+	// No strata, or none with trials: vacuous interval.
+	for _, strata := range [][]Stratum{
+		nil,
+		{},
+		{{W: 1, K: 0, N: 0}},
+		{{W: 0.5, N: 0}, {W: 0.5, N: 0}},
+		{{W: 0, K: 9, N: 9}},
+	} {
+		p, lo, hi := StratifiedWilson(strata, Z95)
+		if p != 0 || lo != 0 || hi != 1 {
+			t.Errorf("strata %v: got (%g,[%g,%g]), want (0,[0,1])", strata, p, lo, hi)
+		}
+	}
+
+	// An n=0 stratum is dropped with its weight renormalized away; the
+	// answer matches the same input without it.
+	with := []Stratum{{W: 0.7, K: 3, N: 50}, {W: 0.2, K: 0, N: 0}, {W: 0.1, K: 9, N: 30}}
+	without := []Stratum{{W: 0.7, K: 3, N: 50}, {W: 0.1, K: 9, N: 30}}
+	p1, lo1, hi1 := StratifiedWilson(with, Z95)
+	p2, lo2, hi2 := StratifiedWilson(without, Z95)
+	if p1 != p2 || lo1 != lo2 || hi1 != hi2 {
+		t.Errorf("n=0 stratum changed the estimate: (%g,[%g,%g]) vs (%g,[%g,%g])",
+			p1, lo1, hi1, p2, lo2, hi2)
+	}
+
+	// Zero-weight strata likewise contribute nothing.
+	p3, _, _ := StratifiedWilson([]Stratum{{W: 0, K: 10, N: 10}, {W: 1, K: 0, N: 10}}, Z95)
+	if p3 != 0 {
+		t.Errorf("zero-weight stratum leaked into the estimate: p = %g", p3)
+	}
+
+	// All strata at the closed ends: p̂ exact, interval snapped like
+	// plain Wilson at k=0 / k=n.
+	p, lo, hi := StratifiedWilson([]Stratum{{W: 0.5, K: 0, N: 40}, {W: 0.5, K: 0, N: 60}}, Z95)
+	if p != 0 || lo != 0 {
+		t.Errorf("all-zero strata: p=%g lo=%g, want exact 0", p, lo)
+	}
+	if hi >= 1 || hi <= 0 {
+		t.Errorf("all-zero strata: hi = %g, want a nontrivial upper bound", hi)
+	}
+	p, lo, hi = StratifiedWilson([]Stratum{{W: 0.3, K: 25, N: 25}, {W: 0.7, K: 75, N: 75}}, Z95)
+	if p != 1 || hi != 1 {
+		t.Errorf("all-k=n strata: p=%g hi=%g, want exact 1", p, hi)
+	}
+	if lo <= 0 || lo >= 1 {
+		t.Errorf("all-k=n strata: lo = %g, want a nontrivial lower bound", lo)
+	}
+
+	// Mixed: one saturated stratum, one empty one — estimate strictly
+	// inside (0,1) with a proper interval.
+	p, lo, hi = StratifiedWilson([]Stratum{{W: 0.5, K: 20, N: 20}, {W: 0.5, K: 0, N: 20}}, Z95)
+	if p != 0.5 {
+		t.Errorf("half-saturated: p = %g, want 0.5", p)
+	}
+	if !(0 < lo && lo < p && p < hi && hi < 1) {
+		t.Errorf("half-saturated: CI [%g,%g] does not bracket %g inside (0,1)", lo, hi, p)
+	}
+}
+
+func TestStratifiedWilsonOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		strata := make([]Stratum, n)
+		for i := range strata {
+			nn := 1 + rng.Intn(200)
+			strata[i] = Stratum{W: rng.Float64() + 0.01, K: rng.Intn(nn + 1), N: nn}
+		}
+		p0, lo0, hi0 := StratifiedWilson(strata, Z95)
+		for shuffle := 0; shuffle < 8; shuffle++ {
+			perm := append([]Stratum(nil), strata...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			p, lo, hi := StratifiedWilson(perm, Z95)
+			if p != p0 || lo != lo0 || hi != hi0 {
+				t.Fatalf("trial %d: permutation changed result: (%v,[%v,%v]) vs (%v,[%v,%v])",
+					trial, p, lo, hi, p0, lo0, hi0)
+			}
+		}
+	}
+}
+
+// Splitting one stratum into identical halves must not change the
+// estimate — the merge is over subpopulations, not sample batches.
+func TestStratifiedWilsonSplitInvariance(t *testing.T) {
+	whole := []Stratum{{W: 0.6, K: 30, N: 100}, {W: 0.4, K: 2, N: 50}}
+	split := []Stratum{
+		{W: 0.3, K: 15, N: 50}, {W: 0.3, K: 15, N: 50},
+		{W: 0.4, K: 2, N: 50},
+	}
+	p1, lo1, hi1 := StratifiedWilson(whole, Z95)
+	p2, lo2, hi2 := StratifiedWilson(split, Z95)
+	if math.Abs(p1-p2) > 1e-12 || math.Abs(lo1-lo2) > 1e-9 || math.Abs(hi1-hi2) > 1e-9 {
+		t.Errorf("split halves changed estimate: (%g,[%g,%g]) vs (%g,[%g,%g])",
+			p1, lo1, hi1, p2, lo2, hi2)
+	}
+}
+
+// Stratification must tighten the interval when strata separate a
+// rare-event class from a bulk class (the whole point of allocating
+// replicas by class weight).
+func TestStratifiedWilsonTightensSeparatedStrata(t *testing.T) {
+	// 90% of the population never fails, 10% fails half the time;
+	// sampled 200 runs each.
+	strata := []Stratum{{W: 0.9, K: 0, N: 200}, {W: 0.1, K: 100, N: 200}}
+	p, lo, hi := StratifiedWilson(strata, Z95)
+	if math.Abs(p-0.05) > 1e-12 {
+		t.Fatalf("p = %g, want 0.05", p)
+	}
+	// A pooled unstratified sample of the same 400 runs would see
+	// k=20 (5%) with a wider interval.
+	plo, phi := Wilson(20, 400, Z95)
+	if hi-lo >= phi-plo {
+		t.Errorf("stratified width %g not tighter than pooled %g", hi-lo, phi-plo)
+	}
+	if !(lo < p && p < hi) {
+		t.Errorf("CI [%g,%g] does not contain p=%g", lo, hi, p)
+	}
+}

@@ -18,11 +18,12 @@ if [ -z "$BASE" ]; then
 fi
 echo "coverage gate: diffing against $BASE (floor ${FLOOR}%)"
 
-# The pass manager is the compile pipeline's spine and the server is
-# the daemon surface clients build against; gate both on every run,
-# changed or not, so a regression in their tests never slips through
-# a PR that only touches their callers.
-ALWAYS="internal/pass internal/server"
+# The pass manager is the compile pipeline's spine, the server is the
+# daemon surface clients build against, and the result cache decides
+# whether stale campaign figures get served as fresh; gate all three
+# on every run, changed or not, so a regression in their tests never
+# slips through a PR that only touches their callers.
+ALWAYS="internal/pass internal/server internal/result"
 
 pkgs=$(
 	{

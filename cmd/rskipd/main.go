@@ -7,12 +7,21 @@
 //	rskipd [-addr :8321] [-workers 2] [-queue 16] [-sync 4]
 //	       [-max-body 1048576] [-checkpoint-dir dir] [-result-cache-dir dir]
 //	       [-compile-timeout 30s] [-run-timeout 30s] [-max-run-timeout 2m]
-//	       [-drain-timeout 30s]
+//	       [-drain-timeout 30s] [-lease-ttl 10s]
 //	       [-trace out.jsonl] [-trace-tree] [-metrics out.json]
 //
+//	rskipd -worker -join http://host:8321 [-worker-name id] [-poll 2s] [-workers n]
+//
 // Endpoints: POST /v1/compile, POST /v1/run, POST/GET/DELETE
-// /v1/campaigns (with /{id} and /{id}/stream), GET /healthz, GET
-// /metrics, GET /debug/pprof/ — all on one listener.
+// /v1/campaigns (with /{id} and /{id}/stream), POST /v1/fabric/
+// {lease,heartbeat,complete}, GET /healthz, GET /metrics, GET
+// /debug/pprof/ — all on one listener.
+//
+// With -worker, the process runs as a fabric worker instead of a
+// server: it pulls shard leases of distributed campaigns from the
+// coordinator named by -join, executes them locally, and streams
+// results back. SIGINT/SIGTERM stops the worker mid-shard; the
+// coordinator's lease TTL reassigns its unfinished work.
 //
 // SIGINT/SIGTERM drain gracefully: submissions are refused, running
 // campaigns checkpoint and stop, and a daemon restarted with the same
@@ -47,6 +56,11 @@ func main() {
 		runTimeout     = flag.Duration("run-timeout", 30*time.Second, "default /v1/run wall-clock timeout")
 		maxRunTimeout  = flag.Duration("max-run-timeout", 2*time.Minute, "cap on client-requested run timeouts")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		leaseTTL       = flag.Duration("lease-ttl", 10*time.Second, "distributed-campaign shard lease TTL (silent workers lose their shards after this)")
+		workerMode     = flag.Bool("worker", false, "run as a fabric worker pulling shard leases from -join instead of serving")
+		join           = flag.String("join", "", "coordinator base URL for -worker mode (e.g. http://host:8321)")
+		workerName     = flag.String("worker-name", "", "stable worker identity for -worker mode (default hostname-pid)")
+		poll           = flag.Duration("poll", 2*time.Second, "idle lease poll interval for -worker mode")
 		tracePath      = flag.String("trace", "", "write spans as JSON lines to this file (retains spans in memory; debugging only)")
 		traceTree      = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
 		metricsPath    = flag.String("metrics", "", "also write the metrics registry as JSON to this file at exit")
@@ -75,6 +89,22 @@ func main() {
 		o.Metrics = obs.NewMetrics()
 	}
 
+	if *workerMode {
+		wk, err := server.NewWorker(server.WorkerConfig{
+			Join: *join, Name: *workerName, Poll: *poll, Workers: *workers, Obs: o,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "rskipd: worker stopped")
+		return
+	}
+
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue, SyncLimit: *syncLimit,
 		MaxBodyBytes:   *maxBody,
@@ -82,6 +112,7 @@ func main() {
 		MaxRunTimeout:  *maxRunTimeout,
 		CheckpointDir:  *ckDir,
 		ResultCacheDir: *resultDir,
+		LeaseTTL:       *leaseTTL,
 		Obs:            o,
 	})
 	if err != nil {

@@ -51,10 +51,13 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
+	"rskip/internal/fabric"
+	fabcamp "rskip/internal/fabric/campaign"
 	"rskip/internal/fault"
 	"rskip/internal/machine"
 	"rskip/internal/obs"
@@ -168,6 +171,7 @@ func main() {
 		targetCI  = flag.Float64("target-ci", 0, "adaptive sampling: stop once the 95% CI on the protection rate is this many percentage points wide or less (0 = off)")
 		batch     = flag.Int("batch", 0, "runs per adaptive/checkpoint batch (0 = default)")
 		workers   = flag.Int("workers", 0, "campaign parallelism (0 = GOMAXPROCS)")
+		fabricN   = flag.Int("fabric", 0, "run each campaign through the in-process fabric with this many simulated nodes, each with its own executor — a differential check of the distributed path (0 = off; conflicts with -checkpoint, -timeout and -target-ci)")
 		tracePath = flag.String("trace", "", "write spans as JSON lines to this file")
 		traceTree = flag.Bool("trace-tree", false, "print the span tree to stderr at exit")
 		metrics   = flag.String("metrics", "", "write the metrics registry as JSON to this file")
@@ -347,7 +351,13 @@ func main() {
 			fcfg.N = 0 // the enumerator derives the count from the region
 		}
 		before := o.M().Snapshot()
-		r, err := fault.Campaign(ctx, p, s, inst, fcfg)
+		var r fault.Result
+		var err error
+		if *fabricN > 0 {
+			r, err = runFabric(ctx, p, s, inst, fcfg, *fabricN)
+		} else {
+			r, err = fault.Campaign(ctx, p, s, inst, fcfg)
+		}
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "rskipfi: interrupted after %d/%d %s runs", r.N, r.Requested, s)
 			if fcfg.CheckpointPath != "" {
@@ -402,6 +412,50 @@ func main() {
 	for _, s := range summaries {
 		fmt.Println(s)
 	}
+}
+
+// runFabric runs one campaign through the in-process fabric with
+// `nodes` simulated nodes. Each node owns its own executor — its own
+// build, profile run and record array — and drives one lease loop, so
+// the shards of the campaign interleave across nodes exactly as they
+// would across machines. The merged result must be bit-identical to
+// fault.Campaign with the same config; this is the CLI-reachable
+// differential check of the distributed path.
+func runFabric(ctx context.Context, p *core.Program, s core.Scheme, inst bench.Instance, fcfg fault.Config, nodes int) (fault.Result, error) {
+	// The executor rejects single-node-only options (adaptive stop,
+	// checkpoints, per-run timeouts); surface that as a flag conflict.
+	xc, err := fault.NewExecutor(ctx, p, s, inst, fcfg)
+	if err != nil {
+		return fault.Result{}, err
+	}
+	merger := fabcamp.NewMerger(xc)
+	shard := fcfg.Batch
+	if shard <= 0 {
+		shard = 100
+	}
+	coord := fabric.NewCoordinator(
+		fabric.Plan{Key: xc.Key(), N: xc.N(), ShardSize: shard},
+		fabric.Options{OnComplete: merger.Add},
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		xi, err := fault.NewExecutor(ctx, p, s, inst, fcfg)
+		if err != nil {
+			coord.Abort(err)
+			break
+		}
+		wg.Add(1)
+		go func(i int, xi *fault.Executor) {
+			defer wg.Done()
+			_ = fabric.RunLocal(ctx, coord, 1, fmt.Sprintf("node%d", i), fabcamp.NewRunner(xi, 0))
+		}(i, xi)
+	}
+	err = coord.Wait(ctx)
+	wg.Wait()
+	if err != nil {
+		return fault.Result{}, err
+	}
+	return merger.Result()
 }
 
 // metricsSummary renders the counters a campaign moved as one compact

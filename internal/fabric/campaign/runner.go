@@ -1,0 +1,83 @@
+// Package campaign glues the transport-agnostic fabric to the fault
+// engine: a Runner executes shard leases on a fault.Executor, and a
+// Merger reassembles completed shard payloads into the exact
+// single-node Result.
+//
+// The exactness argument has three links, each pinned by a test:
+//
+//  1. fault.RunRecord is a pure function of its run index — plans are
+//     pre-drawn from Config.Seed by index (executor_test.go).
+//  2. fabric.Ranges is the one range decomposition, used by both the
+//     single-node batch loop and the shard plan (plan_test.go).
+//  3. The Merger aggregates reassembled records through the engine's
+//     own fold, fault.Executor.Aggregate (TestDistributedMatches
+//     SingleNode in this package).
+//
+// So a distributed campaign differs from a single-node campaign only
+// in which process executed which index — a difference the aggregate
+// cannot observe.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"rskip/internal/fabric"
+	"rskip/internal/fault"
+)
+
+// DefaultSubBatch is the heartbeat granularity: runs executed between
+// lease extensions.
+const DefaultSubBatch = 100
+
+// Runner executes fabric shards on a fault.Executor. It implements
+// fabric.ShardRunner: each leased shard is split into sub-batches so
+// the lease is heartbeaten while long shards execute, and the
+// finished shard's records are shipped as a JSON ShardPayload.
+type Runner struct {
+	x *fault.Executor
+	// subBatch is the heartbeat granularity in runs.
+	subBatch int
+}
+
+// NewRunner wraps an executor. subBatch <= 0 selects DefaultSubBatch.
+func NewRunner(x *fault.Executor, subBatch int) *Runner {
+	if subBatch <= 0 {
+		subBatch = DefaultSubBatch
+	}
+	return &Runner{x: x, subBatch: subBatch}
+}
+
+// Key is the executor's campaign key — the plan key a worker
+// cross-checks against the coordinator's lease before running.
+func (r *Runner) Key() string { return r.x.Key() }
+
+// RunShard executes the shard and returns its payload. A heartbeat
+// error (lease lost, job gone) abandons the shard immediately: the
+// records already executed stay in the executor, so if the shard
+// comes back it completes almost for free.
+func (r *Runner) RunShard(ctx context.Context, sh fabric.Shard, hb fabric.Heartbeat) ([]byte, error) {
+	done := 0
+	for _, sub := range sh.Split(r.subBatch) {
+		if err := r.x.RunRange(ctx, sub.Lo, sub.Hi); err != nil {
+			return nil, err
+		}
+		done += sub.Size()
+		if hb != nil {
+			if err := hb(done); err != nil {
+				return nil, err
+			}
+		}
+	}
+	recs, err := r.x.Records(sh.Lo, sh.Hi)
+	if err != nil {
+		return nil, err
+	}
+	p := ShardPayload{Key: sh.Key(r.x.Key()), Lo: sh.Lo, Hi: sh.Hi, Records: recs}
+	b, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: encoding shard payload: %w", err)
+	}
+	return b, nil
+}

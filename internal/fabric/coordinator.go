@@ -1,0 +1,351 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLeaseLost reports that the worker no longer holds the lease it
+// is heartbeating or completing under — the coordinator expired it
+// and reassigned (or will reassign) the shard. The worker's correct
+// response is to abandon the shard and lease a fresh one; because
+// records are pure functions of their indexes, abandoned work is
+// never a correctness hazard, only wasted cycles.
+var ErrLeaseLost = errors.New("fabric: lease lost (expired and reassigned)")
+
+// ErrUnknownShard reports a shard ID outside the plan.
+var ErrUnknownShard = errors.New("fabric: unknown shard")
+
+// shard lifecycle: pending → leased → done. An expired lease moves
+// the shard back to pending (work stealing); completion is terminal.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+// lease is one worker's claim on one shard.
+type lease struct {
+	worker  string
+	expires time.Time
+	done    int // intra-shard progress, from heartbeats
+}
+
+// Progress is a coordinator progress snapshot: completed runs
+// (completed shards plus heartbeat-reported intra-shard progress)
+// over the plan total.
+type Progress struct {
+	Done        int // runs completed (heartbeat-estimated for leased shards)
+	N           int // total runs in the plan
+	DoneShards  int
+	TotalShards int
+}
+
+// Stats are the coordinator's lifetime counters, for metrics and the
+// straggler-reassignment assertions in tests.
+type Stats struct {
+	LeasesGranted   int
+	LeasesExpired   int // leases reclaimed from dead or straggling workers
+	ShardsCompleted int
+	Workers         int // distinct worker IDs seen
+}
+
+// Options parameterize a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a lease lives without a heartbeat before
+	// the shard is stolen back (default 10s).
+	LeaseTTL time.Duration
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+	// OnComplete, when set, receives each shard's payload exactly once,
+	// in completion order; the coordinator does not retain payloads. A
+	// returned error aborts the plan (Wait returns it) — it means the
+	// payload was undecodable or inconsistent, which re-running cannot
+	// fix. When nil, payloads are retained for Payloads().
+	// The callback runs without the coordinator lock held and must not
+	// call back into the Coordinator.
+	OnComplete func(Shard, []byte) error
+	// OnProgress, when set, is notified after every heartbeat and
+	// completion. Same re-entrancy rule as OnComplete.
+	OnProgress func(Progress)
+}
+
+// Coordinator owns one plan's shard lifecycle: it leases shards to
+// workers, tracks heartbeats, steals expired leases back for
+// reassignment, and collects completed payloads. It is
+// transport-agnostic — rskipd exposes its three methods (Lease,
+// Heartbeat, Complete) over HTTP JSON, and the in-process pool
+// (RunLocal) calls them directly.
+type Coordinator struct {
+	plan   Plan
+	shards []Shard
+	opt    Options
+
+	mu        sync.Mutex
+	state     []shardState
+	leases    map[int]*lease // by shard ID, leased shards only
+	payloads  [][]byte       // by shard ID (nil when OnComplete is set)
+	remaining int            // shards not yet done
+	sunk      int            // shards whose OnComplete/payload store finished
+	stats     Stats
+	workers   map[string]bool
+	abortErr  error
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator over the plan's shard table.
+func NewCoordinator(plan Plan, opt Options) *Coordinator {
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 10 * time.Second
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	shards := plan.Shards()
+	c := &Coordinator{
+		plan:      plan,
+		shards:    shards,
+		opt:       opt,
+		state:     make([]shardState, len(shards)),
+		leases:    map[int]*lease{},
+		remaining: len(shards),
+		workers:   map[string]bool{},
+		done:      make(chan struct{}),
+	}
+	if opt.OnComplete == nil {
+		c.payloads = make([][]byte, len(shards))
+	}
+	if len(shards) == 0 {
+		c.closeOnce.Do(func() { close(c.done) })
+	}
+	return c
+}
+
+// Plan returns the plan the coordinator distributes.
+func (c *Coordinator) Plan() Plan { return c.plan }
+
+// Lease claims the next available shard for the worker: a pending
+// shard, or a shard whose previous lease expired without a heartbeat
+// (work stealing from stragglers and dead workers). ok is false when
+// nothing is currently available — either every remaining shard is
+// leased and healthy (poll again later) or the plan is complete
+// (check Done).
+func (c *Coordinator) Lease(worker string) (sh Shard, ok bool) {
+	now := c.opt.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[worker] = true
+	c.stats.Workers = len(c.workers)
+	c.expireLocked(now)
+	for id, st := range c.state {
+		if st != shardPending {
+			continue
+		}
+		c.state[id] = shardLeased
+		c.leases[id] = &lease{worker: worker, expires: now.Add(c.opt.LeaseTTL)}
+		c.stats.LeasesGranted++
+		return c.shards[id], true
+	}
+	return Shard{}, false
+}
+
+// Heartbeat extends the worker's lease on the shard and records
+// intra-shard progress (done runs out of the shard's size). It
+// returns ErrLeaseLost when the lease expired and the shard was (or
+// is about to be) handed to someone else, and ErrUnknownShard for IDs
+// outside the plan.
+func (c *Coordinator) Heartbeat(worker string, shardID, done int) error {
+	now := c.opt.Now()
+	c.mu.Lock()
+	if shardID < 0 || shardID >= len(c.shards) {
+		c.mu.Unlock()
+		return ErrUnknownShard
+	}
+	c.expireLocked(now)
+	l := c.leases[shardID]
+	if c.state[shardID] != shardLeased || l == nil || l.worker != worker {
+		c.mu.Unlock()
+		return ErrLeaseLost
+	}
+	l.expires = now.Add(c.opt.LeaseTTL)
+	if done > l.done {
+		l.done = done
+	}
+	pr, notify := c.progressLocked()
+	c.mu.Unlock()
+	if notify != nil {
+		notify(pr)
+	}
+	return nil
+}
+
+// Complete records the shard's payload and retires it. The first
+// completion wins: because shard results are deterministic, a
+// completion from a worker whose lease was stolen is accepted as long
+// as the shard is still open (the work is identical by construction),
+// and once a shard is done later completions get ErrLeaseLost and
+// their payloads are discarded.
+func (c *Coordinator) Complete(worker string, shardID int, payload []byte) error {
+	c.mu.Lock()
+	if shardID < 0 || shardID >= len(c.shards) {
+		c.mu.Unlock()
+		return ErrUnknownShard
+	}
+	if c.state[shardID] == shardDone {
+		c.mu.Unlock()
+		return ErrLeaseLost
+	}
+	c.state[shardID] = shardDone
+	delete(c.leases, shardID)
+	c.remaining--
+	c.stats.ShardsCompleted++
+	sh := c.shards[shardID]
+	pr, notify := c.progressLocked()
+	sink := c.opt.OnComplete
+	c.mu.Unlock()
+
+	var sinkErr error
+	if sink != nil {
+		sinkErr = sink(sh, payload)
+	} else {
+		c.mu.Lock()
+		c.payloads[shardID] = payload
+		c.mu.Unlock()
+	}
+
+	c.mu.Lock()
+	if sinkErr != nil && c.abortErr == nil {
+		c.abortErr = fmt.Errorf("fabric: shard %d payload rejected: %w", shardID, sinkErr)
+	}
+	c.sunk++
+	finished := c.sunk == len(c.shards) || c.abortErr != nil
+	c.mu.Unlock()
+
+	if notify != nil {
+		notify(pr)
+	}
+	if finished {
+		c.closeOnce.Do(func() { close(c.done) })
+	}
+	return nil
+}
+
+// Release voluntarily returns a leased shard to the pending pool — a
+// worker that fails mid-shard (build error, cancellation) calls it so
+// the shard is reassigned immediately instead of after the TTL.
+func (c *Coordinator) Release(worker string, shardID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if shardID < 0 || shardID >= len(c.shards) {
+		return
+	}
+	if l := c.leases[shardID]; c.state[shardID] == shardLeased && l != nil && l.worker == worker {
+		delete(c.leases, shardID)
+		c.state[shardID] = shardPending
+	}
+}
+
+// expireLocked reclaims leases whose TTL lapsed without a heartbeat.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			delete(c.leases, id)
+			c.state[id] = shardPending
+			c.stats.LeasesExpired++
+		}
+	}
+}
+
+// progressLocked snapshots progress and the notifier under the lock.
+func (c *Coordinator) progressLocked() (Progress, func(Progress)) {
+	pr := Progress{N: c.plan.N, TotalShards: len(c.shards)}
+	for id, st := range c.state {
+		switch st {
+		case shardDone:
+			pr.Done += c.shards[id].Size()
+			pr.DoneShards++
+		case shardLeased:
+			if l := c.leases[id]; l != nil {
+				pr.Done += l.done
+			}
+		}
+	}
+	return pr, c.opt.OnProgress
+}
+
+// Abort fails the plan: Wait/Err surface err, Done closes, and
+// workers observing Done stop leasing. The first abort wins.
+func (c *Coordinator) Abort(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.abortErr == nil {
+		c.abortErr = err
+	}
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.done) })
+}
+
+// Wait blocks until the plan completes, aborts, or ctx expires.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return c.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Progress reports the current completion estimate.
+func (c *Coordinator) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pr, _ := c.progressLocked()
+	return pr
+}
+
+// Stats reports the coordinator's lifetime counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Done is closed once every shard's payload has been accepted (and
+// sunk through OnComplete), or the plan aborted.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Err returns the abort error, if any (nil while running or after a
+// clean completion).
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abortErr
+}
+
+// Payloads returns every shard's payload in shard order. It errors
+// until the plan completes, and when OnComplete streamed the payloads
+// away instead of retaining them.
+func (c *Coordinator) Payloads() ([][]byte, error) {
+	select {
+	case <-c.done:
+	default:
+		return nil, errors.New("fabric: plan not complete")
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.payloads == nil {
+		return nil, errors.New("fabric: payloads were streamed to OnComplete, not retained")
+	}
+	return c.payloads, nil
+}

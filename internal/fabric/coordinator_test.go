@@ -1,0 +1,231 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for lease-expiry tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestCoordinator(n, shardSize int, clk *fakeClock, opt Options) *Coordinator {
+	opt.Now = clk.now
+	if opt.LeaseTTL == 0 {
+		opt.LeaseTTL = time.Second
+	}
+	return NewCoordinator(Plan{Key: "k", N: n, ShardSize: shardSize}, opt)
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := newTestCoordinator(10, 5, clk, Options{})
+
+	sh1, ok := c.Lease("w1")
+	if !ok || sh1.Lo != 0 || sh1.Hi != 5 {
+		t.Fatalf("first lease = %+v, %v", sh1, ok)
+	}
+	sh2, ok := c.Lease("w2")
+	if !ok || sh2.Lo != 5 || sh2.Hi != 10 {
+		t.Fatalf("second lease = %+v, %v", sh2, ok)
+	}
+	if _, ok := c.Lease("w3"); ok {
+		t.Fatal("third lease granted with every shard out")
+	}
+	if err := c.Complete("w1", sh1.ID, []byte("a")); err != nil {
+		t.Fatalf("complete sh1: %v", err)
+	}
+	if err := c.Complete("w2", sh2.ID, []byte("b")); err != nil {
+		t.Fatalf("complete sh2: %v", err)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("plan not done after all completions")
+	}
+	got, err := c.Payloads()
+	if err != nil {
+		t.Fatalf("payloads: %v", err)
+	}
+	if string(got[0]) != "a" || string(got[1]) != "b" {
+		t.Fatalf("payloads = %q", got)
+	}
+	if st := c.Stats(); st.LeasesGranted != 2 || st.ShardsCompleted != 2 || st.Workers != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExpiredLeaseIsStolen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := newTestCoordinator(4, 4, clk, Options{LeaseTTL: time.Second})
+
+	sh, ok := c.Lease("dead")
+	if !ok {
+		t.Fatal("no lease")
+	}
+	// Healthy heartbeats keep the lease alive past the nominal TTL.
+	clk.advance(900 * time.Millisecond)
+	if err := c.Heartbeat("dead", sh.ID, 1); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	clk.advance(900 * time.Millisecond)
+	if _, ok := c.Lease("thief"); ok {
+		t.Fatal("lease stolen while heartbeats were current")
+	}
+	// Silence past the TTL hands the shard to the next caller.
+	clk.advance(200 * time.Millisecond)
+	stolen, ok := c.Lease("thief")
+	if !ok || stolen.ID != sh.ID {
+		t.Fatalf("steal = %+v, %v", stolen, ok)
+	}
+	if err := c.Heartbeat("dead", sh.ID, 2); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("dead worker heartbeat = %v, want ErrLeaseLost", err)
+	}
+	if st := c.Stats(); st.LeasesExpired != 1 {
+		t.Fatalf("stats = %+v, want 1 expired lease", st)
+	}
+	// First completion wins; the loser's payload is discarded.
+	if err := c.Complete("dead", sh.ID, []byte("late-but-first")); err != nil {
+		t.Fatalf("deterministic completion from a stolen lease must be accepted: %v", err)
+	}
+	if err := c.Complete("thief", sh.ID, []byte("second")); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("second completion = %v, want ErrLeaseLost", err)
+	}
+	got, err := c.Payloads()
+	if err != nil {
+		t.Fatalf("payloads: %v", err)
+	}
+	if string(got[0]) != "late-but-first" {
+		t.Fatalf("payload = %q, want first completion", got[0])
+	}
+}
+
+func TestReleaseReassignsImmediately(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := newTestCoordinator(4, 4, clk, Options{})
+	sh, _ := c.Lease("w1")
+	c.Release("w1", sh.ID)
+	if got, ok := c.Lease("w2"); !ok || got.ID != sh.ID {
+		t.Fatalf("released shard not reassigned: %+v, %v", got, ok)
+	}
+	// Releasing someone else's lease is a no-op.
+	c.Release("w1", sh.ID)
+	if err := c.Heartbeat("w2", sh.ID, 0); err != nil {
+		t.Fatalf("w2's lease damaged by stale release: %v", err)
+	}
+}
+
+func TestProgressAndOnComplete(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var mu sync.Mutex
+	var sunk []int
+	var last Progress
+	c := newTestCoordinator(10, 5, clk, Options{
+		OnComplete: func(sh Shard, payload []byte) error {
+			mu.Lock()
+			sunk = append(sunk, sh.ID)
+			mu.Unlock()
+			return nil
+		},
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			last = p
+			mu.Unlock()
+		},
+	})
+	sh, _ := c.Lease("w")
+	if err := c.Heartbeat("w", sh.ID, 3); err != nil {
+		t.Fatal(err)
+	}
+	if pr := c.Progress(); pr.Done != 3 || pr.N != 10 {
+		t.Fatalf("progress after heartbeat = %+v", pr)
+	}
+	if err := c.Complete("w", sh.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	sh2, _ := c.Lease("w")
+	if err := c.Complete("w", sh2.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sunk) != 2 {
+		t.Fatalf("OnComplete saw shards %v, want 2", sunk)
+	}
+	if last.Done != 10 || last.DoneShards != 2 {
+		t.Fatalf("final progress = %+v", last)
+	}
+	if _, err := c.Payloads(); err == nil {
+		t.Fatal("Payloads succeeded although OnComplete streamed them away")
+	}
+}
+
+func TestOnCompleteErrorAbortsPlan(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := newTestCoordinator(10, 5, clk, Options{
+		OnComplete: func(Shard, []byte) error { return errors.New("corrupt payload") },
+	})
+	sh, _ := c.Lease("w")
+	_ = c.Complete("w", sh.ID, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err == nil || ctx.Err() != nil {
+		t.Fatalf("Wait = %v, want abort error", err)
+	}
+}
+
+func TestRunLocalCompletesPlan(t *testing.T) {
+	c := NewCoordinator(Plan{Key: "k", N: 100, ShardSize: 7}, Options{})
+	runner := RunnerFunc(func(ctx context.Context, sh Shard, hb Heartbeat) ([]byte, error) {
+		if hb != nil {
+			if err := hb(sh.Size()); err != nil {
+				return nil, err
+			}
+		}
+		return []byte(fmt.Sprintf("%d-%d", sh.Lo, sh.Hi)), nil
+	})
+	if err := RunLocal(context.Background(), c, 4, "local", runner); err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	payloads, err := c.Payloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range c.Plan().Shards() {
+		if want := fmt.Sprintf("%d-%d", sh.Lo, sh.Hi); string(payloads[i]) != want {
+			t.Fatalf("payload[%d] = %q, want %q", i, payloads[i], want)
+		}
+	}
+}
+
+func TestRunLocalAbortsOnPersistentFailure(t *testing.T) {
+	c := NewCoordinator(Plan{Key: "k", N: 10, ShardSize: 5}, Options{})
+	runner := RunnerFunc(func(ctx context.Context, sh Shard, hb Heartbeat) ([]byte, error) {
+		if sh.ID == 1 {
+			return nil, errors.New("broken build")
+		}
+		return []byte("ok"), nil
+	})
+	err := RunLocal(context.Background(), c, 2, "local", runner)
+	if err == nil {
+		t.Fatal("RunLocal succeeded with a permanently failing shard")
+	}
+}

@@ -45,12 +45,17 @@ type Checkpoint struct {
 	Records []RunRecord `json:"records"`
 }
 
-// checkpointKey fingerprints everything that determines the fault
-// plans and their outcomes (modulo wall-clock effects). The skip /
-// multibit extension only appends to the key when one of the new
-// models is in play, so checkpoints of plain SEU campaigns written
-// before the extension keep resuming.
-func checkpointKey(p *core.Program, s core.Scheme, cfg Config) string {
+// CampaignKey fingerprints everything that determines the fault
+// plans and their outcomes (modulo wall-clock effects): benchmark,
+// build config, scheme, N, seed, mix, hang factor. It is the
+// checkpoint identity — a checkpoint only resumes a campaign with the
+// same key — and, verbatim, the fabric plan key: two nodes that
+// derive the same CampaignKey are provably drawing the same plan list
+// and will produce bit-identical records for any index range. The
+// skip / multibit extension only appends to the key when one of the
+// new models is in play, so checkpoints of plain SEU campaigns
+// written before the extension keep resuming.
+func CampaignKey(p *core.Program, s core.Scheme, cfg Config) string {
 	key := fmt.Sprintf("bench=%s|cfg=%s|scheme=%s|n=%d|seed=%d|mix=%g/%g/%g/%g|hang=%d",
 		p.Bench.Name, p.Cfg.Key(), s, cfg.N, cfg.Seed,
 		cfg.Mix.RegFile, cfg.Mix.Result, cfg.Mix.Source, cfg.Mix.Opcode,

@@ -10,6 +10,7 @@ import (
 
 	"rskip/internal/bench"
 	"rskip/internal/core"
+	"rskip/internal/fabric"
 	"rskip/internal/machine"
 	"rskip/internal/obs"
 )
@@ -43,6 +44,38 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	if cfg.N == 0 && !cfg.Exhaustive {
 		cfg.N = 1000
 	}
+
+	ctx, sp := obs.Start(ctx, "fault/campaign")
+	sp.SetAttr("scheme", s.String())
+	sp.SetAttr("bench", p.Bench.Name)
+	sp.SetAttr("n", cfg.N)
+	defer sp.End()
+
+	e, err := prepare(ctx, p, s, inst, cfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	if e.cfg.Exhaustive {
+		sp.SetAttr("exhaustive_n", e.cfg.N)
+	}
+	return e.execute(ctx, e.key)
+}
+
+// prepare builds the campaign engine every execution mode shares —
+// the single-node Campaign loop, the explicit-plan compositional
+// entry point, and the fabric Executor: config defaults, the
+// fault-free profile run, the deterministic plan list (drawn,
+// enumerated or caller-supplied), the record array and the campaign
+// key. Because every downstream consumer starts from this one
+// function, a shard of a fabric campaign and a batch of a single-node
+// campaign are provably executing the same plans.
+func prepare(ctx context.Context, p *core.Program, s core.Scheme, inst bench.Instance, cfg Config, plans []machine.FaultPlan) (*engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N == 0 && !cfg.Exhaustive && plans == nil {
+		cfg.N = 1000
+	}
 	if cfg.HangFactor == 0 {
 		cfg.HangFactor = 50
 	}
@@ -55,12 +88,6 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	if cfg.Batch == 0 {
 		cfg.Batch = defaultBatch
 	}
-
-	ctx, sp := obs.Start(ctx, "fault/campaign")
-	sp.SetAttr("scheme", s.String())
-	sp.SetAttr("bench", p.Bench.Name)
-	sp.SetAttr("n", cfg.N)
-	defer sp.End()
 	met := newCampaignMetrics(obs.From(ctx).M())
 	met.campaigns.Inc()
 
@@ -75,7 +102,7 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	profile, err := runProfile(p, s, inst, trace)
 	spp.End()
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
 	// Pre-draw (or enumerate) all fault plans so the campaign is
@@ -88,16 +115,17 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 		met:    met,
 	}
 	switch {
+	case plans != nil:
+		e.plans = plans
 	case cfg.Exhaustive:
 		e.plans, err = enumeratePlans(cfg, profile.Result.Region)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		cfg.N = len(e.plans)
-		sp.SetAttr("exhaustive_n", cfg.N)
 	case cfg.Stratify:
 		if err := trace.Err(); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		e.plans, e.strataOf, e.strata = stratifiedPlans(cfg, trace)
 	default:
@@ -105,8 +133,13 @@ func Campaign(ctx context.Context, p *core.Program, s core.Scheme, inst bench.In
 	}
 	e.cfg = cfg
 	e.records = make([]RunRecord, cfg.N)
-
-	return e.execute(ctx, checkpointKey(p, s, cfg))
+	e.key = CampaignKey(p, s, cfg)
+	if plans != nil {
+		// Explicit plans are not recoverable from the config, so the
+		// campaign identity must cover their content.
+		e.key += "|ph=" + plansHash(plans)
+	}
+	return e, nil
 }
 
 // CampaignWithPlans runs a campaign over an explicit, caller-supplied
@@ -132,23 +165,13 @@ func CampaignWithPlans(ctx context.Context, p *core.Program, s core.Scheme, inst
 		return Result{}, fmt.Errorf("fault: config: N = %d does not match %d supplied plans; leave N = 0", cfg.N, len(plans))
 	}
 	cfg.N = len(plans)
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+	if plans == nil {
+		// A nil list means "zero plans", not "draw for me" — keep the
+		// distinction prepare uses for the sampling modes.
+		plans = []machine.FaultPlan{}
 	}
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	if cfg.HangFactor == 0 {
-		cfg.HangFactor = 50
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Mix == (Mix{}) {
-		cfg.Mix = DefaultMix
-	}
-	if cfg.Batch == 0 {
-		cfg.Batch = defaultBatch
 	}
 
 	ctx, sp := obs.Start(ctx, "fault/campaign_plans")
@@ -156,26 +179,12 @@ func CampaignWithPlans(ctx context.Context, p *core.Program, s core.Scheme, inst
 	sp.SetAttr("bench", p.Bench.Name)
 	sp.SetAttr("n", cfg.N)
 	defer sp.End()
-	met := newCampaignMetrics(obs.From(ctx).M())
-	met.campaigns.Inc()
 
-	_, spp := obs.Start(ctx, "campaign/profile")
-	profile, err := runProfile(p, s, inst, nil)
-	spp.End()
+	e, err := prepare(ctx, p, s, inst, cfg, plans)
 	if err != nil {
 		return Result{}, err
 	}
-	e := &engine{
-		p: p, s: s, inst: inst, cfg: cfg,
-		golden:  profile.Output,
-		budget:  runBudget(cfg, profile.Result.Instrs),
-		plans:   plans,
-		records: make([]RunRecord, cfg.N),
-		met:     met,
-	}
-	// Explicit plans are not recoverable from the config, so the
-	// checkpoint identity must cover their content.
-	return e.execute(ctx, checkpointKey(p, s, cfg)+"|ph="+plansHash(plans))
+	return e.execute(ctx, e.key)
 }
 
 // execute drives the batched worker pool over the engine's prepared
@@ -201,11 +210,12 @@ func (e *engine) execute(ctx context.Context, key string) (Result, error) {
 	earlyStopped := false
 	var runErr error
 batches:
-	for lo := 0; lo < cfg.N; lo += cfg.Batch {
-		hi := lo + cfg.Batch
-		if hi > cfg.N {
-			hi = cfg.N
-		}
+	// The batch boundaries are fabric range splits: the same
+	// arithmetic that decomposes a distributed campaign into shards
+	// drives the single-node checkpoint/early-stop loop, so the two
+	// execution modes can never disagree about range edges.
+	for _, rng := range fabric.Ranges(cfg.N, cfg.Batch) {
+		lo, hi := rng.Lo, rng.Hi
 		_, spb := obs.Start(ctx, "campaign/batch")
 		spb.SetAttr("lo", lo)
 		spb.SetAttr("hi", hi)
@@ -361,6 +371,10 @@ type engine struct {
 	plans   []machine.FaultPlan
 	records []RunRecord
 	met     *campaignMetrics
+	// key is the campaign identity (CampaignKey, plus the plan hash
+	// for explicit-plan campaigns) — the checkpoint key and the fabric
+	// plan key are the same string by construction.
+	key string
 	// strataOf/strata describe a stratified campaign: plan i belongs
 	// to stratum strataOf[i], whose class and weight are in strata.
 	// Both are nil for unstratified campaigns.
@@ -466,6 +480,15 @@ func (e *engine) runOne(ctx context.Context, inj *core.Injector, i int) (rec Run
 // is a pure function of its index, the aggregate is independent of
 // worker count, interruption and resume history.
 func (e *engine) aggregate(stop int) Result {
+	return e.aggregateRecords(e.records, stop)
+}
+
+// aggregateRecords folds recs[:stop] into a Result using the
+// engine's stratification tables. It is the one aggregation in the
+// package: the single-node path feeds it the engine's own record
+// array, and the fabric merge feeds it records reassembled from
+// shards — identical inputs, identical fold, identical figures.
+func (e *engine) aggregateRecords(recs []RunRecord, stop int) Result {
 	res := Result{Scheme: e.s, Requested: e.cfg.N}
 	if e.strata != nil {
 		// Fresh copies: aggregate runs repeatedly (per batch, final)
@@ -474,7 +497,7 @@ func (e *engine) aggregate(stop int) Result {
 		copy(res.Strata, e.strata)
 	}
 	for i := 0; i < stop; i++ {
-		rec := &e.records[i]
+		rec := &recs[i]
 		if !rec.Done {
 			continue
 		}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"rskip/internal/core"
+)
+
+// The executor exactness contract: executing a campaign's index
+// ranges out of order (and redundantly) through an Executor, then
+// aggregating the reassembled records, must equal fault.Campaign over
+// the same config bit-for-bit.
+func TestExecutorMatchesCampaign(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	cfg := Config{N: 60, Seed: 7, Workers: 2, Batch: 16}
+
+	want, err := Campaign(context.Background(), p, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x, err := NewExecutor(context.Background(), p, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.N() != cfg.N {
+		t.Fatalf("N = %d, want %d", x.N(), cfg.N)
+	}
+	// Out-of-order ranges, with an overlap re-run ([20,40) twice) to
+	// prove re-leased shards are harmless.
+	for _, r := range [][2]int{{40, 60}, {20, 40}, {0, 20}, {20, 40}} {
+		if err := x.RunRange(context.Background(), r[0], r[1]); err != nil {
+			t.Fatalf("RunRange(%v): %v", r, err)
+		}
+	}
+	recs := make([]RunRecord, 0, cfg.N)
+	for _, r := range [][2]int{{0, 20}, {20, 40}, {40, 60}} {
+		part, err := x.Records(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, part...)
+	}
+	got, err := x.Aggregate(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("executor aggregate diverged from campaign:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Executor keys must equal the single-node checkpoint key: that
+// equality is what lets a worker cross-check a coordinator's plan key
+// against its own config, and what guarantees both modes draw the
+// same plans.
+func TestExecutorKeyMatchesCampaignKey(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	cfg := Config{N: 10, Seed: 3}
+	x, err := NewExecutor(context.Background(), p, core.RSkip, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CampaignKey of the defaulted config (prepare fills HangFactor,
+	// Mix, Workers, Batch; only HangFactor and Mix are key-relevant).
+	dcfg := cfg
+	dcfg.HangFactor = 50
+	dcfg.Mix = DefaultMix
+	if want := CampaignKey(p, core.RSkip, dcfg); x.Key() != want {
+		t.Fatalf("executor key %q\nwant campaign key %q", x.Key(), want)
+	}
+}
+
+func TestExecutorRejectsSingleNodeOnlyOptions(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	for name, cfg := range map[string]Config{
+		"TargetCI":       {N: 10, TargetCI: 0.05},
+		"CheckpointPath": {N: 10, CheckpointPath: t.TempDir() + "/ck.json"},
+		"RunTimeout":     {N: 10, RunTimeout: time.Second},
+	} {
+		_, err := NewExecutor(context.Background(), p, core.RSkip, inst, cfg)
+		var conflict *ConfigConflictError
+		if !errors.As(err, &conflict) {
+			t.Errorf("%s: NewExecutor err = %v, want ConfigConflictError", name, err)
+		}
+	}
+}
+
+func TestExecutorRangeValidation(t *testing.T) {
+	p, inst := sharedConv1d(t)
+	x, err := NewExecutor(context.Background(), p, core.RSkip, inst, Config{N: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 5}, {0, 11}, {7, 3}} {
+		if err := x.RunRange(context.Background(), r[0], r[1]); err == nil {
+			t.Errorf("RunRange(%v) accepted an out-of-plan range", r)
+		}
+		if _, err := x.Records(r[0], r[1]); err == nil {
+			t.Errorf("Records(%v) accepted an out-of-plan range", r)
+		}
+	}
+	if _, err := x.Aggregate(make([]RunRecord, 5)); err == nil {
+		t.Error("Aggregate accepted a short record array")
+	}
+	if _, err := x.AggregatePrefix(make([]RunRecord, 10), 11); err == nil {
+		t.Error("AggregatePrefix accepted stop > N")
+	}
+}

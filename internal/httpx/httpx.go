@@ -1,0 +1,208 @@
+// Package httpx is the shared HTTP client plumbing for talking to an
+// rskipd daemon: JSON POSTs with bounded retries, exponential backoff
+// with jitter, and Retry-After awareness. Both the fabric worker loop
+// and scripts' curl-replacement paths go through one implementation
+// so retry behavior cannot drift between callers.
+package httpx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Backoff shapes the retry delay sequence: Base·Factor^attempt capped
+// at Max, with a ±Jitter fraction of randomization so a fleet of
+// workers retrying against one coordinator does not thunder in step.
+type Backoff struct {
+	Base   time.Duration // first delay (default 100ms)
+	Max    time.Duration // delay cap (default 5s)
+	Factor float64       // growth per attempt (default 2)
+	Jitter float64       // randomized fraction of the delay, 0..1 (default 0.2)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	}
+	return b
+}
+
+// Delay computes the delay before retry attempt (0-based), using rnd
+// in [0, 1) for jitter. The jitter is centered: delay·(1 ± Jitter/2).
+func (b Backoff) Delay(attempt int, rnd func() float64) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 && rnd != nil {
+		d *= 1 + b.Jitter*(rnd()-0.5)
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	return time.Duration(d)
+}
+
+// Client posts JSON with retries. The zero value is usable.
+type Client struct {
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// Retries is the number of re-attempts after the first try
+	// (default 4). Only transport errors and 429/502/503/504 retry;
+	// other statuses are the server speaking, not the network failing.
+	Retries int
+	// Backoff shapes the delays between attempts. A Retry-After header
+	// on a retryable response overrides the computed delay.
+	Backoff Backoff
+	// Sleep waits between attempts (default: timer + ctx). Injectable
+	// so tests drive the retry loop with a fake clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand supplies jitter in [0, 1) (default math/rand).
+	Rand func() float64
+	// Now anchors Retry-After HTTP-date parsing (default time.Now).
+	Now func() time.Time
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 4
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryableStatus reports statuses that signal transient server or
+// proxy pressure rather than a caller error.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header: delta-seconds or an
+// HTTP-date. ok is false when absent or unparseable.
+func (c *Client) retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		now := time.Now
+		if c.Now != nil {
+			now = c.Now
+		}
+		if d := at.Sub(now()); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// PostJSON posts in as JSON and decodes a 2xx response body into out
+// (skipped when out is nil). It returns the final attempt's status
+// code; non-2xx statuses are not errors here — protocol handlers
+// (409 lease_lost, 410 gone) inspect the code. The body of a non-2xx
+// response is returned so callers can surface the server's error.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) (status int, body []byte, err error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return 0, nil, fmt.Errorf("httpx: encoding request: %w", err)
+	}
+	rnd := c.Rand
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return 0, nil, fmt.Errorf("httpx: building request: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		var delay time.Duration
+		switch {
+		case err != nil:
+			lastErr = err
+			delay = c.Backoff.Delay(attempt, rnd)
+		case retryableStatus(resp.StatusCode):
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("httpx: %s returned %d", url, resp.StatusCode)
+			if ra, ok := c.retryAfter(resp.Header); ok {
+				delay = ra
+			} else {
+				delay = c.Backoff.Delay(attempt, rnd)
+			}
+			if attempt >= c.retries() {
+				return resp.StatusCode, b, nil
+			}
+		default:
+			b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+			resp.Body.Close()
+			if rerr != nil {
+				return resp.StatusCode, nil, fmt.Errorf("httpx: reading response: %w", rerr)
+			}
+			if resp.StatusCode/100 == 2 && out != nil && len(b) > 0 {
+				if err := json.Unmarshal(b, out); err != nil {
+					return resp.StatusCode, b, fmt.Errorf("httpx: decoding response: %w", err)
+				}
+			}
+			return resp.StatusCode, b, nil
+		}
+		if attempt >= c.retries() {
+			return 0, nil, fmt.Errorf("httpx: %s failed after %d attempts: %w", url, attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return 0, nil, err
+		}
+	}
+}

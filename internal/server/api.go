@@ -213,6 +213,20 @@ type campaignRequest struct {
 	// unchanged. Requires the server to run with -result-cache-dir;
 	// conflicts with Exhaustive, TargetCI and Stratify.
 	Incremental bool `json:"incremental,omitempty"`
+	// Distributed runs the campaign through the fabric coordinator:
+	// shards are leased to remote workers (rskipd -worker -join) over
+	// /v1/fabric/* and to the in-process pool, and merged to a result
+	// bit-identical to the single-node campaign. Conflicts with
+	// Incremental, TargetCI and RunTimeoutMS (code config_conflict).
+	Distributed bool `json:"distributed,omitempty"`
+	// ShardSize is the runs-per-lease granularity of a distributed
+	// campaign (default 250).
+	ShardSize int `json:"shard_size,omitempty"`
+	// LocalWorkers is the number of in-process lease loops the
+	// coordinator node contributes to its own distributed campaign:
+	// 0 = one loop (default), < 0 = none (pure coordinator, remote
+	// workers do all the work).
+	LocalWorkers int `json:"local_workers,omitempty"`
 }
 
 // campaignSubmitResponse acknowledges an accepted job (202).
@@ -326,5 +340,8 @@ type healthResponse struct {
 	UptimeMS int64  `json:"uptime_ms"`
 	Queued   int    `json:"jobs_queued"`
 	Running  int    `json:"jobs_running"`
-	Draining bool   `json:"draining"`
+	// FabricJobs counts distributed campaigns currently leasing shards
+	// to workers.
+	FabricJobs int  `json:"fabric_jobs,omitempty"`
+	Draining   bool `json:"draining"`
 }

@@ -263,6 +263,81 @@ func (st *jobStore) persistOutcome(j *job) {
 	if data, err := json.MarshalIndent(&oc, "", "  "); err == nil {
 		_ = os.WriteFile(st.resultPath(id), data, 0o644)
 	}
+	// A terminal job never resumes, so its campaign checkpoint is dead
+	// weight from here on; the startup sweep catches the ones a crash
+	// leaves behind.
+	if terminalState(oc.State) {
+		_ = os.Remove(st.ckPath(id))
+	}
+}
+
+// sweepOrphans removes checkpoint-dir files no future daemon will
+// ever read again:
+//
+//   - .ck-*.json temp files (a crash between the checkpoint writer's
+//     temp write and its atomic rename)
+//   - <id>.job.json (+ result) of jobs cancelled before their first
+//     checkpoint — the record holds no runs and nothing resumable, so
+//     it only accumulates across restarts
+//   - <id>.ck.json of jobs already terminal — the campaign will never
+//     resume, so the checkpoint is dead weight
+//   - <id>.ck.json / <id>.result.json whose job spec is gone
+//
+// It runs before loadPersisted so restored state never references a
+// removed file. Returns the number of files removed.
+func (st *jobStore) sweepOrphans() (int, error) {
+	if st.dir == "" {
+		return 0, nil
+	}
+	swept := 0
+	remove := func(path string) {
+		if err := os.Remove(path); err == nil {
+			swept++
+		}
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(st.dir, ".ck-*.json")); tmps != nil {
+		for _, t := range tmps {
+			remove(t)
+		}
+	}
+	specs, err := filepath.Glob(filepath.Join(st.dir, "*.job.json"))
+	if err != nil {
+		return swept, err
+	}
+	live := map[string]bool{}
+	for _, name := range specs {
+		id := strings.TrimSuffix(filepath.Base(name), ".job.json")
+		live[id] = true
+		ocData, err := os.ReadFile(st.resultPath(id))
+		if err != nil {
+			continue // no outcome: queued or drained, resumable — keep
+		}
+		var oc jobOutcome
+		if err := json.Unmarshal(ocData, &oc); err != nil || !terminalState(oc.State) {
+			continue
+		}
+		_, ckErr := os.Stat(st.ckPath(id))
+		switch {
+		case oc.State == jobCancelled && oc.Done == 0 && ckErr != nil:
+			// Spec first: a leftover result without a spec is caught by
+			// the unmatched-file pass below, while a leftover spec
+			// without a result would re-enqueue a cancelled job.
+			remove(st.specPath(id))
+			remove(st.resultPath(id))
+			live[id] = false
+		case ckErr == nil:
+			remove(st.ckPath(id))
+		}
+	}
+	for _, suffix := range []string{".ck.json", ".result.json"} {
+		names, _ := filepath.Glob(filepath.Join(st.dir, "*"+suffix))
+		for _, name := range names {
+			if !live[strings.TrimSuffix(filepath.Base(name), suffix)] {
+				remove(name)
+			}
+		}
+	}
+	return swept, nil
 }
 
 // loadPersisted scans the checkpoint dir: jobs with a result file are
@@ -443,6 +518,13 @@ func (s *Server) executeCampaign(ctx context.Context, j *job) (fault.Result, *re
 		}
 		return rep.Composed, rep, nil
 	}
+	if req.Distributed {
+		// Distributed campaigns publish progress through the fabric
+		// coordinator's merge callbacks; RunTimeout and CheckpointPath
+		// are rejected at submit (the executor enforces it again).
+		res, err := s.executeDistributed(ctx, j, p, inst, fcfg)
+		return res, nil, err
+	}
 	fcfg.OnProgress = j.publishProgress
 	// Campaigns default to the deterministic instruction budget only:
 	// a wall-clock per-run timeout makes outcomes timing-dependent,
@@ -492,6 +574,19 @@ func validateCampaignRequest(req *campaignRequest, hasResultCache bool) (core.Sc
 		case req.Stratify:
 			return 0, &fault.ConfigConflictError{Options: "incremental and stratify",
 				Reason: "the incremental analyzer already stratifies by region; per-class strata inside a region are not cacheable yet"}
+		}
+	}
+	if req.Distributed {
+		switch {
+		case req.Incremental:
+			return 0, &fault.ConfigConflictError{Options: "distributed and incremental",
+				Reason: "the compositional analyzer shards by region through the result cache; fabric sharding by index would nest the two decompositions"}
+		case req.TargetCI > 0:
+			return 0, &fault.ConfigConflictError{Options: "distributed and target_ci",
+				Reason: "adaptive early stop needs the global run prefix, which no shard executor sees"}
+		case req.RunTimeoutMS > 0:
+			return 0, &fault.ConfigConflictError{Options: "distributed and run_timeout_ms",
+				Reason: "wall-clock deadlines classify by elapsed time, which varies across nodes and would break bit-identical merges"}
 		}
 	}
 	if req.N == 0 && !req.Exhaustive {

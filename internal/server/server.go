@@ -75,6 +75,10 @@ type Config struct {
 	// addressed per-region result cache. Empty rejects incremental
 	// submissions (code incremental_unavailable).
 	ResultCacheDir string
+	// LeaseTTL is how long a distributed campaign's shard lease lives
+	// without a heartbeat before the shard is reassigned to another
+	// worker (default 10s).
+	LeaseTTL time.Duration
 	// Obs is the daemon's telemetry handle. Nil gets a metrics-only
 	// registry: a Tracer retains every span for tree rendering, which
 	// a long-running daemon must opt into deliberately.
@@ -103,6 +107,9 @@ func (c *Config) setDefaults() {
 	if c.MaxRunTimeout <= 0 {
 		c.MaxRunTimeout = 2 * time.Minute
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
 	if c.Obs == nil {
 		c.Obs = &obs.Obs{Metrics: obs.NewMetrics()}
 	}
@@ -123,6 +130,7 @@ type serverMetrics struct {
 	jobsCancelled   *obs.Counter
 	jobsInterrupted *obs.Counter
 	jobsResumed     *obs.Counter
+	orphansSwept    *obs.Counter
 }
 
 func newServerMetrics(m *obs.Metrics) serverMetrics {
@@ -140,6 +148,7 @@ func newServerMetrics(m *obs.Metrics) serverMetrics {
 		jobsCancelled:   m.Counter("server_campaign_jobs_cancelled_total", "campaign jobs cancelled by clients"),
 		jobsInterrupted: m.Counter("server_campaign_jobs_interrupted_total", "campaign jobs interrupted by drain (resumable)"),
 		jobsResumed:     m.Counter("server_campaign_jobs_resumed_total", "campaign jobs re-enqueued from a previous daemon's checkpoints"),
+		orphansSwept:    m.Counter("server_orphan_files_swept_total", "dead checkpoint-dir files removed at startup"),
 	}
 }
 
@@ -152,6 +161,8 @@ type Server struct {
 	mux         *http.ServeMux
 	store       *jobStore
 	resultCache *result.Cache
+	fabric      *fabricHub
+	fmet        fabricMetrics
 
 	queue   chan *job
 	syncSem chan struct{}
@@ -179,7 +190,9 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		obs:      cfg.Obs,
 		met:      newServerMetrics(cfg.Obs.M()),
+		fmet:     newFabricMetrics(cfg.Obs.M()),
 		store:    newJobStore(cfg.CheckpointDir),
+		fabric:   newFabricHub(),
 		syncSem:  make(chan struct{}, cfg.SyncLimit),
 		draining: make(chan struct{}),
 		started:  time.Now(),
@@ -193,6 +206,12 @@ func New(cfg Config) (*Server, error) {
 		s.resultCache = cache
 	}
 
+	if swept, err := s.store.sweepOrphans(); err != nil {
+		return nil, fmt.Errorf("server: sweeping orphaned files: %w", err)
+	} else if swept > 0 {
+		s.met.orphansSwept.Add(uint64(swept))
+		fmt.Fprintf(os.Stderr, "server: swept %d orphaned checkpoint-dir file(s)\n", swept)
+	}
 	resumable, err := s.store.loadPersisted()
 	if err != nil {
 		return nil, fmt.Errorf("server: loading persisted jobs: %w", err)
@@ -270,6 +289,9 @@ func (s *Server) routes() {
 	s.handle("GET /v1/campaigns/{id}", "campaign_status", s.handleCampaignStatus)
 	s.handle("GET /v1/campaigns/{id}/stream", "campaign_stream", s.handleCampaignStream)
 	s.handle("DELETE /v1/campaigns/{id}", "campaign_cancel", s.handleCampaignCancel)
+	s.handle("POST /v1/fabric/lease", "fabric_lease", s.handleFabricLease)
+	s.handle("POST /v1/fabric/heartbeat", "fabric_heartbeat", s.handleFabricHeartbeat)
+	s.handle("POST /v1/fabric/complete", "fabric_complete", s.handleFabricComplete)
 	obs.RegisterPprof(s.mux)
 }
 
@@ -406,7 +428,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:   "ok",
 		UptimeMS: time.Since(s.started).Milliseconds(),
 		Queued:   queued, Running: running,
-		Draining: s.isDraining(),
+		FabricJobs: s.fabric.count(),
+		Draining:   s.isDraining(),
 	})
 }
 

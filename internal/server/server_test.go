@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -1036,5 +1038,145 @@ func TestStratifiedCampaign(t *testing.T) {
 	}
 	if weight < 0.999 || weight > 1.001 {
 		t.Errorf("strata weights sum to %.4f, want 1", weight)
+	}
+}
+
+// TestOrphanSweepOnRestart: a campaign cancelled before its first
+// checkpoint used to leave its <id>.job.json and <id>.result.json in
+// the checkpoint dir forever. A restarted daemon now sweeps those —
+// along with stray checkpoint temp files and checkpoint/result files
+// whose job spec is gone — while leaving resumable jobs untouched.
+func TestOrphanSweepOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := server.New(server.Config{Workers: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// Occupy the single worker so the victim stays queued: a queued
+	// job is by construction cancelled before its first checkpoint.
+	blocker := submitCampaign(t, ts1, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": 400, "seed": 1, "batch": 25, "workers": 2,
+	})
+	victim := submitCampaign(t, ts1, map[string]any{
+		"bench": "conv1d", "scheme": "unsafe", "n": 200, "seed": 2,
+	})
+	if code := doJSON(t, http.MethodDelete, ts1.URL+"/v1/campaigns/"+victim, nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel status %d", code)
+	}
+	if st := getStatus(t, ts1, victim); st.State != "cancelled" || st.Done != 0 {
+		t.Fatalf("victim state %q done=%d, want cancelled with no runs", st.State, st.Done)
+	}
+	for _, f := range []string{victim + ".job.json", victim + ".result.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("cancelled job should persist %s until the sweep: %v", f, err)
+		}
+	}
+	// Simulate crash debris: a checkpoint temp from a torn atomic save,
+	// and checkpoint/result files whose job spec no longer exists.
+	for _, f := range []string{".ck-123abc.json", "c-deadbeef0000.ck.json", "c-deadbeef0000.result.json"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drain mid-campaign so the blocker is left resumable (job spec +
+	// campaign checkpoint, no result) — the sweep must not touch it.
+	waitFor(t, ts1, blocker, 120*time.Second, func(st statusResp) bool { return st.Done >= 25 })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, server.Config{Workers: 1, CheckpointDir: dir})
+	orphans := []string{
+		victim + ".job.json", victim + ".result.json",
+		".ck-123abc.json", "c-deadbeef0000.ck.json", "c-deadbeef0000.result.json",
+	}
+	for _, f := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived the startup sweep (stat err: %v)", f, err)
+		}
+	}
+	if code := doJSON(t, http.MethodGet, ts2.URL+"/v1/campaigns/"+victim, nil, nil); code != http.StatusNotFound {
+		t.Errorf("swept job still served: GET returned %d, want 404", code)
+	}
+	// The resumable blocker survived the sweep and runs to completion.
+	final := waitFor(t, ts2, blocker, 180*time.Second, terminal)
+	if final.State != "done" || final.Result == nil || final.Result.N != 400 {
+		t.Fatalf("resumed blocker finished %+v, want done with 400 runs", final)
+	}
+}
+
+// TestDistributedCampaignOverHTTP runs a distributed campaign end to
+// end over the real wire: the daemon is a pure coordinator
+// (local_workers: -1) and every shard is pulled, executed and
+// delivered by a Worker speaking the HTTP fabric protocol. The merged
+// counts must be bit-identical to a plain single-node submission of
+// the same campaign.
+func TestDistributedCampaignOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 2, LeaseTTL: 2 * time.Second})
+	const n, seed = 120, 321
+	spec := map[string]any{"bench": "conv1d", "scheme": "swiftr", "n": n, "seed": seed}
+	ref := submitCampaign(t, ts, spec)
+
+	dist := map[string]any{"distributed": true, "shard_size": 30, "local_workers": -1}
+	for k, v := range spec {
+		dist[k] = v
+	}
+	distID := submitCampaign(t, ts, dist)
+
+	wk, err := server.NewWorker(server.WorkerConfig{
+		Join: ts.URL, Name: "test-worker", Poll: 25 * time.Millisecond,
+		Log: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); _ = wk.Run(wctx) }()
+	defer func() { wcancel(); <-workerDone }()
+
+	refSt := waitFor(t, ts, ref, 120*time.Second, terminal)
+	distSt := waitFor(t, ts, distID, 120*time.Second, terminal)
+	if refSt.State != "done" || distSt.State != "done" {
+		t.Fatalf("states ref=%q dist=%q (%s / %s), want done/done",
+			refSt.State, distSt.State, refSt.Error, distSt.Error)
+	}
+	if distSt.Result == nil || distSt.Result.N != n {
+		t.Fatalf("distributed result %+v, want %d runs", distSt.Result, n)
+	}
+	if !countsEqual(distSt.Result.Counts, refSt.Result.Counts) {
+		t.Errorf("distributed counts %v != single-node counts %v",
+			distSt.Result.Counts, refSt.Result.Counts)
+	}
+}
+
+// TestDistributedRejectsConflictingOptions: the options that need a
+// global view of the run sequence are refused at submit time.
+func TestDistributedRejectsConflictingOptions(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	for _, extra := range []map[string]any{
+		{"target_ci": 0.05},
+		{"run_timeout_ms": 100},
+		{"incremental": true},
+	} {
+		body := map[string]any{"bench": "conv1d", "scheme": "unsafe", "n": 50, "distributed": true}
+		for k, v := range extra {
+			body[k] = v
+		}
+		var raw map[string]any
+		code := postJSON(t, ts.URL+"/v1/campaigns", body, &raw)
+		if code != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400", extra, code)
+			continue
+		}
+		if got := errCode(t, raw); got != "config_conflict" && got != "incremental_unavailable" {
+			t.Errorf("%v: error code %q", extra, got)
+		}
 	}
 }

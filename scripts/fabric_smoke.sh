@@ -1,0 +1,111 @@
+#!/bin/sh
+# Fabric smoke: boot a real coordinator daemon plus two worker
+# processes, run a distributed campaign across them, SIGKILL one
+# worker mid-run, and require (a) the coordinator reassigns its
+# leases, and (b) the merged counts are bit-identical to a
+# single-node rskipfi reference of the same campaign. This exercises
+# the wiring the in-process differential tests cannot: flags, the
+# HTTP wire protocol, real process death.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:18322}
+N=${N:-2000}
+SEED=99
+DIR=$(mktemp -d)
+LOG="$DIR/coord.log"
+trap 'kill $COORD $W1 $W2 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/rskipd" ./cmd/rskipd
+go build -o "$DIR/rskipfi" ./cmd/rskipfi
+
+# Single-node reference, straight through the fault engine.
+"$DIR/rskipfi" -bench conv1d -schemes unsafe -n "$N" -seed "$SEED" -json \
+	>"$DIR/ref.json" 2>/dev/null
+echo "ok    single-node reference"
+
+# Coordinator with a short lease TTL (so a killed worker's shards come
+# back quickly) and two fabric workers joined to it.
+"$DIR/rskipd" -addr "$ADDR" -checkpoint-dir "$DIR/ck" -lease-ttl 1s \
+	2>"$LOG" &
+COORD=$!
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "FAIL: coordinator never became healthy"
+		cat "$LOG"
+		exit 1
+	fi
+	sleep 0.2
+done
+"$DIR/rskipd" -worker -join "http://$ADDR" -worker-name w1 -poll 100ms \
+	2>"$DIR/w1.log" &
+W1=$!
+"$DIR/rskipd" -worker -join "http://$ADDR" -worker-name w2 -poll 100ms \
+	2>"$DIR/w2.log" &
+W2=$!
+echo "ok    coordinator + 2 workers up"
+
+# Pure-coordinator job: every shard must be executed by w1 or w2.
+ID=$(curl -fsS -X POST "http://$ADDR/v1/campaigns" \
+	-d "{\"bench\":\"conv1d\",\"scheme\":\"unsafe\",\"n\":$N,\"seed\":$SEED,\"distributed\":true,\"shard_size\":100,\"local_workers\":-1}" |
+	sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$ID" ]
+
+# Let the campaign make real progress, then SIGKILL one worker
+# mid-shard. No drain, no goodbye: the lease TTL is the only thing
+# that can give its unfinished shards back.
+i=0
+until curl -fsS "http://$ADDR/v1/campaigns/$ID" | grep -q '"done": *[1-9]'; do
+	i=$((i + 1))
+	if [ "$i" -gt 150 ]; then
+		echo "FAIL: campaign $ID made no progress"
+		curl -fsS "http://$ADDR/v1/campaigns/$ID" || true
+		cat "$LOG" "$DIR/w1.log" "$DIR/w2.log"
+		exit 1
+	fi
+	sleep 0.2
+done
+kill -KILL $W1
+echo "ok    SIGKILLed worker w1 mid-run"
+
+i=0
+until curl -fsS "http://$ADDR/v1/campaigns/$ID" | grep -q '"state": *"done"'; do
+	i=$((i + 1))
+	if [ "$i" -gt 300 ]; then
+		echo "FAIL: campaign $ID never finished after the kill"
+		curl -fsS "http://$ADDR/v1/campaigns/$ID" || true
+		cat "$LOG" "$DIR/w1.log" "$DIR/w2.log"
+		exit 1
+	fi
+	sleep 0.2
+done
+curl -fsS "http://$ADDR/v1/campaigns/$ID" >"$DIR/dist.json"
+echo "ok    campaign survived the worker death"
+
+# The merged counts must equal the single-node reference exactly.
+python3 - "$DIR/ref.json" "$DIR/dist.json" <<'PY'
+import json, sys
+ref = json.load(open(sys.argv[1]))[0]["counts"]
+dist = json.load(open(sys.argv[2]))["result"]["counts"]
+ref = {k: v for k, v in ref.items() if v}
+dist = {k: v for k, v in dist.items() if v}
+if ref != dist:
+    sys.exit(f"FAIL: merged counts {dist} != single-node reference {ref}")
+print("ok    merged counts bit-identical to single-node reference")
+PY
+
+# The coordinator must have reclaimed at least one of w1's leases.
+curl -fsS "http://$ADDR/metrics" >"$DIR/metrics.json"
+python3 - "$DIR/metrics.json" <<'PY'
+import json, sys
+m = json.load(open(sys.argv[1]))
+reassigned = m.get("fabric_leases_reassigned_total", {}).get("value", 0)
+if not reassigned or reassigned < 1:
+    sys.exit(f"FAIL: fabric_leases_reassigned_total = {reassigned}, want >= 1")
+print(f"ok    coordinator reassigned {int(reassigned)} lease(s)")
+PY
+
+kill -TERM $W2 $COORD
+wait $COORD || true
+echo "fabric smoke: all checks passed"

@@ -1,0 +1,132 @@
+// Package advice is the daemon's advisory prediction layer: it
+// forecasts what a fault-injection campaign will find (protection
+// rate) and cost (wall time) from static features and the growing
+// corpus of past campaign outcomes — before any CPU is burned on the
+// campaign itself.
+//
+// The package lives under one contract, borrowed from the PIN-205 /
+// PB-S5 production playbook: predictions ADVISE, they never
+// INFLUENCE. Every forecast is labeled advisory at every boundary
+// (the Forecast struct carries an always-true Advisory field onto the
+// wire), predictions are stored in their own file separate from
+// results, and nothing in the engine, scheduler, or fabric imports
+// this package — the dependency arrow points one way, so the engine
+// provably cannot observe a prediction. The inertness property test
+// (inert_test.go) pins the stronger runtime claim: a campaign run
+// with the advisor active is bit-identical to one run without it,
+// across every execution backend.
+//
+// Structure:
+//
+//   - Record / Corpus: one compact JSONL record per finished campaign
+//     or region — static features (cost, instruction mix, scheme
+//     pipeline signature, fault mix/widths, AR) and labels
+//     (protection rate + Wilson CI, runs, wall time).
+//   - Estimate: a zero-dependency nearest-neighbor estimator with
+//     distance-weighted blending, falling back to per-scheme priors
+//     when the corpus is thin.
+//   - Log: the scoring loop — every forecast handed out is recorded,
+//     and when the real outcome arrives it is written next to the
+//     prediction, so calibration (MAE, CI coverage) is measured
+//     against reality, never asserted.
+//   - Advisor: the composition the daemon and CLIs hold.
+package advice
+
+import (
+	"fmt"
+
+	"rskip/internal/fault"
+	"rskip/internal/machine"
+)
+
+// NumFaultKinds is the arity of the fault-mix feature vector,
+// mirroring fault.Mix's weight fields in declaration order.
+const NumFaultKinds = 6
+
+// Features are the static, pre-campaign properties a forecast is
+// conditioned on. Everything here is known before a single fault is
+// injected; the profiled fields additionally require one fault-free
+// traced run (cheap next to a campaign) and are zero, with Profiled
+// false, when no profile was taken.
+type Features struct {
+	// Bench and Scheme identify the workload; Scheme uses the
+	// canonical core.Scheme.String() form.
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	// PipeSig is the scheme's pipeline content signature and ConfigKey
+	// the build config identity — together they say "same protection
+	// machinery" more precisely than the scheme name.
+	PipeSig   string `json:"pipe_sig,omitempty"`
+	ConfigKey string `json:"config_key,omitempty"`
+	// AR is the acceptable range (the paper's protection/overhead dial).
+	AR float64 `json:"ar"`
+	// FaultMix is the normalized sampling mix over fault kinds, in
+	// fault.Mix declaration order (RegFile, Result, Source, Opcode,
+	// Skip, MultiBit).
+	FaultMix [NumFaultKinds]float64 `json:"fault_mix"`
+	// SkipWidth/BitWidth parameterize the skip and multibit kinds.
+	SkipWidth int `json:"skip_width,omitempty"`
+	BitWidth  int `json:"bit_width,omitempty"`
+	// Requested is the campaign's injection count.
+	Requested int `json:"requested"`
+	// Profiled reports the cost fields below were filled from a traced
+	// fault-free run.
+	Profiled bool `json:"profiled,omitempty"`
+	// Cost is the in-region dynamic instruction count (the fault
+	// population); Instrs the whole fault-free run's count.
+	Cost   uint64 `json:"cost,omitempty"`
+	Instrs uint64 `json:"instrs,omitempty"`
+	// ClassMix is the in-region instruction stream's share per
+	// machine.OpClass (ALU, float, mem, branch, call, check, runtime).
+	ClassMix [machine.NumOpClasses]float64 `json:"class_mix"`
+}
+
+// Labels are the realized campaign outcome a record carries next to
+// its features: what the estimator learns from.
+type Labels struct {
+	// Protection is the realized protection rate in percent, with its
+	// 95% Wilson interval.
+	Protection float64 `json:"protection"`
+	CILo       float64 `json:"ci_lo"`
+	CIHi       float64 `json:"ci_hi"`
+	// Runs is the completed injection count behind the label.
+	Runs int `json:"runs"`
+	// WallSeconds is the campaign's wall time, measured outside the
+	// engine (results stay timing-free); 0 = not measured.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// ResultLabels folds a campaign result into corpus labels. Wall time
+// is passed in by the caller — the engine's Result deliberately
+// carries no timing, so bit-identity across backends is preserved.
+func ResultLabels(r fault.Result, wallSeconds float64) Labels {
+	lo, hi := r.ProtectionCI()
+	return Labels{
+		Protection:  r.ProtectionRate(),
+		CILo:        lo,
+		CIHi:        hi,
+		Runs:        r.N,
+		WallSeconds: wallSeconds,
+	}
+}
+
+// Calibration is the scoring loop's accuracy report: how the advisor's
+// past forecasts compare to the outcomes that later materialized.
+type Calibration struct {
+	// Predictions counts forecasts handed out; Scored how many have a
+	// realized outcome recorded next to them.
+	Predictions int `json:"predictions"`
+	Scored      int `json:"scored"`
+	// MAE is the mean absolute error of the protection forecast over
+	// scored predictions, in percentage points.
+	MAE float64 `json:"mae_pts"`
+	// CICoverage is the fraction of scored predictions whose realized
+	// protection fell inside the forecast interval. The estimator
+	// targets at least 0.8 once the corpus is populated.
+	CICoverage float64 `json:"ci_coverage"`
+}
+
+func (c Calibration) String() string {
+	return fmt.Sprintf("predictions=%d scored=%d mae=%.2fpt ci_coverage=%.2f",
+		c.Predictions, c.Scored, c.MAE, c.CICoverage)
+}

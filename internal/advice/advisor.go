@@ -1,0 +1,108 @@
+package advice
+
+import (
+	"sync"
+
+	"rskip/internal/machine"
+)
+
+// Advisor composes the corpus, the estimator and the prediction log
+// into the handle the daemon and CLIs hold. It also keeps a profile
+// cache so /v1/advise queries can be answered with profiled features
+// (cost, class mix) once any campaign or extraction has profiled the
+// same bench × config × scheme — without the advise path ever
+// compiling or running anything itself.
+//
+// Inertness by construction: the advisor only ever reads campaign
+// outcomes (Observe) and answers queries (Forecast/Estimate). It
+// exposes nothing an engine could consult — and the engine packages
+// (fault, result, fabric, core, machine) do not import this one, so
+// the compiler enforces the "advise, never influence" contract.
+type Advisor struct {
+	corpus *Corpus
+	log    *Log
+
+	mu       sync.Mutex
+	profiles map[string]profileEntry
+}
+
+type profileEntry struct {
+	cost, instrs uint64
+	classMix     [machine.NumOpClasses]float64
+}
+
+// New opens an advisor rooted at dir ("" = memory-only: forecasts
+// work, nothing persists). A corrupt corpus does not fail
+// construction: the valid records are kept, the file healed, and the
+// usable advisor is returned alongside a *CorruptCorpusError for the
+// caller to log. Only real I/O failures return a nil advisor.
+func New(dir string) (*Advisor, error) {
+	corpus, corpusErr := OpenCorpus(dir)
+	if corpus == nil {
+		return nil, corpusErr
+	}
+	log, err := OpenLog(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{corpus: corpus, log: log, profiles: map[string]profileEntry{}}, corpusErr
+}
+
+func profileKey(f Features) string {
+	return f.Bench + "|" + f.ConfigKey + "|" + f.Scheme
+}
+
+// Enrich overlays cached profiled features (cost, instruction mix)
+// onto an unprofiled query, and remembers profiled ones for future
+// queries. It never runs anything.
+func (a *Advisor) Enrich(f Features) Features {
+	key := profileKey(f)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if f.Profiled {
+		a.profiles[key] = profileEntry{cost: f.Cost, instrs: f.Instrs, classMix: f.ClassMix}
+		return f
+	}
+	if pe, ok := a.profiles[key]; ok {
+		f.Profiled = true
+		f.Cost, f.Instrs, f.ClassMix = pe.cost, pe.instrs, pe.classMix
+	}
+	return f
+}
+
+// Estimate answers an advisory query without recording a prediction —
+// the read-only path behind /v1/advise.
+func (a *Advisor) Estimate(f Features) Forecast {
+	return Estimate(a.corpus.Snapshot(), a.Enrich(f))
+}
+
+// Forecast answers a query and records it as a scored prediction,
+// returning the prediction ID the eventual Observe call references.
+// The returned error only reports prediction-log I/O trouble; the
+// forecast itself is always valid.
+func (a *Advisor) Forecast(f Features) (Forecast, string, error) {
+	f = a.Enrich(f)
+	fc := Estimate(a.corpus.Snapshot(), f)
+	id, err := a.log.Record(f, fc)
+	return fc, id, err
+}
+
+// Observe feeds one realized campaign outcome back: it scores the
+// prediction (when predID is known), appends the features × labels
+// record to the corpus, and caches the profile. Pass predID == "" for
+// outcomes that had no forecast (per-region records of an incremental
+// analysis). scored reports whether a prediction was matched.
+func (a *Advisor) Observe(predID string, f Features, lab Labels) (oc Outcome, scored bool, err error) {
+	f = a.Enrich(f)
+	if predID != "" {
+		oc, scored = a.log.Score(predID, lab)
+	}
+	err = a.corpus.Append(f, lab)
+	return oc, scored, err
+}
+
+// Calibration reports the scoring loop's accuracy so far.
+func (a *Advisor) Calibration() Calibration { return a.log.Calibration() }
+
+// CorpusSize reports the outcome-record count.
+func (a *Advisor) CorpusSize() int { return a.corpus.Len() }

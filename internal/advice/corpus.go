@@ -1,0 +1,170 @@
+package advice
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// corpusFile is the corpus's on-disk name under the advice dir. It is
+// a sibling of — never the same file as — predictionsFile: outcomes
+// the engine produced and forecasts the advisor made are separate
+// stores by construction.
+const corpusFile = "corpus.jsonl"
+
+// CorruptCorpusError reports corrupt lines found (and healed away)
+// while loading a corpus. The load still succeeds — the valid records
+// are kept and the file is rewritten without the corrupt lines — so
+// callers treat this as a warning, not a failure, mirroring
+// result.Cache's corrupt-entry fallback.
+type CorruptCorpusError struct {
+	Path    string
+	Dropped int   // corrupt lines removed by the heal
+	Err     error // the first line's parse failure
+}
+
+func (e *CorruptCorpusError) Error() string {
+	return fmt.Sprintf("advice: corpus %s: dropped %d corrupt record(s) (healed; priors cover the gap): %v",
+		e.Path, e.Dropped, e.Err)
+}
+
+func (e *CorruptCorpusError) Unwrap() error { return e.Err }
+
+// Corpus is the append-only store of campaign outcome records. With a
+// directory it persists one JSON line per record to corpus.jsonl;
+// with an empty directory it is memory-only and dies with the
+// process. All methods are safe for concurrent use.
+type Corpus struct {
+	mu   sync.Mutex
+	path string // "" = memory-only
+	recs []Record
+}
+
+// OpenCorpus loads (or creates) the corpus under dir; dir == ""
+// returns a memory-only corpus. Corrupt lines do not fail the load:
+// they are dropped, the file is rewritten with the surviving records
+// (the heal), and a *CorruptCorpusError is returned alongside the
+// usable corpus. Only real I/O failures return a nil corpus.
+func OpenCorpus(dir string) (*Corpus, error) {
+	if dir == "" {
+		return &Corpus{}, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("advice: corpus dir: %w", err)
+	}
+	c := &Corpus{path: filepath.Join(dir, corpusFile)}
+	data, err := os.ReadFile(c.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("advice: reading corpus: %w", err)
+	}
+	var firstBad error
+	dropped := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		rec, err := ParseRecord(raw)
+		if err != nil {
+			dropped++
+			if firstBad == nil {
+				var cre *CorruptRecordError
+				if errors.As(err, &cre) {
+					cre.Line = line
+				}
+				firstBad = err
+			}
+			continue
+		}
+		c.recs = append(c.recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("advice: scanning corpus: %w", err)
+	}
+	if dropped == 0 {
+		return c, nil
+	}
+	// Heal: rewrite with only the surviving records so the corruption
+	// is paid for once, not on every load.
+	if err := c.rewrite(); err != nil {
+		return nil, err
+	}
+	return c, &CorruptCorpusError{Path: c.path, Dropped: dropped, Err: firstBad}
+}
+
+// rewrite replaces the corpus file with the in-memory records via a
+// temp-file rename, so a crash mid-heal never truncates the store.
+func (c *Corpus) rewrite() error {
+	var buf bytes.Buffer
+	for _, rec := range c.recs {
+		line, err := rec.Marshal()
+		if err != nil {
+			return fmt.Errorf("advice: re-encoding corpus: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("advice: healing corpus: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("advice: healing corpus: %w", err)
+	}
+	return nil
+}
+
+// Append validates and stores one record, durably when the corpus is
+// file-backed.
+func (c *Corpus) Append(f Features, lab Labels) error {
+	rec, err := NewRecord(f, lab)
+	if err != nil {
+		return err
+	}
+	line, err := rec.Marshal()
+	if err != nil {
+		return fmt.Errorf("advice: encoding record: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path != "" {
+		fd, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("advice: appending record: %w", err)
+		}
+		if _, err := fd.Write(append(line, '\n')); err != nil {
+			fd.Close()
+			return fmt.Errorf("advice: appending record: %w", err)
+		}
+		if err := fd.Close(); err != nil {
+			return fmt.Errorf("advice: appending record: %w", err)
+		}
+	}
+	c.recs = append(c.recs, rec)
+	return nil
+}
+
+// Snapshot returns a copy of the records for estimation.
+func (c *Corpus) Snapshot() []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Record, len(c.recs))
+	copy(out, c.recs)
+	return out
+}
+
+// Len reports the record count.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}

@@ -1,0 +1,135 @@
+package advice
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCorpus(t *testing.T, dir string, lines []string) string {
+	t.Helper()
+	path := filepath.Join(dir, corpusFile)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodLine(t *testing.T, protection float64) string {
+	t.Helper()
+	lab := sampleLabels()
+	lab.Protection = protection
+	rec, err := NewRecord(sampleFeatures(), lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(line)
+}
+
+func TestCorpusPersistAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(sampleFeatures(), sampleLabels()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(sampleFeatures(), sampleLabels()); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened corpus has %d records, want 2", re.Len())
+	}
+}
+
+// TestCorpusHealsCorruptRecords is the satellite contract: corrupt or
+// truncated lines surface as a typed error, the valid records survive,
+// and the file is healed so the corruption is reported exactly once.
+func TestCorpusHealsCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir, []string{
+		goodLine(t, 90),
+		"{\"v\":1,\"features\"", // truncated mid-object
+		goodLine(t, 85),
+		"not json at all",
+		strings.Replace(goodLine(t, 80), `"v":1`, `"v":9`, 1), // wrong version
+	})
+	c, err := OpenCorpus(dir)
+	if c == nil {
+		t.Fatalf("corrupt lines must not lose the corpus: %v", err)
+	}
+	var cce *CorruptCorpusError
+	if !errors.As(err, &cce) {
+		t.Fatalf("error %T, want *CorruptCorpusError (got %v)", err, err)
+	}
+	if cce.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3", cce.Dropped)
+	}
+	var cre *CorruptRecordError
+	if !errors.As(err, &cre) || cre.Line != 2 {
+		t.Errorf("first bad line not surfaced as *CorruptRecordError with Line=2: %v", err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("surviving records = %d, want 2", c.Len())
+	}
+	// The heal rewrote the file: a second open is clean.
+	healed, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatalf("healed corpus still reports corruption: %v", err)
+	}
+	if healed.Len() != 2 {
+		t.Fatalf("healed corpus has %d records, want 2", healed.Len())
+	}
+}
+
+// TestCorruptCorpusFallsBackToPriors: when every record is corrupt,
+// the advisor still answers — from the per-scheme prior table.
+func TestCorruptCorpusFallsBackToPriors(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir, []string{"garbage one", "garbage two"})
+	adv, err := New(dir)
+	if adv == nil {
+		t.Fatalf("advisor lost to corrupt corpus: %v", err)
+	}
+	var cce *CorruptCorpusError
+	if !errors.As(err, &cce) {
+		t.Fatalf("error %T, want *CorruptCorpusError", err)
+	}
+	fc := adv.Estimate(Features{Bench: "conv1d", Scheme: "SWIFT-R", Requested: 100})
+	if fc.Source != "priors" {
+		t.Errorf("Source = %q, want priors", fc.Source)
+	}
+	if !fc.Advisory {
+		t.Error("forecast not labeled advisory")
+	}
+	if fc.Confidence != "low" {
+		t.Errorf("Confidence = %q, want low", fc.Confidence)
+	}
+}
+
+func TestPriorsCoverEveryScheme(t *testing.T) {
+	for _, scheme := range []string{"UNSAFE", "SWIFT", "SWIFT-R", "RSkip", "SWIFT-R-HARD", "FUTURE-SCHEME"} {
+		fc := Estimate(nil, Features{Scheme: scheme})
+		if !fc.Advisory || fc.Source != "priors" {
+			t.Errorf("%s: advisory=%v source=%q", scheme, fc.Advisory, fc.Source)
+		}
+		if fc.CILo > fc.Protection || fc.Protection > fc.CIHi {
+			t.Errorf("%s: prior point %v outside its own interval [%v, %v]",
+				scheme, fc.Protection, fc.CILo, fc.CIHi)
+		}
+		if fc.WallKnown {
+			t.Errorf("%s: priors cannot know wall time", scheme)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package advice
+
+import (
+	"math"
+	"sort"
+)
+
+// Forecast is one advisory prediction. Advisory is always true on the
+// wire — the PIN-205 contract requires the label at every boundary,
+// so a consumer that strips it has to do so deliberately.
+type Forecast struct {
+	Advisory bool `json:"advisory"`
+	// Protection is the forecast protection rate in percent, with the
+	// interval the estimator expects to bracket the realized rate.
+	Protection float64 `json:"protection"`
+	CILo       float64 `json:"ci_lo"`
+	CIHi       float64 `json:"ci_hi"`
+	// WallSeconds is the forecast campaign wall time; WallKnown is
+	// false when the corpus holds no timed neighbors (priors carry no
+	// timing at all).
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	WallKnown   bool    `json:"wall_known"`
+	// Source is "corpus" (nearest-neighbor blend) or "priors" (the
+	// per-scheme fallback table).
+	Source string `json:"source"`
+	// Confidence is "low", "medium" or "high", from neighbor support.
+	Confidence string `json:"confidence"`
+	// CorpusSize is the total record count consulted; Neighbors how
+	// many same-scheme records the blend actually used.
+	CorpusSize int `json:"corpus_size"`
+	Neighbors  int `json:"neighbors,omitempty"`
+}
+
+const (
+	// kNeighbors bounds the distance-weighted blend.
+	kNeighbors = 8
+	// weightFloor keeps an exact-match neighbor (distance 0) from
+	// collapsing the blend to a single record.
+	weightFloor = 0.05
+)
+
+// schemePrior is the fallback forecast when the corpus holds no
+// same-scheme record: wide intervals around the paper's Table-2
+// ballparks. Priors never know wall time.
+type schemePrior struct{ p, lo, hi float64 }
+
+var schemePriors = map[string]schemePrior{
+	"UNSAFE":       {45, 15, 75},
+	"SWIFT":        {85, 60, 97},
+	"SWIFT-R":      {93, 70, 99},
+	"RSkip":        {90, 65, 99},
+	"SWIFT-R-HARD": {98, 80, 100},
+}
+
+// defaultPrior covers schemes the table does not know (future
+// pipelines): centered, very wide.
+var defaultPrior = schemePrior{70, 25, 95}
+
+// Estimate forecasts a campaign's outcome from the corpus: a
+// distance-weighted nearest-neighbor blend over the same-scheme
+// records, falling back to the per-scheme prior when none exist. It
+// is a pure function of its arguments — no I/O, no clock — which is
+// what makes the advisor trivially inert.
+func Estimate(recs []Record, f Features) Forecast {
+	var pool []Record
+	for _, r := range recs {
+		if r.Features.Scheme == f.Scheme {
+			pool = append(pool, r)
+		}
+	}
+	if len(pool) == 0 {
+		return priorForecast(f.Scheme, len(recs))
+	}
+
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, len(pool))
+	for i := range pool {
+		cands[i] = cand{idx: i, d: distance(f, pool[i].Features)}
+	}
+	// Ties break on corpus order so the forecast is deterministic for
+	// a given corpus file.
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	k := kNeighbors
+	if k > len(cands) {
+		k = len(cands)
+	}
+
+	var wSum, pSum, hwSum float64
+	var wallW, wallSum float64
+	for _, c := range cands[:k] {
+		lab := pool[c.idx].Labels
+		w := 1 / (c.d + weightFloor)
+		wSum += w
+		pSum += w * lab.Protection
+		hwSum += w * (lab.CIHi - lab.CILo) / 2
+		if lab.WallSeconds > 0 && lab.Runs > 0 {
+			wallW += w
+			wallSum += w * lab.WallSeconds / float64(lab.Runs)
+		}
+	}
+	p := pSum / wSum
+	// The interval combines the neighbors' own sampling uncertainty
+	// (mean Wilson half-width) with their disagreement (weighted
+	// standard deviation): near-duplicates give a tight interval,
+	// scattered neighbors an honest wide one.
+	var varSum float64
+	for _, c := range cands[:k] {
+		dp := pool[c.idx].Labels.Protection - p
+		varSum += (1 / (c.d + weightFloor)) * dp * dp
+	}
+	hw := hwSum/wSum + math.Sqrt(varSum/wSum)
+
+	fc := Forecast{
+		Advisory:   true,
+		Protection: p,
+		CILo:       clampPct(p - hw),
+		CIHi:       clampPct(p + hw),
+		Source:     "corpus",
+		Confidence: confidence(len(pool)),
+		CorpusSize: len(recs),
+		Neighbors:  k,
+	}
+	if wallW > 0 && f.Requested > 0 {
+		fc.WallSeconds = (wallSum / wallW) * float64(f.Requested)
+		fc.WallKnown = true
+	}
+	return fc
+}
+
+func priorForecast(scheme string, corpusSize int) Forecast {
+	pr, ok := schemePriors[scheme]
+	if !ok {
+		pr = defaultPrior
+	}
+	return Forecast{
+		Advisory:   true,
+		Protection: pr.p, CILo: pr.lo, CIHi: pr.hi,
+		Source:     "priors",
+		Confidence: "low",
+		CorpusSize: corpusSize,
+	}
+}
+
+func confidence(sameScheme int) string {
+	switch {
+	case sameScheme < 3:
+		return "low"
+	case sameScheme < 10:
+		return "medium"
+	}
+	return "high"
+}
+
+// distance is an L1 dissimilarity over normalized features. The terms
+// are scaled so one unit of distance roughly means "a categorically
+// different campaign"; exact feature agreement gives 0.
+func distance(a, b Features) float64 {
+	d := 0.0
+	if a.Bench != b.Bench {
+		d += 0.5
+	}
+	if a.ConfigKey != b.ConfigKey {
+		d += 0.1
+	}
+	d += math.Abs(a.AR - b.AR)
+	d += math.Abs(float64(a.SkipWidth)-float64(b.SkipWidth)) / 8
+	d += math.Abs(float64(a.BitWidth)-float64(b.BitWidth)) / 32
+	d += logRatio(float64(a.Requested), float64(b.Requested)) / 4
+	for i := range a.FaultMix {
+		d += 0.5 * math.Abs(a.FaultMix[i]-b.FaultMix[i])
+	}
+	switch {
+	case a.Profiled && b.Profiled:
+		d += logRatio(float64(a.Cost), float64(b.Cost)) / 8
+		d += logRatio(float64(a.Instrs), float64(b.Instrs)) / 8
+		for i := range a.ClassMix {
+			d += math.Abs(a.ClassMix[i] - b.ClassMix[i])
+		}
+	case a.Profiled != b.Profiled:
+		// One side has cost features the other lacks; the profiled
+		// dimensions are incomparable, so charge a flat penalty instead
+		// of comparing zeros to real counts.
+		d += 0.3
+	}
+	return d
+}
+
+// logRatio is |log10(x/y)| with zero treated as one (absent counts
+// compare as equal, not infinitely far).
+func logRatio(x, y float64) float64 {
+	if x <= 0 {
+		x = 1
+	}
+	if y <= 0 {
+		y = 1
+	}
+	return math.Abs(math.Log10(x / y))
+}
+
+func clampPct(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}

@@ -1,0 +1,205 @@
+package advice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rskip/internal/stats"
+)
+
+// The calibration substrate: a synthetic corpus whose labels come
+// from a known smooth ground-truth function of the features. With the
+// truth in hand, the tests can assert the two properties the ISSUE
+// pins — MAE shrinks monotonically as the corpus grows, and the
+// forecast intervals bracket truth at (at least) the stated level.
+
+var synthBenches = []string{"alpha", "beta", "gamma"}
+
+// synthTruth is the ground-truth protection rate: smooth in AR, the
+// ALU share and the bench identity, spanning roughly [55, 97].
+func synthTruth(f Features) float64 {
+	p := 55 + 25*f.AR + 15*f.ClassMix[0]
+	switch f.Bench {
+	case "beta":
+		p += 2
+	case "gamma":
+		p -= 2
+	}
+	return clampPct(p)
+}
+
+// synthWallPerRun is the ground-truth cost: a fixed per-run wall cost,
+// so the forecast wall time should recover Requested × this exactly.
+const synthWallPerRun = 0.0015
+
+func synthFeatures(rng *rand.Rand) Features {
+	f := Features{
+		Bench:     synthBenches[rng.Intn(len(synthBenches))],
+		Scheme:    "SWIFT-R",
+		ConfigKey: "synthetic",
+		AR:        rng.Float64(),
+		Requested: 200 + rng.Intn(800),
+		Profiled:  true,
+	}
+	f.Cost = uint64(1000 * math.Pow(10, 3*rng.Float64()))
+	f.Instrs = 4 * f.Cost
+	f.FaultMix = [NumFaultKinds]float64{0.8, 0.1, 0.05, 0.05, 0, 0}
+	alu := 0.3 + 0.5*rng.Float64()
+	mem := (1 - alu) * rng.Float64()
+	f.ClassMix[0] = alu
+	f.ClassMix[2] = mem
+	f.ClassMix[3] = 1 - alu - mem
+	return f
+}
+
+func synthLabels(t *testing.T, f Features) Labels {
+	t.Helper()
+	p := synthTruth(f)
+	n := f.Requested
+	k := int(p/100*float64(n) + 0.5)
+	lo, hi := stats.Wilson(k, n, stats.Z95)
+	return Labels{
+		Protection: p, CILo: 100 * lo, CIHi: 100 * hi, Runs: n,
+		WallSeconds: synthWallPerRun * float64(n),
+	}
+}
+
+func synthCorpus(t *testing.T, rng *rand.Rand, n int) []Record {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		f := synthFeatures(rng)
+		rec, err := NewRecord(f, synthLabels(t, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// TestEstimateMAEShrinksWithCorpus: nested corpora (each a prefix of
+// the next) must yield strictly decreasing MAE against ground truth.
+func TestEstimateMAEShrinksWithCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := synthCorpus(t, rng, 512)
+	queries := make([]Features, 100)
+	for i := range queries {
+		queries[i] = synthFeatures(rng)
+	}
+	sizes := []int{8, 64, 512}
+	maes := make([]float64, len(sizes))
+	for si, size := range sizes {
+		var sum float64
+		for _, q := range queries {
+			fc := Estimate(full[:size], q)
+			if fc.Source != "corpus" {
+				t.Fatalf("size %d: source %q, want corpus", size, fc.Source)
+			}
+			sum += math.Abs(fc.Protection - synthTruth(q))
+		}
+		maes[si] = sum / float64(len(queries))
+	}
+	t.Logf("MAE by corpus size: %d→%.3f %d→%.3f %d→%.3f",
+		sizes[0], maes[0], sizes[1], maes[1], sizes[2], maes[2])
+	for i := 1; i < len(maes); i++ {
+		if !(maes[i] < maes[i-1]) {
+			t.Errorf("MAE did not shrink: size %d → %.4f, size %d → %.4f",
+				sizes[i-1], maes[i-1], sizes[i], maes[i])
+		}
+	}
+}
+
+// TestEstimateCICoversTruth: with a populated corpus, the forecast
+// interval must bracket ground truth at ≥ 80% of queries (the level
+// the Calibration doc states).
+func TestEstimateCICoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	full := synthCorpus(t, rng, 512)
+	hits, total := 0, 200
+	for i := 0; i < total; i++ {
+		q := synthFeatures(rng)
+		fc := Estimate(full, q)
+		if tr := synthTruth(q); fc.CILo <= tr && tr <= fc.CIHi {
+			hits++
+		}
+	}
+	cov := float64(hits) / float64(total)
+	t.Logf("CI coverage: %.3f", cov)
+	if cov < 0.8 {
+		t.Errorf("CI coverage %.3f < 0.80", cov)
+	}
+}
+
+// TestEstimateWallForecast: with a constant ground-truth per-run cost,
+// the wall forecast must recover Requested × cost.
+func TestEstimateWallForecast(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	full := synthCorpus(t, rng, 64)
+	q := synthFeatures(rng)
+	q.Requested = 1000
+	fc := Estimate(full, q)
+	if !fc.WallKnown {
+		t.Fatal("wall forecast unknown despite timed neighbors")
+	}
+	want := synthWallPerRun * float64(q.Requested)
+	if math.Abs(fc.WallSeconds-want) > 1e-9 {
+		t.Errorf("WallSeconds = %v, want %v", fc.WallSeconds, want)
+	}
+}
+
+// TestEstimateDeterministic: same corpus, same query, same forecast —
+// byte-stable CLI output depends on it.
+func TestEstimateDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	full := synthCorpus(t, rng, 32)
+	q := synthFeatures(rng)
+	a, b := Estimate(full, q), Estimate(full, q)
+	if a != b {
+		t.Errorf("two estimates differ:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestScoringLoop: predictions recorded, scored against outcomes, and
+// reported through Calibration.
+func TestScoringLoop(t *testing.T) {
+	adv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sampleFeatures()
+	fc, id, err := adv.Forecast(f)
+	if err != nil || id == "" {
+		t.Fatalf("Forecast: id=%q err=%v", id, err)
+	}
+	if !fc.Advisory {
+		t.Error("forecast not labeled advisory")
+	}
+	c := adv.Calibration()
+	if c.Predictions != 1 || c.Scored != 0 {
+		t.Fatalf("pre-score calibration %+v", c)
+	}
+	lab := sampleLabels()
+	oc, scored, err := adv.Observe(id, f, lab)
+	if err != nil || !scored {
+		t.Fatalf("Observe: scored=%v err=%v", scored, err)
+	}
+	if want := math.Abs(fc.Protection - lab.Protection); math.Abs(oc.AbsErr-want) > 1e-12 {
+		t.Errorf("AbsErr = %v, want %v", oc.AbsErr, want)
+	}
+	c = adv.Calibration()
+	if c.Scored != 1 || c.MAE != oc.AbsErr {
+		t.Errorf("post-score calibration %+v", c)
+	}
+	if adv.CorpusSize() != 1 {
+		t.Errorf("corpus size %d, want 1", adv.CorpusSize())
+	}
+	// Scoring an unknown or already-scored ID is a no-op, not an error.
+	if _, scored, _ := adv.Observe(id, f, lab); scored {
+		t.Error("double score accepted")
+	}
+	if _, scored, _ := adv.Observe("p-999999", f, lab); scored {
+		t.Error("unknown prediction scored")
+	}
+}

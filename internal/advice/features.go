@@ -1,0 +1,106 @@
+package advice
+
+import (
+	"context"
+	"fmt"
+
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/machine"
+)
+
+// Shape is the campaign configuration slice a forecast is conditioned
+// on — the knobs that change what a campaign would find or cost.
+type Shape struct {
+	// Mix is the fault-kind sampling mix (zero = fault.DefaultMix).
+	Mix       fault.Mix
+	SkipWidth int
+	BitWidth  int
+	// Requested is the injection count the campaign would run.
+	Requested int
+}
+
+// StaticFeatures assembles the features knowable without executing
+// anything: identity, pipeline signature, config, fault model. The
+// result is unprofiled (Cost/ClassMix zero).
+func StaticFeatures(benchName string, s core.Scheme, cfg core.Config, sh Shape) Features {
+	mix := sh.Mix
+	if mix == (fault.Mix{}) {
+		mix = fault.DefaultMix
+	}
+	w := mix.Weights()
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	var fm [NumFaultKinds]float64
+	if sum > 0 {
+		for i, v := range w {
+			fm[i] = v / sum
+		}
+	}
+	return Features{
+		Bench:     benchName,
+		Scheme:    s.String(),
+		PipeSig:   core.PipelineSig(s, cfg),
+		ConfigKey: cfg.Key(),
+		AR:        cfg.AR,
+		FaultMix:  fm,
+		SkipWidth: sh.SkipWidth,
+		BitWidth:  sh.BitWidth,
+		Requested: sh.Requested,
+	}
+}
+
+// ExtractFeatures profiles the program with one traced fault-free run
+// and returns fully profiled features: region cost (the fault
+// population), whole-run instruction count, and the per-class
+// instruction mix. The run is read-only with respect to the program —
+// executions are pure functions of their inputs — so extraction
+// cannot perturb any later campaign (the inertness property test pins
+// this). On failure the static features are returned alongside the
+// error, still usable unprofiled.
+func ExtractFeatures(ctx context.Context, p *core.Program, s core.Scheme, inst bench.Instance, sh Shape) (Features, error) {
+	f := StaticFeatures(p.Bench.Name, s, p.Cfg, sh)
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	trace := &machine.RegionTrace{}
+	o := p.Run(s, inst, core.RunOpts{RegionTrace: trace, Cancel: cancel})
+	if o.Err != nil {
+		return f, fmt.Errorf("advice: fault-free profile run failed under %s: %w", s, o.Err)
+	}
+	if err := trace.Err(); err != nil {
+		return f, fmt.Errorf("advice: %w", err)
+	}
+	total := trace.Total()
+	if total == 0 {
+		return f, fmt.Errorf("advice: no in-region instructions under %s", s)
+	}
+	var counts [machine.NumOpClasses]uint64
+	for _, spn := range trace.Spans() {
+		counts[spn.Class] += spn.N
+	}
+	for i, n := range counts {
+		f.ClassMix[i] = float64(n) / float64(total)
+	}
+	f.Cost = total
+	f.Instrs = o.Result.Instrs
+	f.Profiled = true
+	return f, nil
+}
+
+// RegionFeatures derives per-region features from program-level ones:
+// same identity and fault model, with the region's own population and
+// class mix. Used by incremental analyses to append one corpus record
+// per region.
+func RegionFeatures(program Features, population uint64, classMix [machine.NumOpClasses]float64, perRegionN int) Features {
+	f := program
+	f.Cost = population
+	f.ClassMix = classMix
+	f.Profiled = true
+	f.Requested = perRegionN
+	return f
+}

@@ -1,0 +1,56 @@
+package advice
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzAdviceRecordRoundTrip pins the corpus codec contract under
+// arbitrary input: ParseRecord either rejects with the typed
+// *CorruptRecordError or accepts — and an accepted record must
+// re-marshal (validation guarantees finite floats, so json.Marshal
+// cannot fail), reparse to the same value, and re-marshal to the same
+// bytes (unmarshal∘marshal is a fixed point). No input may panic.
+func FuzzAdviceRecordRoundTrip(f *testing.F) {
+	good, err := NewRecord(sampleFeatures(), sampleLabels())
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodLine, _ := good.Marshal()
+	f.Add(goodLine)
+	f.Add([]byte(""))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"v":1}`))
+	f.Add([]byte(`{"v":1,"features":{"scheme":"RSkip"},"labels":{"protection":1e999}}`))
+	f.Add(goodLine[:len(goodLine)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseRecord(data)
+		if err != nil {
+			var cre *CorruptRecordError
+			if !errors.As(err, &cre) {
+				t.Fatalf("parse error %T is not *CorruptRecordError: %v", err, err)
+			}
+			return
+		}
+		line, err := rec.Marshal()
+		if err != nil {
+			t.Fatalf("accepted record fails to marshal: %v", err)
+		}
+		back, err := ParseRecord(line)
+		if err != nil {
+			t.Fatalf("re-parse of accepted record failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec, back) {
+			t.Fatalf("round trip changed record:\n  %+v\n  %+v", rec, back)
+		}
+		line2, err := back.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(line, line2) {
+			t.Fatalf("marshal not a fixed point:\n  %s\n  %s", line, line2)
+		}
+	})
+}

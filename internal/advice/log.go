@@ -1,0 +1,183 @@
+package advice
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// predictionsFile stores forecasts and their eventual outcomes —
+// deliberately a different file from corpusFile. The engine's results
+// flow into the corpus; the advisor's guesses flow here; nothing
+// reads this file back into an execution decision.
+const predictionsFile = "predictions.jsonl"
+
+// Outcome is the realized result recorded next to a scored
+// prediction.
+type Outcome struct {
+	Protection  float64 `json:"protection"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// AbsErr is |forecast − realized| in percentage points; CIHit
+	// reports the realized protection fell inside the forecast
+	// interval.
+	AbsErr float64 `json:"abs_err"`
+	CIHit  bool    `json:"ci_hit"`
+}
+
+// prediction is one logged forecast. A scored prediction is appended
+// again in full with Outcome set; on load, the last line per ID wins.
+type prediction struct {
+	ID       string   `json:"id"`
+	Features Features `json:"features"`
+	Forecast Forecast `json:"forecast"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+}
+
+// Log is the prediction store and scoring loop. With a directory it
+// appends JSON lines to predictions.jsonl; with an empty directory it
+// is memory-only.
+type Log struct {
+	mu    sync.Mutex
+	path  string // "" = memory-only
+	preds map[string]*prediction
+	order []string
+	next  int
+}
+
+// OpenLog loads (or creates) the prediction log under dir. Corrupt
+// lines are skipped silently: predictions are diagnostics about the
+// advisor, not data anything downstream depends on.
+func OpenLog(dir string) (*Log, error) {
+	l := &Log{preds: map[string]*prediction{}}
+	if dir == "" {
+		return l, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("advice: predictions dir: %w", err)
+	}
+	l.path = filepath.Join(dir, predictionsFile)
+	data, err := os.ReadFile(l.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("advice: reading predictions: %w", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var p prediction
+		if err := json.Unmarshal(raw, &p); err != nil || p.ID == "" {
+			continue
+		}
+		cp := p
+		if _, seen := l.preds[p.ID]; !seen {
+			l.order = append(l.order, p.ID)
+		}
+		l.preds[p.ID] = &cp
+		var n int
+		if _, err := fmt.Sscanf(p.ID, "p-%d", &n); err == nil && n >= l.next {
+			l.next = n + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("advice: scanning predictions: %w", err)
+	}
+	return l, nil
+}
+
+// Record logs one forecast and returns its prediction ID, used later
+// to attach the realized outcome.
+func (l *Log) Record(f Features, fc Forecast) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := fmt.Sprintf("p-%06d", l.next)
+	l.next++
+	p := &prediction{ID: id, Features: f, Forecast: fc}
+	if err := l.appendLocked(p); err != nil {
+		return "", err
+	}
+	l.preds[id] = p
+	l.order = append(l.order, id)
+	return id, nil
+}
+
+// Score attaches the realized outcome to a prediction, computing the
+// calibration terms (absolute error, CI hit). Unknown IDs report ok
+// false — a daemon restarted without its advice dir simply has
+// nothing to score.
+func (l *Log) Score(id string, lab Labels) (Outcome, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p, ok := l.preds[id]
+	if !ok || p.Outcome != nil {
+		return Outcome{}, false
+	}
+	oc := &Outcome{
+		Protection:  lab.Protection,
+		Runs:        lab.Runs,
+		WallSeconds: lab.WallSeconds,
+		AbsErr:      math.Abs(p.Forecast.Protection - lab.Protection),
+		CIHit:       lab.Protection >= p.Forecast.CILo && lab.Protection <= p.Forecast.CIHi,
+	}
+	p.Outcome = oc
+	// Best-effort durability: the in-memory score is already
+	// authoritative for this process.
+	_ = l.appendLocked(p)
+	return *oc, true
+}
+
+func (l *Log) appendLocked(p *prediction) error {
+	if l.path == "" {
+		return nil
+	}
+	line, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("advice: encoding prediction: %w", err)
+	}
+	fd, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("advice: appending prediction: %w", err)
+	}
+	if _, err := fd.Write(append(line, '\n')); err != nil {
+		fd.Close()
+		return fmt.Errorf("advice: appending prediction: %w", err)
+	}
+	return fd.Close()
+}
+
+// Calibration reports the scoring loop's running accuracy.
+func (l *Log) Calibration() Calibration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := Calibration{Predictions: len(l.order)}
+	var absSum float64
+	hits := 0
+	for _, id := range l.order {
+		p := l.preds[id]
+		if p.Outcome == nil {
+			continue
+		}
+		c.Scored++
+		absSum += p.Outcome.AbsErr
+		if p.Outcome.CIHit {
+			hits++
+		}
+	}
+	if c.Scored > 0 {
+		c.MAE = absSum / float64(c.Scored)
+		c.CICoverage = float64(hits) / float64(c.Scored)
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package advice
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// recordVersion is the corpus record schema version. ParseRecord
+// rejects other versions as corrupt rather than guessing at field
+// meanings.
+const recordVersion = 1
+
+// Record is one corpus line: the static features of a finished
+// campaign (or one region of an incremental analysis) and the labels
+// it realized. Records are encoded one JSON object per line.
+type Record struct {
+	V        int      `json:"v"`
+	Features Features `json:"features"`
+	Labels   Labels   `json:"labels"`
+}
+
+// CorruptRecordError reports a corpus line that could not be decoded
+// or failed validation. It is a distinct type so loaders can heal
+// (drop the line, keep the rest) instead of discarding a whole
+// corpus, mirroring result.CorruptEntryError's fall-back-to-live-run
+// semantics.
+type CorruptRecordError struct {
+	// Line is the 1-based line number in the corpus file, 0 for a
+	// standalone record.
+	Line int
+	Err  error
+}
+
+func (e *CorruptRecordError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("advice: corrupt corpus record at line %d (dropped on heal): %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("advice: corrupt record: %v", e.Err)
+}
+
+func (e *CorruptRecordError) Unwrap() error { return e.Err }
+
+// Marshal encodes the record as one JSON line (no trailing newline).
+// NewRecord-validated records always marshal; hand-built records with
+// non-finite floats fail like json.Marshal does.
+func (r Record) Marshal() ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// ParseRecord decodes and validates one corpus line. The
+// decode/encode pair is a fixed point: for any input that parses,
+// Marshal produces a canonical line that re-parses to the identical
+// record — the property the fuzz harness pins. Invalid input returns
+// a *CorruptRecordError.
+func ParseRecord(data []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Record{}, &CorruptRecordError{Err: err}
+	}
+	if err := r.validate(); err != nil {
+		return Record{}, &CorruptRecordError{Err: err}
+	}
+	return r, nil
+}
+
+// validate rejects records whose fields cannot have come from a real
+// campaign: wrong schema version, non-finite or out-of-range floats,
+// negative counts. Finiteness matters doubly — json.Marshal cannot
+// encode NaN/Inf, so validated records are guaranteed re-encodable.
+func (r *Record) validate() error {
+	if r.V != recordVersion {
+		return fmt.Errorf("record version %d, want %d", r.V, recordVersion)
+	}
+	f, lab := &r.Features, &r.Labels
+	if f.Scheme == "" {
+		return fmt.Errorf("missing scheme")
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+		lo   float64
+		hi   float64
+	}{
+		{"features.ar", f.AR, 0, 1e6},
+		{"labels.protection", lab.Protection, 0, 100},
+		{"labels.ci_lo", lab.CILo, 0, 100},
+		{"labels.ci_hi", lab.CIHi, 0, 100},
+		{"labels.wall_seconds", lab.WallSeconds, 0, math.MaxFloat64},
+	} {
+		if math.IsNaN(c.v) || c.v < c.lo || c.v > c.hi {
+			return fmt.Errorf("%s = %v out of [%g, %g]", c.name, c.v, c.lo, c.hi)
+		}
+	}
+	if lab.CILo > lab.CIHi {
+		return fmt.Errorf("labels ci_lo %v > ci_hi %v", lab.CILo, lab.CIHi)
+	}
+	for i, w := range f.FaultMix {
+		if math.IsNaN(w) || w < 0 || w > 1 {
+			return fmt.Errorf("features.fault_mix[%d] = %v out of [0, 1]", i, w)
+		}
+	}
+	for i, s := range f.ClassMix {
+		if math.IsNaN(s) || s < 0 || s > 1 {
+			return fmt.Errorf("features.class_mix[%d] = %v out of [0, 1]", i, s)
+		}
+	}
+	if f.SkipWidth < 0 || f.BitWidth < 0 || f.Requested < 0 || lab.Runs < 0 {
+		return fmt.Errorf("negative count (skip_width=%d bit_width=%d requested=%d runs=%d)",
+			f.SkipWidth, f.BitWidth, f.Requested, lab.Runs)
+	}
+	return nil
+}
+
+// NewRecord assembles a validated record from features and labels,
+// clamping nothing: invalid inputs are an error, because a record the
+// estimator would have to second-guess is worse than no record.
+func NewRecord(f Features, lab Labels) (Record, error) {
+	r := Record{V: recordVersion, Features: f, Labels: lab}
+	if err := r.validate(); err != nil {
+		return Record{}, &CorruptRecordError{Err: err}
+	}
+	return r, nil
+}

@@ -1,0 +1,85 @@
+package advice
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleFeatures() Features {
+	f := Features{
+		Bench: "conv1d", Scheme: "SWIFT-R",
+		PipeSig: "sig", ConfigKey: "ar=0.2",
+		AR:        0.2,
+		SkipWidth: 1, BitWidth: 2,
+		Requested: 500,
+		Profiled:  true,
+		Cost:      120000, Instrs: 480000,
+	}
+	f.FaultMix = [NumFaultKinds]float64{0.8, 0.1, 0.05, 0.05, 0, 0}
+	f.ClassMix[0] = 0.6
+	f.ClassMix[2] = 0.4
+	return f
+}
+
+func sampleLabels() Labels {
+	return Labels{Protection: 92.5, CILo: 90.1, CIHi: 94.3, Runs: 500, WallSeconds: 1.25}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec, err := NewRecord(sampleFeatures(), sampleLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, back) {
+		t.Fatalf("round trip changed the record:\n  out: %+v\n  in:  %+v", rec, back)
+	}
+	line2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, line2) {
+		t.Fatalf("marshal is not a fixed point:\n  %s\n  %s", line, line2)
+	}
+}
+
+func TestParseRecordRejects(t *testing.T) {
+	good, err := NewRecord(sampleFeatures(), sampleLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodLine, _ := good.Marshal()
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"garbage", "not json at all"},
+		{"truncated", string(goodLine[:len(goodLine)/2])},
+		{"wrong version", strings.Replace(string(goodLine), `"v":1`, `"v":7`, 1)},
+		{"missing scheme", strings.Replace(string(goodLine), `"scheme":"SWIFT-R"`, `"scheme":""`, 1)},
+		{"protection out of range", strings.Replace(string(goodLine), `"protection":92.5`, `"protection":920.5`, 1)},
+		{"inverted ci", strings.Replace(string(goodLine), `"ci_lo":90.1`, `"ci_lo":99.9`, 1)},
+		{"negative runs", strings.Replace(string(goodLine), `"runs":500`, `"runs":-4`, 1)},
+	}
+	for _, tc := range cases {
+		_, err := ParseRecord([]byte(tc.line))
+		if err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+			continue
+		}
+		var cre *CorruptRecordError
+		if !errors.As(err, &cre) {
+			t.Errorf("%s: error %T is not *CorruptRecordError", tc.name, err)
+		}
+	}
+}

@@ -73,6 +73,13 @@ type Options struct {
 	// OnProgress, when set, is notified after every heartbeat and
 	// completion. Same re-entrancy rule as OnComplete.
 	OnProgress func(Progress)
+	// OnShardDone, when set, observes each successful first completion:
+	// the shard, the completing worker, and the wall-clock time from
+	// the shard's first lease to its completion. Purely observational —
+	// coordination decisions (leasing, stealing, retirement) never
+	// depend on it; the advisory layer uses it to compare per-shard
+	// cost forecasts with actuals. Same re-entrancy rule as OnComplete.
+	OnShardDone func(sh Shard, worker string, leased time.Duration)
 }
 
 // Coordinator owns one plan's shard lifecycle: it leases shards to
@@ -86,17 +93,18 @@ type Coordinator struct {
 	shards []Shard
 	opt    Options
 
-	mu        sync.Mutex
-	state     []shardState
-	leases    map[int]*lease // by shard ID, leased shards only
-	payloads  [][]byte       // by shard ID (nil when OnComplete is set)
-	remaining int            // shards not yet done
-	sunk      int            // shards whose OnComplete/payload store finished
-	stats     Stats
-	workers   map[string]bool
-	abortErr  error
-	done      chan struct{}
-	closeOnce sync.Once
+	mu          sync.Mutex
+	state       []shardState
+	leases      map[int]*lease // by shard ID, leased shards only
+	firstLeased []time.Time    // by shard ID; zero until first leased
+	payloads    [][]byte       // by shard ID (nil when OnComplete is set)
+	remaining   int            // shards not yet done
+	sunk        int            // shards whose OnComplete/payload store finished
+	stats       Stats
+	workers     map[string]bool
+	abortErr    error
+	done        chan struct{}
+	closeOnce   sync.Once
 }
 
 // NewCoordinator builds a coordinator over the plan's shard table.
@@ -109,14 +117,15 @@ func NewCoordinator(plan Plan, opt Options) *Coordinator {
 	}
 	shards := plan.Shards()
 	c := &Coordinator{
-		plan:      plan,
-		shards:    shards,
-		opt:       opt,
-		state:     make([]shardState, len(shards)),
-		leases:    map[int]*lease{},
-		remaining: len(shards),
-		workers:   map[string]bool{},
-		done:      make(chan struct{}),
+		plan:        plan,
+		shards:      shards,
+		opt:         opt,
+		state:       make([]shardState, len(shards)),
+		leases:      map[int]*lease{},
+		firstLeased: make([]time.Time, len(shards)),
+		remaining:   len(shards),
+		workers:     map[string]bool{},
+		done:        make(chan struct{}),
 	}
 	if opt.OnComplete == nil {
 		c.payloads = make([][]byte, len(shards))
@@ -149,6 +158,9 @@ func (c *Coordinator) Lease(worker string) (sh Shard, ok bool) {
 		}
 		c.state[id] = shardLeased
 		c.leases[id] = &lease{worker: worker, expires: now.Add(c.opt.LeaseTTL)}
+		if c.firstLeased[id].IsZero() {
+			c.firstLeased[id] = now
+		}
 		c.stats.LeasesGranted++
 		return c.shards[id], true
 	}
@@ -206,10 +218,18 @@ func (c *Coordinator) Complete(worker string, shardID int, payload []byte) error
 	c.remaining--
 	c.stats.ShardsCompleted++
 	sh := c.shards[shardID]
+	var leased time.Duration
+	if first := c.firstLeased[shardID]; !first.IsZero() {
+		leased = c.opt.Now().Sub(first)
+	}
 	pr, notify := c.progressLocked()
 	sink := c.opt.OnComplete
+	observe := c.opt.OnShardDone
 	c.mu.Unlock()
 
+	if observe != nil {
+		observe(sh, worker, leased)
+	}
 	var sinkErr error
 	if sink != nil {
 		sinkErr = sink(sh, payload)

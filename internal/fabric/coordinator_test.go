@@ -229,3 +229,57 @@ func TestRunLocalAbortsOnPersistentFailure(t *testing.T) {
 		t.Fatal("RunLocal succeeded with a permanently failing shard")
 	}
 }
+
+// OnShardDone observes every first completion with the wall time from
+// the shard's FIRST lease — a steal does not reset the clock — and is
+// never invoked for duplicate completions.
+func TestOnShardDoneObservesFirstLeaseToCompletion(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	type obs struct {
+		shard  int
+		worker string
+		leased time.Duration
+	}
+	var seen []obs
+	c := newTestCoordinator(10, 5, clk, Options{
+		OnShardDone: func(sh Shard, worker string, leased time.Duration) {
+			seen = append(seen, obs{sh.ID, worker, leased})
+		},
+	})
+
+	sh1, _ := c.Lease("w1")
+	clk.advance(300 * time.Millisecond)
+	if err := c.Complete("w1", sh1.ID, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second shard: w2 leases, dies; w3 steals after expiry and
+	// finishes. The observed duration spans from w2's lease.
+	sh2, _ := c.Lease("w2")
+	clk.advance(2 * time.Second) // past the 1s test TTL
+	sh2b, ok := c.Lease("w3")
+	if !ok || sh2b.ID != sh2.ID {
+		t.Fatalf("steal: got %+v ok=%v, want shard %d", sh2b, ok, sh2.ID)
+	}
+	clk.advance(500 * time.Millisecond)
+	if err := c.Complete("w3", sh2.ID, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// A late duplicate from the dead worker is rejected and unobserved.
+	if err := c.Complete("w2", sh2.ID, []byte("stale")); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("duplicate completion: %v", err)
+	}
+
+	want := []obs{
+		{sh1.ID, "w1", 300 * time.Millisecond},
+		{sh2.ID, "w3", 2500 * time.Millisecond},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d completions, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("observation %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"net/http"
+
+	"rskip/internal/advice"
+	"rskip/internal/bench"
+	"rskip/internal/core"
+	"rskip/internal/fault"
+	"rskip/internal/obs"
+	"rskip/internal/result"
+)
+
+// The advisory prediction surface. Everything in this file is
+// read-only with respect to the campaign engine: /v1/advise never
+// compiles or executes anything (profiled features come from a cache
+// populated by past campaigns), and the forecasts it serves are
+// stored in a prediction log the engine cannot reach — the advice
+// package is imported by the server and the CLIs only, never by
+// fault/result/fabric (internal/advice's inert_test pins that).
+
+// adviseRequest is the body of POST /v1/advise: the campaign a client
+// is thinking about submitting.
+type adviseRequest struct {
+	Bench  string `json:"bench"`
+	Scheme string `json:"scheme"`
+	// N is the injection count the campaign would request (default
+	// 1000, like a submission).
+	N int `json:"n,omitempty"`
+	// FaultModel / SkipWidth / BitWidth select the threat model, with
+	// the same defaults and validation as a campaign submission.
+	FaultModel string      `json:"fault_model,omitempty"`
+	SkipWidth  int         `json:"skip_width,omitempty"`
+	BitWidth   int         `json:"bit_width,omitempty"`
+	Config     *configJSON `json:"config,omitempty"`
+}
+
+// adviseResponse is the forecast — served by POST /v1/advise and
+// embedded as the "advice" block of a campaign submission response.
+// Advisory is always true: nothing in the engine reads a forecast.
+type adviseResponse struct {
+	Advisory     bool       `json:"advisory"`
+	Protection   float64    `json:"protection_rate"`
+	ProtectionCI [2]float64 `json:"protection_ci95"`
+	// WallSecondsEst is the wall-clock forecast; absent when no timed
+	// neighbor exists in the corpus.
+	WallSecondsEst float64 `json:"wall_seconds_est,omitempty"`
+	// Source is "corpus" (nearest-neighbor blend over past outcomes)
+	// or "priors" (the per-scheme fallback table).
+	Source     string `json:"source"`
+	Confidence string `json:"confidence"`
+	CorpusSize int    `json:"corpus_size"`
+	Neighbors  int    `json:"neighbors,omitempty"`
+	// PredictionID names the stored prediction that the campaign's
+	// eventual outcome will be scored against (submission path only).
+	PredictionID string `json:"prediction_id,omitempty"`
+}
+
+func toAdviseResponse(fc advice.Forecast) *adviseResponse {
+	return &adviseResponse{
+		Advisory:       fc.Advisory,
+		Protection:     fc.Protection,
+		ProtectionCI:   [2]float64{fc.CILo, fc.CIHi},
+		WallSecondsEst: fc.WallSeconds,
+		Source:         fc.Source,
+		Confidence:     fc.Confidence,
+		CorpusSize:     fc.CorpusSize,
+		Neighbors:      fc.Neighbors,
+	}
+}
+
+// adviceHealthJSON is the healthz advice block: corpus size plus the
+// scoring loop's realized accuracy.
+type adviceHealthJSON struct {
+	CorpusSize  int     `json:"corpus_size"`
+	Predictions int     `json:"predictions"`
+	Scored      int     `json:"scored"`
+	MAE         float64 `json:"mae_pts"`
+	CICoverage  float64 `json:"ci_coverage"`
+}
+
+// adviceMetrics are the advice_* instruments.
+type adviceMetrics struct {
+	queries    *obs.Counter
+	forecasts  *obs.Counter
+	scored     *obs.Counter
+	corpusSize *obs.Gauge
+	mae        *obs.Gauge
+	ciCov      *obs.Gauge
+	shardWall  *obs.Histogram
+	shardErr   *obs.Histogram
+}
+
+func newAdviceMetrics(m *obs.Metrics) adviceMetrics {
+	return adviceMetrics{
+		queries:    m.Counter("advice_queries_total", "/v1/advise forecasts served"),
+		forecasts:  m.Counter("advice_forecasts_total", "predictions recorded for submitted campaigns"),
+		scored:     m.Counter("advice_scored_total", "predictions scored against realized outcomes"),
+		corpusSize: m.Gauge("advice_corpus_records", "outcome records in the advice corpus"),
+		mae:        m.Gauge("advice_mae_pts", "mean absolute protection-rate forecast error (percentage points)"),
+		ciCov:      m.Gauge("advice_ci_coverage", "fraction of scored forecasts whose interval bracketed the outcome"),
+		shardWall:  m.Histogram("advice_shard_wall_seconds", "observed distributed-shard wall time (first lease to completion)", obs.ExpBuckets(0.001, 4, 8)),
+		shardErr:   m.Histogram("advice_shard_forecast_abs_err_seconds", "absolute error of per-shard wall forecasts", obs.ExpBuckets(0.001, 4, 8)),
+	}
+}
+
+// publishAdviceGauges refreshes the corpus/calibration gauges after
+// any corpus or prediction-log change.
+func (s *Server) publishAdviceGauges() {
+	s.amet.corpusSize.Set(float64(s.advisor.CorpusSize()))
+	c := s.advisor.Calibration()
+	s.amet.mae.Set(c.MAE)
+	s.amet.ciCov.Set(c.CICoverage)
+}
+
+// adviceShape maps validated campaign/advise parameters onto the
+// advisory feature shape.
+func adviceShape(mix fault.Mix, skipWidth, bitWidth, n int) advice.Shape {
+	return advice.Shape{Mix: mix, SkipWidth: skipWidth, BitWidth: bitWidth, Requested: n}
+}
+
+// handleAdvise serves POST /v1/advise: an advisory forecast of
+// protection rate and campaign cost from the outcome corpus. It never
+// executes anything — a cold corpus answers from per-scheme priors
+// with confidence "low", still 200.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req adviseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Bench == "" {
+		writeErr(w, http.StatusBadRequest, "missing_bench", "the request must name a built-in \"bench\"")
+		return
+	}
+	if _, err := bench.ByName(req.Bench); err != nil {
+		writeErr(w, http.StatusNotFound, "unknown_bench", "%v", err)
+		return
+	}
+	if req.Scheme == "" {
+		writeErr(w, http.StatusBadRequest, "missing_scheme", "the request must name a \"scheme\"")
+		return
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_scheme", "%v", err)
+		return
+	}
+	mix, err := fault.ModelMix(req.FaultModel)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_fault_model", "%v", err)
+		return
+	}
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown_backend", "%v", err)
+		return
+	}
+	n := req.N
+	if n <= 0 {
+		n = 1000
+	}
+	f := advice.StaticFeatures(req.Bench, scheme, cfg, adviceShape(mix, req.SkipWidth, req.BitWidth, n))
+	fc := s.advisor.Estimate(f)
+	s.amet.queries.Inc()
+	writeJSON(w, http.StatusOK, toAdviseResponse(fc))
+}
+
+// campaignAdvice forecasts a just-validated campaign submission and
+// records the prediction for later scoring. Returns nil on prediction
+// log trouble — a submission never fails because advice is sick.
+func (s *Server) campaignAdvice(req *campaignRequest, scheme core.Scheme) (*adviseResponse, string) {
+	fcfg, err := req.faultConfig()
+	if err != nil {
+		return nil, "" // validation already passed; defensive
+	}
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		return nil, ""
+	}
+	f := advice.StaticFeatures(req.Bench, scheme, cfg, adviceShape(fcfg.Mix, req.SkipWidth, req.BitWidth, req.N))
+	fc, predID, err := s.advisor.Forecast(f)
+	if err != nil {
+		s.obs.M().Counter("advice_log_errors_total", "prediction-log writes that failed").Inc()
+	}
+	s.amet.forecasts.Inc()
+	s.publishAdviceGauges()
+	resp := toAdviseResponse(fc)
+	resp.PredictionID = predID
+	return resp, predID
+}
+
+// observeOutcome feeds a finished campaign back into the advisory
+// loop: score the submission-time prediction and append outcome
+// records to the corpus. For incremental analyses each region
+// contributes its own record (population, class mix, wall time); the
+// program-level prediction is scored against the composed figures.
+func (s *Server) observeOutcome(j *job, res fault.Result, rep *result.Report, wallSeconds float64) {
+	req := j.spec.Request
+	scheme := j.scheme
+	fcfg, err := req.faultConfig()
+	if err != nil {
+		return
+	}
+	cfg, err := req.Config.toCoreConfig()
+	if err != nil {
+		return
+	}
+	f := advice.StaticFeatures(req.Bench, scheme, cfg, adviceShape(fcfg.Mix, req.SkipWidth, req.BitWidth, req.N))
+	if rep != nil {
+		// Program-level labels from the composed report; the CI is the
+		// stratified one the client saw.
+		lab := advice.Labels{
+			Protection: rep.Protection,
+			CILo:       rep.ProtectionCI[0], CIHi: rep.ProtectionCI[1],
+			Runs: rep.Composed.N, WallSeconds: wallSeconds,
+		}
+		_, scored, _ := s.advisor.Observe(j.spec.AdviceID, f, lab)
+		if scored {
+			s.amet.scored.Inc()
+		}
+		for _, r := range rep.Regions {
+			if r.Cached || r.Result.N == 0 {
+				continue // a cached region teaches nothing new about cost
+			}
+			rf := advice.RegionFeatures(f, r.Population, r.ClassMix, r.Result.N)
+			_, _, _ = s.advisor.Observe("", rf, advice.ResultLabels(r.Result, r.WallSeconds))
+		}
+	} else {
+		_, scored, _ := s.advisor.Observe(j.spec.AdviceID, f, advice.ResultLabels(res, wallSeconds))
+		if scored {
+			s.amet.scored.Inc()
+		}
+	}
+	s.publishAdviceGauges()
+}

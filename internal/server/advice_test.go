@@ -1,0 +1,231 @@
+package server_test
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rskip/internal/server"
+)
+
+type adviseResp struct {
+	Advisory     bool       `json:"advisory"`
+	Protection   float64    `json:"protection_rate"`
+	ProtectionCI [2]float64 `json:"protection_ci95"`
+	WallEst      float64    `json:"wall_seconds_est"`
+	Source       string     `json:"source"`
+	Confidence   string     `json:"confidence"`
+	CorpusSize   int        `json:"corpus_size"`
+	Neighbors    int        `json:"neighbors"`
+	PredictionID string     `json:"prediction_id"`
+}
+
+type adviceHealth struct {
+	Advice *struct {
+		CorpusSize  int     `json:"corpus_size"`
+		Predictions int     `json:"predictions"`
+		Scored      int     `json:"scored"`
+		MAE         float64 `json:"mae_pts"`
+		CICoverage  float64 `json:"ci_coverage"`
+	} `json:"advice"`
+}
+
+// A cold corpus still answers — from per-scheme priors, labeled
+// advisory with low confidence, never an error.
+func TestAdviseColdCorpus(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	var fc adviseResp
+	code := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"bench": "conv1d", "scheme": "rskip",
+	}, &fc)
+	if code != http.StatusOK {
+		t.Fatalf("cold-corpus advise status %d, want 200", code)
+	}
+	if !fc.Advisory {
+		t.Error("forecast not labeled advisory")
+	}
+	if fc.Source != "priors" || fc.Confidence != "low" || fc.CorpusSize != 0 {
+		t.Errorf("cold forecast = %+v, want priors/low/0", fc)
+	}
+	if fc.ProtectionCI[0] > fc.Protection || fc.Protection > fc.ProtectionCI[1] {
+		t.Errorf("forecast point %v outside its interval %v", fc.Protection, fc.ProtectionCI)
+	}
+}
+
+func TestAdviseStructuredErrors(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	cases := []struct {
+		name     string
+		body     map[string]any
+		wantCode int
+		wantSlug string
+	}{
+		{"missing bench", map[string]any{"scheme": "rskip"}, 400, "missing_bench"},
+		{"unknown bench", map[string]any{"bench": "no-such", "scheme": "rskip"}, 404, "unknown_bench"},
+		{"missing scheme", map[string]any{"bench": "conv1d"}, 400, "missing_scheme"},
+		{"unknown scheme", map[string]any{"bench": "conv1d", "scheme": "tmr"}, 400, "unknown_scheme"},
+		{"unknown fault model", map[string]any{"bench": "conv1d", "scheme": "rskip", "fault_model": "rowhammer"}, 400, "unknown_fault_model"},
+		{"unknown backend", map[string]any{"bench": "conv1d", "scheme": "rskip", "config": map[string]any{"backend": "fpga"}}, 400, "unknown_backend"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var raw map[string]any
+			code := postJSON(t, ts.URL+"/v1/advise", tc.body, &raw)
+			if code != tc.wantCode {
+				t.Fatalf("status %d, want %d (%v)", code, tc.wantCode, raw)
+			}
+			if got := errCode(t, raw); got != tc.wantSlug {
+				t.Errorf("error code %q, want %q", got, tc.wantSlug)
+			}
+		})
+	}
+}
+
+// The full advisory loop: a submission carries a forecast with a
+// prediction ID; its outcome lands in the corpus and scores the
+// prediction; a later query for the same campaign is corpus-sourced.
+func TestAdviseScoringLoopAcrossCampaign(t *testing.T) {
+	adviceDir := t.TempDir()
+	_, ts := newTestServer(t, server.Config{AdviceDir: adviceDir})
+
+	spec := map[string]any{"bench": "musum", "scheme": "swift", "fault_model": "skip", "n": 60, "seed": 5, "batch": 20}
+	var sub struct {
+		ID     string      `json:"id"`
+		Advice *adviseResp `json:"advice"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/campaigns", spec, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if sub.Advice == nil || !sub.Advice.Advisory {
+		t.Fatalf("submission carries no advisory forecast: %+v", sub.Advice)
+	}
+	if sub.Advice.PredictionID == "" {
+		t.Error("submission forecast has no prediction ID to score against")
+	}
+	if sub.Advice.Source != "priors" {
+		t.Errorf("first-ever forecast source %q, want priors", sub.Advice.Source)
+	}
+	st := waitFor(t, ts, sub.ID, 120*time.Second, terminal)
+	if st.State != "done" {
+		t.Fatalf("job finished %q (%s)", st.State, st.Error)
+	}
+
+	// The outcome was observed: corpus grew, the prediction was scored.
+	deadline := time.Now().Add(10 * time.Second)
+	var h adviceHealth
+	for {
+		if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != 200 {
+			t.Fatalf("healthz status %d", code)
+		}
+		if h.Advice != nil && h.Advice.Scored >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prediction never scored; healthz advice block %+v", h.Advice)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if h.Advice.CorpusSize < 1 || h.Advice.Predictions < 1 {
+		t.Errorf("advice health %+v, want corpus and predictions >= 1", h.Advice)
+	}
+
+	// A fresh advise query for the same campaign now blends neighbors.
+	var fc adviseResp
+	if code := postJSON(t, ts.URL+"/v1/advise", map[string]any{
+		"bench": "musum", "scheme": "swift", "fault_model": "skip", "n": 60,
+	}, &fc); code != http.StatusOK {
+		t.Fatalf("advise status %d", code)
+	}
+	if fc.Source != "corpus" || fc.CorpusSize < 1 || fc.Neighbors < 1 {
+		t.Errorf("post-campaign forecast = %+v, want corpus-sourced with neighbors", fc)
+	}
+	if fc.WallEst <= 0 {
+		t.Errorf("post-campaign forecast has no wall estimate: %+v", fc)
+	}
+
+	// Predictions persist separately from the corpus, and the scored
+	// prediction's outcome label is durable.
+	predData, err := os.ReadFile(filepath.Join(adviceDir, "predictions.jsonl"))
+	if err != nil {
+		t.Fatalf("predictions file: %v", err)
+	}
+	if !strings.Contains(string(predData), `"outcome"`) {
+		t.Error("predictions.jsonl has no outcome-labeled line after scoring")
+	}
+	corpusData, err := os.ReadFile(filepath.Join(adviceDir, "corpus.jsonl"))
+	if err != nil {
+		t.Fatalf("corpus file: %v", err)
+	}
+	if strings.Contains(string(corpusData), `"prediction"`) || strings.Contains(string(corpusData), `"forecast"`) {
+		t.Error("corpus.jsonl contains prediction records; the two stores must stay separate")
+	}
+}
+
+// Inertness at the service boundary: the same campaign on a server
+// with a warm persisted corpus and on a memory-only one produces
+// bit-identical outcome distributions, and hammering /v1/advise while
+// the campaign runs changes nothing (this is the -race stress for the
+// advise path).
+func TestAdviseInertAcrossServers(t *testing.T) {
+	spec := map[string]any{"bench": "musum", "scheme": "swiftrhard", "fault_model": "skip", "n": 80, "seed": 9, "batch": 20}
+
+	// Server A: persisted advice corpus, warmed by a first campaign,
+	// with concurrent advisory load during the second.
+	_, tsA := newTestServer(t, server.Config{AdviceDir: t.TempDir(), Workers: 2})
+	warm := submitCampaign(t, tsA, spec)
+	if st := waitFor(t, tsA, warm, 120*time.Second, terminal); st.State != "done" {
+		t.Fatalf("warmup finished %q (%s)", st.State, st.Error)
+	}
+	idA := submitCampaign(t, tsA, spec)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					var fc adviseResp
+					if code := postJSON(t, tsA.URL+"/v1/advise", map[string]any{
+						"bench": "musum", "scheme": "swiftrhard", "fault_model": "skip", "n": 80,
+					}, &fc); code != http.StatusOK || !fc.Advisory {
+						t.Errorf("concurrent advise: status %d, %+v", code, fc)
+						return
+					}
+				}
+			}
+		}()
+	}
+	stA := waitFor(t, tsA, idA, 120*time.Second, terminal)
+	close(stop)
+	wg.Wait()
+	if stA.State != "done" {
+		t.Fatalf("advised campaign finished %q (%s)", stA.State, stA.Error)
+	}
+
+	// Server B: memory-only advisor, no prior corpus, no query load.
+	_, tsB := newTestServer(t, server.Config{Workers: 2})
+	idB := submitCampaign(t, tsB, spec)
+	stB := waitFor(t, tsB, idB, 120*time.Second, terminal)
+	if stB.State != "done" {
+		t.Fatalf("quiet campaign finished %q (%s)", stB.State, stB.Error)
+	}
+
+	if stA.Result == nil || stB.Result == nil {
+		t.Fatal("missing terminal results")
+	}
+	if !reflect.DeepEqual(stA.Result.Counts, stB.Result.Counts) ||
+		stA.Result.N != stB.Result.N ||
+		stA.Result.Protection != stB.Result.Protection {
+		t.Errorf("advisor state changed campaign outcomes:\n  warm+load: %+v\n  quiet:     %+v",
+			stA.Result, stB.Result)
+	}
+}

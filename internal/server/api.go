@@ -235,6 +235,9 @@ type campaignSubmitResponse struct {
 	State     string `json:"state"`
 	StatusURL string `json:"status_url"`
 	StreamURL string `json:"stream_url"`
+	// Advice is the advisory forecast recorded for this submission —
+	// informational only; the job runs identically with or without it.
+	Advice *adviseResponse `json:"advice,omitempty"`
 }
 
 // campaignResultJSON is the terminal (or partial, for cancelled jobs)
@@ -344,4 +347,7 @@ type healthResponse struct {
 	// to workers.
 	FabricJobs int  `json:"fabric_jobs,omitempty"`
 	Draining   bool `json:"draining"`
+	// Advice reports the advisory prediction layer's corpus size and
+	// realized forecast accuracy.
+	Advice *adviceHealthJSON `json:"advice,omitempty"`
 }

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"time"
 
+	"rskip/internal/advice"
 	"rskip/internal/bench"
 	"rskip/internal/core"
 	"rskip/internal/fabric"
@@ -126,11 +128,29 @@ func (s *Server) executeDistributed(ctx context.Context, j *job, p *core.Program
 	if shardSize <= 0 {
 		shardSize = defaultShardSize
 	}
+	// Advisory per-shard cost forecast: the corpus wall-time estimate
+	// scaled to shard size, compared against each shard's realized
+	// first-lease-to-completion time. Purely observational — leasing,
+	// stealing and merging never read these figures.
+	var secPerRun float64
+	if fc := s.advisor.Estimate(advice.StaticFeatures(
+		req.Bench, j.scheme, p.Cfg,
+		adviceShape(fcfg.Mix, req.SkipWidth, req.BitWidth, x.N()))); fc.WallKnown && x.N() > 0 {
+		secPerRun = fc.WallSeconds / float64(x.N())
+	}
 	coord := fabric.NewCoordinator(
 		fabric.Plan{Key: x.Key(), N: x.N(), ShardSize: shardSize},
 		fabric.Options{
 			LeaseTTL:   s.cfg.LeaseTTL,
 			OnComplete: merger.Add,
+			OnShardDone: func(shd fabric.Shard, worker string, leased time.Duration) {
+				actual := leased.Seconds()
+				s.amet.shardWall.Observe(actual)
+				if secPerRun > 0 {
+					forecast := secPerRun * float64(shd.Size())
+					s.amet.shardErr.Observe(math.Abs(forecast - actual))
+				}
+			},
 			OnProgress: func(pr fabric.Progress) {
 				// Progress streams the merged prefix: exact counts for
 				// completed shards (heartbeat-estimated Done for leased

@@ -19,11 +19,13 @@ fi
 echo "coverage gate: diffing against $BASE (floor ${FLOOR}%)"
 
 # The pass manager is the compile pipeline's spine, the server is the
-# daemon surface clients build against, and the result cache decides
-# whether stale campaign figures get served as fresh; gate all three
-# on every run, changed or not, so a regression in their tests never
-# slips through a PR that only touches their callers.
-ALWAYS="internal/pass internal/server internal/result"
+# daemon surface clients build against, the result cache decides
+# whether stale campaign figures get served as fresh, and the advice
+# package turns corpus records into forecasts whose inertness contract
+# the tests prove; gate all four on every run, changed or not, so a
+# regression in their tests never slips through a PR that only touches
+# their callers.
+ALWAYS="internal/pass internal/server internal/result internal/advice"
 
 pkgs=$(
 	{
